@@ -1,0 +1,20 @@
+package adaptivetc
+
+import "adaptivetc/internal/lang"
+
+// CompileATC compiles ATC source — the mini-language front end of the
+// reproduction, mirroring the paper's extended-Cilk language with its
+// taskprivate attribute (see internal/lang for the language reference) —
+// into a Program runnable by every engine. overrides replace `param`
+// values, which is how benchmark sizes are set:
+//
+//	p, err := adaptivetc.CompileATC("queens", adaptivetc.ATCSources()["nqueens"],
+//	    map[string]int64{"n": 10})
+//	res, _ := adaptivetc.NewAdaptiveTC().Run(p, adaptivetc.Options{Workers: 8})
+func CompileATC(name, src string, overrides map[string]int64) (Program, error) {
+	return lang.CompileProgram(name, src, overrides)
+}
+
+// ATCSources returns the built-in ATC example programs by name
+// ("nqueens", "fib", "latin").
+func ATCSources() map[string]string { return lang.Sources() }

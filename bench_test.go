@@ -1,0 +1,346 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation, each running the corresponding experiment at quick scale so
+// `go test -bench=. -benchmem` regenerates every result in a bounded time.
+// Custom metrics report the quantities the paper plots (speedups, overhead
+// ratios, wait shares) alongside Go's ns/op.
+//
+// The full sweeps live in cmd/adaptivetc-bench; these benches are the
+// per-experiment entry points the repository's DESIGN.md index refers to.
+package adaptivetc_test
+
+import (
+	"io"
+	"testing"
+
+	"adaptivetc"
+	"adaptivetc/internal/experiments"
+	"adaptivetc/problems/nqueens"
+	"adaptivetc/problems/synthtree"
+)
+
+func benchConfig(b *testing.B) experiments.Config {
+	b.Helper()
+	return experiments.Config{Scale: experiments.Quick, Out: io.Discard, Seed: 1}
+}
+
+func runExperiment(b *testing.B, fn func(experiments.Config) error) {
+	cfg := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the eight speedup-vs-threads charts.
+func BenchmarkFig4(b *testing.B) { runExperiment(b, experiments.Figure4) }
+
+// BenchmarkFig5 regenerates the 8-thread comparison against Cilk.
+func BenchmarkFig5(b *testing.B) { runExperiment(b, experiments.Figure5) }
+
+// BenchmarkTable2 regenerates the one-thread execution-time table.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, experiments.Table2) }
+
+// BenchmarkFig6 regenerates the one-thread overhead breakdowns.
+func BenchmarkFig6(b *testing.B) { runExperiment(b, experiments.Figure6) }
+
+// BenchmarkFig7 regenerates Tascell's multi-thread breakdown.
+func BenchmarkFig7(b *testing.B) { runExperiment(b, experiments.Figure7) }
+
+// BenchmarkFig8 regenerates the unbalanced-tree shape analysis.
+func BenchmarkFig8(b *testing.B) { runExperiment(b, experiments.Figure8) }
+
+// BenchmarkFig9 regenerates the cut-off starvation experiment.
+func BenchmarkFig9(b *testing.B) { runExperiment(b, experiments.Figure9) }
+
+// BenchmarkFig10 regenerates the unbalanced-tree comparison.
+func BenchmarkFig10(b *testing.B) { runExperiment(b, experiments.Figure10) }
+
+// BenchmarkTable3 regenerates the synthetic-tree description table.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, experiments.Table3) }
+
+// ---------------------------------------------------------------------------
+// Headline single-configuration benches: the 2.71×/1.72× claim of the
+// abstract, on the scaled n-queens instance, as direct metrics.
+
+func BenchmarkHeadlineNqueens(b *testing.B) {
+	p := nqueens.NewArray(10)
+	serial, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range []adaptivetc.Engine{
+		adaptivetc.NewCilk(), adaptivetc.NewTascell(), adaptivetc.NewAdaptiveTC(),
+	} {
+		b.Run(e.Name(), func(b *testing.B) {
+			var last adaptivetc.Result
+			for i := 0; i < b.N; i++ {
+				res, err := e.Run(p, adaptivetc.Options{Workers: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Value != serial.Value {
+					b.Fatalf("value %d, want %d", res.Value, serial.Value)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(serial.Makespan)/float64(last.Makespan), "speedup")
+			b.ReportMetric(float64(last.Stats.TasksCreated), "tasks")
+			b.ReportMetric(float64(last.Stats.WorkspaceCopies), "copies")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationMaxStolenNum sweeps the need_task threshold: too low
+// fires special tasks for every hiccup, too high reacts slowly to
+// starvation. The paper fixes 20.
+func BenchmarkAblationMaxStolenNum(b *testing.B) {
+	spec := synthtree.Tree3(40000)
+	spec.Seed = 9
+	p := synthtree.New(spec)
+	serial, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, msn := range []int{1, 5, 20, 100, 1000} {
+		b.Run(byInt("maxStolen", msn), func(b *testing.B) {
+			var last adaptivetc.Result
+			for i := 0; i < b.N; i++ {
+				res, err := adaptivetc.NewAdaptiveTC().Run(p, adaptivetc.Options{Workers: 8, MaxStolenNum: msn})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(serial.Makespan)/float64(last.Makespan), "speedup")
+			b.ReportMetric(float64(last.Stats.SpecialTasks), "specials")
+		})
+	}
+}
+
+// BenchmarkAblationCutoff compares the ⌈log2 N⌉ rule against forced
+// constants (the paper motivates the adaptive rule over fixed choices).
+func BenchmarkAblationCutoff(b *testing.B) {
+	p := nqueens.NewArray(10)
+	serial, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := []struct {
+		name string
+		opt  adaptivetc.Options
+	}{
+		{"log2N", adaptivetc.Options{Workers: 8}},
+		{"forced1", adaptivetc.Options{Workers: 8, ForceCutoff: true, Cutoff: 1}},
+		{"forced6", adaptivetc.Options{Workers: 8, ForceCutoff: true, Cutoff: 6}},
+		{"forced9", adaptivetc.Options{Workers: 8, ForceCutoff: true, Cutoff: 9}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			var last adaptivetc.Result
+			for i := 0; i < b.N; i++ {
+				res, err := adaptivetc.NewAdaptiveTC().Run(p, cfg.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(serial.Makespan)/float64(last.Makespan), "speedup")
+			b.ReportMetric(float64(last.Stats.TasksCreated), "tasks")
+		})
+	}
+}
+
+// BenchmarkAblationFast2Multiplier sweeps the fast_2 cutoff factor
+// (paper: 2×).
+func BenchmarkAblationFast2Multiplier(b *testing.B) {
+	spec := synthtree.Tree2(40000)
+	spec.Seed = 4
+	p := synthtree.New(spec)
+	serial, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mult := range []int{1, 2, 4, 8} {
+		b.Run(byInt("mult", mult), func(b *testing.B) {
+			var last adaptivetc.Result
+			for i := 0; i < b.N; i++ {
+				res, err := adaptivetc.NewAdaptiveTC().Run(p, adaptivetc.Options{Workers: 8, Fast2Multiplier: mult})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(serial.Makespan)/float64(last.Makespan), "speedup")
+		})
+	}
+}
+
+// BenchmarkAblationWorkspacePooling isolates the SYNCHED pool: plain Cilk
+// vs pooled Cilk on a copy-heavy benchmark.
+func BenchmarkAblationWorkspacePooling(b *testing.B) {
+	p := nqueens.NewArray(10)
+	for _, e := range []adaptivetc.Engine{adaptivetc.NewCilk(), adaptivetc.NewCilkSynched()} {
+		b.Run(e.Name(), func(b *testing.B) {
+			var last adaptivetc.Result
+			for i := 0; i < b.N; i++ {
+				res, err := e.Run(p, adaptivetc.Options{Workers: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Makespan)/1e6, "vmakespan-ms")
+		})
+	}
+}
+
+// BenchmarkRealPlatform measures actual wall-clock throughput of the
+// engines on real goroutines (the non-simulated mode).
+func BenchmarkRealPlatform(b *testing.B) {
+	p := nqueens.NewArray(9)
+	for _, e := range []adaptivetc.Engine{adaptivetc.NewCilk(), adaptivetc.NewTascell(), adaptivetc.NewAdaptiveTC()} {
+		b.Run(e.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(p, adaptivetc.Options{Workers: 4, Platform: adaptivetc.NewRealPlatform(int64(i + 1))}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func byInt(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkStealCounts regenerates the §5.3.2 future-work comparison.
+func BenchmarkStealCounts(b *testing.B) { runExperiment(b, experiments.StealCounts) }
+
+// BenchmarkAblationGrowableDeque compares the fixed THE deque against the
+// growable one on a deep spawn-heavy workload.
+func BenchmarkAblationGrowableDeque(b *testing.B) {
+	p := nqueens.NewArray(10)
+	for _, growable := range []bool{false, true} {
+		name := "fixed"
+		if growable {
+			name = "growable"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last adaptivetc.Result
+			for i := 0; i < b.N; i++ {
+				res, err := adaptivetc.NewCilk().Run(p, adaptivetc.Options{
+					Workers: 8, GrowableDeque: growable, DequeCapacity: 16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Makespan)/1e6, "vmakespan-ms")
+			b.ReportMetric(float64(last.Stats.MaxDequeDepth), "max-depth")
+		})
+	}
+}
+
+// BenchmarkExtensionEngines compares AdaptiveTC against the help-first and
+// SLAW extensions on the headline workload.
+func BenchmarkExtensionEngines(b *testing.B) {
+	p := nqueens.NewArray(10)
+	serial, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := append([]adaptivetc.Engine{adaptivetc.NewAdaptiveTC(), adaptivetc.NewCilk()},
+		adaptivetc.ExtensionEngines()...)
+	for _, e := range engines {
+		b.Run(e.Name(), func(b *testing.B) {
+			var last adaptivetc.Result
+			for i := 0; i < b.N; i++ {
+				res, err := e.Run(p, adaptivetc.Options{Workers: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Value != serial.Value {
+					b.Fatalf("value %d, want %d", res.Value, serial.Value)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(serial.Makespan)/float64(last.Makespan), "speedup")
+			b.ReportMetric(float64(last.Stats.TasksCreated), "tasks")
+		})
+	}
+}
+
+// BenchmarkAblationTascellGrain compares Tascell's two extraction rules
+// the paper describes: half of the remaining iterations (§5.3.2's
+// parallel-for) vs a single iteration (§1's plain recursion), on a wide
+// unbalanced tree where the difference matters.
+func BenchmarkAblationTascellGrain(b *testing.B) {
+	spec := synthtree.Tree1(60000)
+	spec.Seed = 12
+	p := synthtree.New(spec)
+	serial, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range []adaptivetc.Engine{adaptivetc.NewTascell(), adaptivetc.NewTascellSingle()} {
+		b.Run(e.Name(), func(b *testing.B) {
+			var last adaptivetc.Result
+			for i := 0; i < b.N; i++ {
+				res, err := e.Run(p, adaptivetc.Options{Workers: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(serial.Makespan)/float64(last.Makespan), "speedup")
+			b.ReportMetric(float64(last.Stats.Requests), "extractions")
+		})
+	}
+}
+
+// BenchmarkATCInterpretationOverhead compares the compiled mini-language
+// against the native Go implementation of the same search (real CPU time,
+// not virtual): the cost of the closure interpreter per node.
+func BenchmarkATCInterpretationOverhead(b *testing.B) {
+	atcProg, err := adaptivetc.CompileATC("nqueens", adaptivetc.ATCSources()["nqueens"], map[string]int64{"n": 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	native := nqueens.NewArray(9)
+	for _, cfg := range []struct {
+		name string
+		prog adaptivetc.Program
+	}{{"atc", atcProg}, {"native", native}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := adaptivetc.NewSerial().Run(cfg.prog, adaptivetc.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Value != 352 {
+					b.Fatalf("value %d", res.Value)
+				}
+			}
+		})
+	}
+}

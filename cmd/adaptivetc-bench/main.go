@@ -1,0 +1,62 @@
+// Command adaptivetc-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	adaptivetc-bench [-exp all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table2|table3]
+//	                 [-scale quick|default|full] [-threads 8] [-seed 1]
+//	                 [-cutoff 5]
+//
+// Output is plain text, one table per figure, with speedups measured in
+// deterministic virtual time (see the vtime package docs). Results for the
+// default scale are recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adaptivetc/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, fig9, fig10, table2, table3, steals")
+	scaleFlag := flag.String("scale", "default", "workload scale: quick, default, full")
+	threads := flag.Int("threads", 8, "maximum thread count in sweeps")
+	seed := flag.Int64("seed", 1, "victim-selection seed")
+	cutoff := flag.Int("cutoff", 3, "Cutoff-programmer depth for fig9")
+	repeats := flag.Int("repeats", 1, "runs per configuration; the median makespan is plotted")
+	csvPath := flag.String("csv", "", "also write sweep samples as CSV to this file")
+	flag.Parse()
+
+	scale, ok := experiments.ParseScale(*scaleFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "adaptivetc-bench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{
+		Scale:            scale,
+		Out:              os.Stdout,
+		MaxThreads:       *threads,
+		Seed:             *seed,
+		CutoffProgrammer: *cutoff,
+		Repeats:          *repeats,
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adaptivetc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		experiments.CSVHeader(f)
+		cfg.CSV = f
+	}
+	start := time.Now()
+	if err := experiments.ByName(*exp, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "adaptivetc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[done in %s]\n", time.Since(start).Round(time.Millisecond))
+}

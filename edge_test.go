@@ -1,0 +1,105 @@
+package adaptivetc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptivetc"
+	"adaptivetc/internal/sched"
+)
+
+// singleton is a one-node tree: the root is terminal.
+type singleton struct{}
+
+type nullWS struct{}
+
+func (nullWS) Clone() sched.Workspace { return nullWS{} }
+func (nullWS) Bytes() int             { return 0 }
+
+func (singleton) Name() string                                { return "singleton" }
+func (singleton) Root() sched.Workspace                       { return nullWS{} }
+func (singleton) Terminal(sched.Workspace, int) (int64, bool) { return 7, true }
+func (singleton) Moves(sched.Workspace, int) int              { return 0 }
+func (singleton) Apply(sched.Workspace, int, int) bool        { return false }
+func (singleton) Undo(sched.Workspace, int, int)              {}
+
+// deadEnd has a non-terminal root whose every candidate move is illegal.
+type deadEnd struct{}
+
+func (deadEnd) Name() string                                { return "deadend" }
+func (deadEnd) Root() sched.Workspace                       { return nullWS{} }
+func (deadEnd) Terminal(sched.Workspace, int) (int64, bool) { return 0, false }
+func (deadEnd) Moves(sched.Workspace, int) int              { return 5 }
+func (deadEnd) Apply(sched.Workspace, int, int) bool        { return false }
+func (deadEnd) Undo(sched.Workspace, int, int)              {}
+
+// thin is a tree whose every interior node has exactly one legal move —
+// a pure chain with no parallelism at all.
+type thin struct{ depth int }
+
+type thinWS struct{ d int }
+
+func (w *thinWS) Clone() sched.Workspace { c := *w; return &c }
+func (w *thinWS) Bytes() int             { return 8 }
+
+func (p thin) Name() string          { return fmt.Sprintf("thin(%d)", p.depth) }
+func (p thin) Root() sched.Workspace { return &thinWS{} }
+func (p thin) Terminal(w sched.Workspace, depth int) (int64, bool) {
+	if depth == p.depth {
+		return 1, true
+	}
+	return 0, false
+}
+func (p thin) Moves(sched.Workspace, int) int { return 3 }
+func (p thin) Apply(w sched.Workspace, depth, m int) bool {
+	if m != 1 {
+		return false // only the middle candidate is legal
+	}
+	w.(*thinWS).d++
+	return true
+}
+func (p thin) Undo(w sched.Workspace, depth, m int) { w.(*thinWS).d-- }
+
+// TestEdgePrograms: every engine must handle trees with no spawnable work.
+func TestEdgePrograms(t *testing.T) {
+	cases := []struct {
+		p    adaptivetc.Program
+		want int64
+	}{
+		{singleton{}, 7},
+		{deadEnd{}, 0},
+		{thin{depth: 40}, 1},
+	}
+	engines := append(adaptivetc.Engines(), adaptivetc.ExtensionEngines()...)
+	for _, c := range cases {
+		for _, e := range engines {
+			for _, workers := range []int{1, 3, 8} {
+				res, err := e.Run(c.p, adaptivetc.Options{Workers: workers, Seed: int64(workers)})
+				if err != nil {
+					t.Fatalf("%s/%s P=%d: %v", e.Name(), c.p.Name(), workers, err)
+				}
+				if res.Value != c.want {
+					t.Errorf("%s/%s P=%d: value %d, want %d", e.Name(), c.p.Name(), workers, res.Value, c.want)
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeProgramsRealPlatform repeats the edge cases on real goroutines:
+// thieves must terminate even when there is nothing to steal, ever.
+func TestEdgeProgramsRealPlatform(t *testing.T) {
+	engines := append(adaptivetc.Engines(), adaptivetc.ExtensionEngines()...)
+	for _, e := range engines {
+		res, err := e.Run(thin{depth: 30}, adaptivetc.Options{
+			Workers:  4,
+			Platform: adaptivetc.NewRealPlatform(2),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if res.Value != 1 {
+			t.Errorf("%s: value %d, want 1", e.Name(), res.Value)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package adaptivetc_test
+
+import (
+	"fmt"
+
+	"adaptivetc"
+	"adaptivetc/problems/fib"
+	"adaptivetc/problems/nqueens"
+	"adaptivetc/problems/synthtree"
+)
+
+// ExampleNewAdaptiveTC runs the paper's scheduler on 8-queens.
+func ExampleNewAdaptiveTC() {
+	prog := nqueens.NewArray(8)
+	res, err := adaptivetc.NewAdaptiveTC().Run(prog, adaptivetc.Options{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Value, "solutions")
+	// Output: 92 solutions
+}
+
+// ExampleEngine_comparison measures all three headline schedulers on the
+// same instance; virtual makespans are deterministic given the seed.
+func ExampleEngine_comparison() {
+	prog := fib.New(18)
+	serial, _ := adaptivetc.NewSerial().Run(prog, adaptivetc.Options{})
+	for _, e := range []adaptivetc.Engine{
+		adaptivetc.NewCilk(), adaptivetc.NewTascell(), adaptivetc.NewAdaptiveTC(),
+	} {
+		res, err := e.Run(prog, adaptivetc.Options{Workers: 8, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: correct=%v\n", e.Name(), res.Value == serial.Value)
+	}
+	// Output:
+	// cilk: correct=true
+	// tascell: correct=true
+	// adaptivetc: correct=true
+}
+
+// ExampleAnalyze inspects a search tree's shape without running a scheduler.
+func ExampleAnalyze() {
+	st := adaptivetc.Analyze(nqueens.NewArray(6), 0)
+	fmt.Printf("nodes=%d leaves=%d depth=%d\n", st.Nodes, st.Leaves, st.Depth)
+	// Output: nodes=153 leaves=50 depth=6
+}
+
+// ExampleLogCutoff shows AdaptiveTC's initial cutoff rule.
+func ExampleLogCutoff() {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		fmt.Print(adaptivetc.LogCutoff(n), " ")
+	}
+	// Output: 0 1 2 3 4
+}
+
+// Example_unbalancedTree reproduces the Table 3 generator's determinism:
+// a tree's value always equals its leaf count.
+func Example_unbalancedTree() {
+	spec := synthtree.Tree3(5000)
+	res, err := adaptivetc.NewAdaptiveTC().Run(synthtree.New(spec), adaptivetc.Options{Workers: 8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Value == spec.Size)
+	// Output: true
+}
+
+// ExampleCompileATC compiles the paper's canonical taskprivate example —
+// n-queens in the ATC mini-language — and runs it under AdaptiveTC.
+func ExampleCompileATC() {
+	prog, err := adaptivetc.CompileATC("queens", adaptivetc.ATCSources()["nqueens"],
+		map[string]int64{"n": 8})
+	if err != nil {
+		panic(err)
+	}
+	res, err := adaptivetc.NewAdaptiveTC().Run(prog, adaptivetc.Options{Workers: 8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Value, "solutions")
+	// Output: 92 solutions
+}

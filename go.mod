@@ -1,0 +1,3 @@
+module adaptivetc
+
+go 1.22

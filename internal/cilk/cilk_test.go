@@ -1,0 +1,127 @@
+package cilk
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptivetc/internal/sched"
+)
+
+// tree is a perfect k-ary tree of the given height; value = leaf count.
+type tree struct{ arity, height int }
+
+type treeWS struct {
+	depth int
+	bytes int
+}
+
+func (w *treeWS) Clone() sched.Workspace { c := *w; return &c }
+func (w *treeWS) Bytes() int             { return w.bytes }
+func (w *treeWS) CopyFrom(src sched.Workspace) {
+	*w = *(src.(*treeWS))
+}
+
+func (p tree) Name() string          { return fmt.Sprintf("tree(%d,%d)", p.arity, p.height) }
+func (p tree) Root() sched.Workspace { return &treeWS{bytes: 64} }
+func (p tree) Terminal(w sched.Workspace, depth int) (int64, bool) {
+	if depth == p.height {
+		return 1, true
+	}
+	return 0, false
+}
+func (p tree) Moves(sched.Workspace, int) int { return p.arity }
+func (p tree) Apply(w sched.Workspace, depth, m int) bool {
+	w.(*treeWS).depth++
+	return true
+}
+func (p tree) Undo(w sched.Workspace, depth, m int) { w.(*treeWS).depth-- }
+
+func leaves(arity, height int) int64 {
+	v := int64(1)
+	for i := 0; i < height; i++ {
+		v *= int64(arity)
+	}
+	return v
+}
+
+func TestValues(t *testing.T) {
+	p := tree{arity: 3, height: 7}
+	want := leaves(3, 7)
+	for _, e := range []*Engine{New(), NewSynched()} {
+		for _, workers := range []int{1, 2, 5, 8} {
+			res, err := e.Run(p, sched.Options{Workers: workers, Seed: int64(workers)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Value != want {
+				t.Errorf("%s P=%d: %d, want %d", e.Name(), workers, res.Value, want)
+			}
+		}
+	}
+}
+
+func TestEveryNodeIsATask(t *testing.T) {
+	p := tree{arity: 2, height: 8}
+	res, err := New().Run(p, sched.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := int64(1<<9 - 1) // full binary tree of height 8
+	if res.Stats.Nodes != wantNodes {
+		t.Fatalf("visited %d nodes, want %d", res.Stats.Nodes, wantNodes)
+	}
+	if res.Stats.TasksCreated != wantNodes {
+		t.Errorf("tasks %d != nodes %d: Cilk must create a task per spawn", res.Stats.TasksCreated, wantNodes)
+	}
+	// Workspace copied for every spawn = every non-root node.
+	if res.Stats.WorkspaceCopies != wantNodes-1 {
+		t.Errorf("copies %d, want %d", res.Stats.WorkspaceCopies, wantNodes-1)
+	}
+}
+
+func TestSynchedCopiesSameBytesCheaper(t *testing.T) {
+	p := tree{arity: 2, height: 10}
+	plain, err := New().Run(p, sched.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := NewSynched().Run(p, sched.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.WorkspaceBytes != pooled.Stats.WorkspaceBytes {
+		t.Errorf("bytes copied differ: %d vs %d (SYNCHED must still copy the data)",
+			plain.Stats.WorkspaceBytes, pooled.Stats.WorkspaceBytes)
+	}
+	if pooled.Makespan >= plain.Makespan {
+		t.Errorf("SYNCHED makespan %d not below plain Cilk %d (allocation saving missing)",
+			pooled.Makespan, plain.Makespan)
+	}
+}
+
+func TestStealsHappenAndBalance(t *testing.T) {
+	p := tree{arity: 4, height: 8}
+	res, err := New().Run(p, sched.Options{Workers: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Steals == 0 {
+		t.Fatal("no steals with 8 workers on a wide tree")
+	}
+	// On a zero-work tree Cilk's absolute speedup is overhead-bound, so
+	// measure scalability against its own one-worker run.
+	one, err := New().Run(p, sched.Options{Workers: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaling := float64(one.Makespan) / float64(res.Makespan)
+	if scaling < 4 {
+		t.Errorf("self-scaling %.2f with 8 workers: load balancing broken", scaling)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if New().Name() != "cilk" || NewSynched().Name() != "cilk-synched" {
+		t.Fatal("engine names changed")
+	}
+}

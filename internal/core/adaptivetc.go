@@ -1,0 +1,278 @@
+// Package core implements AdaptiveTC, the paper's adaptive task creation
+// strategy for work-stealing scheduling (Section 3) as the five compiled
+// code versions of Section 4.2:
+//
+//	fast      depth < cutoff: create real tasks (clone the taskprivate
+//	          workspace, push the continuation frame); at the cutoff it
+//	          falls through to check without pushing anything.
+//	check     a fake task: plain recursion that ignores taskprivate but
+//	          polls need_task once at entry (the latch in Appendix C).
+//	          When the flag is up it creates one special task for the
+//	          current node and runs every remaining child through fast_2
+//	          with its depth reset to 0, re-pushing the special marker
+//	          around each child so thieves can reach the child's tasks.
+//	fast_2    like fast with twice the cutoff, falling through to sequence
+//	          (not check) beyond it.
+//	sequence  a plain recursive function. taskprivate is ignored.
+//	slow      the entry point of every stolen task: restores the saved PC,
+//	          partial sum and workspace and continues the interrupted spawn
+//	          loop in its original flavour.
+//
+// The cutoff is ⌈log2 N⌉ for N workers. A thief that fails to steal bumps
+// the victim's stolen_num; past max_stolen_num (default 20) the victim's
+// need_task flag goes up, and a successful steal clears both — the
+// signalling of Figure 3(d)/(e), implemented inside internal/deque.
+//
+// Special tasks are never stolen and never suspended: at the sync point
+// their owner waits (sync_specialtask, a sleep-poll loop like the paper's
+// usleep(100) loop in Figure 3(c)) because the fake task whose state the
+// marker preserves lives on the owner's execution stack and could not be
+// resumed by anyone else.
+package core
+
+import (
+	"fmt"
+
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/wsrt"
+)
+
+// Engine is the AdaptiveTC scheduler.
+type Engine struct{}
+
+// New returns an AdaptiveTC engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements sched.Engine.
+func (*Engine) Name() string { return "adaptivetc" }
+
+// Run implements sched.Engine.
+func (e *Engine) Run(p sched.Program, opt sched.Options) (sched.Result, error) {
+	n := opt.WorkersOrDefault()
+	cut := opt.CutoffFor(n)
+	cut2 := cut * opt.Fast2MultiplierOrDefault()
+	if cut2 < cut {
+		cut2 = cut
+	}
+	return wsrt.Run(p, opt, func(rt *wsrt.Runtime) wsrt.Engine {
+		return &exec{cutoff: cut, cutoff2: cut2}
+	}, e.Name())
+}
+
+type exec struct {
+	cutoff  int // fast → check transition depth (⌈log2 N⌉)
+	cutoff2 int // fast_2 → sequence transition depth (2×cutoff)
+}
+
+// Root implements wsrt.Engine: the root task starts in the fast version at
+// depth 0.
+func (x *exec) Root(w *wsrt.Worker) (int64, bool) {
+	return x.fastNode(w, nil, w.Prog().Root(), 0)
+}
+
+// Resume implements wsrt.Engine: the slow version. The frame's kind decides
+// which spawn loop the continuation belongs to.
+func (x *exec) Resume(w *wsrt.Worker, f *wsrt.Frame) (int64, bool) {
+	switch f.Kind {
+	case wsrt.KindFast:
+		return x.fastLoop(w, f, f.PC, f.Sum)
+	case wsrt.KindFast2:
+		return x.fast2Loop(w, f, f.PC, f.Sum)
+	default:
+		panic(fmt.Sprintf("adaptivetc: resumed frame of kind %d (special tasks cannot be stolen)", f.Kind))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// fast version
+
+func (x *exec) fastNode(w *wsrt.Worker, parent *wsrt.Frame, ws sched.Workspace, depth int) (int64, bool) {
+	if depth >= x.cutoff {
+		return x.checkNode(w, ws, depth), true
+	}
+	w.BeginNode(ws, depth)
+	w.ChargeTask()
+	if v, term := w.Prog().Terminal(ws, depth); term {
+		return v, true
+	}
+	f := w.NewFrame(parent, ws, depth, depth, wsrt.KindFast)
+	return x.fastLoop(w, f, 0, 0)
+}
+
+func (x *exec) fastLoop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64, bool) {
+	prog := w.Prog()
+	ws, depth := f.WS, f.Depth
+	n := prog.Moves(ws, depth)
+	for m := pc; m < n; m++ {
+		w.ChargeMove()
+		if !prog.Apply(ws, depth, m) {
+			continue
+		}
+		childWS := w.Clone(ws) // taskprivate: allocate and copy for the child
+		prog.Undo(ws, depth, m)
+		f.PC, f.Sum = m+1, sum
+		w.Push(f)
+		v, completed := x.fastNode(w, f, childWS, depth+1)
+		if !completed {
+			return 0, false
+		}
+		if _, ok := w.Pop(); !ok {
+			w.Deposit(f, v)
+			return 0, false
+		}
+		sum += v
+	}
+	total, out := f.Sync(sum)
+	if out == wsrt.SyncSuspended {
+		w.Stats.Suspends++
+		return 0, false
+	}
+	return total, true
+}
+
+// ---------------------------------------------------------------------------
+// check version (fake task)
+
+func (x *exec) checkNode(w *wsrt.Worker, ws sched.Workspace, depth int) int64 {
+	w.BeginNode(ws, depth)
+	w.Stats.FakeTasks++
+	prog := w.Prog()
+	if v, term := prog.Terminal(ws, depth); term {
+		return v
+	}
+	// Poll the need_task flag once at entry — the _adpTC_need_task latch of
+	// Appendix C. Each recursive checkNode re-reads it at its own entry.
+	t0 := w.Proc.Now()
+	w.Proc.Advance(w.Costs().FlagPoll)
+	w.Stats.Polls++
+	needTask := w.Deque.NeedTask()
+	w.AddPoll(w.Proc.Now() - t0)
+
+	if !needTask {
+		var sum int64
+		n := prog.Moves(ws, depth)
+		for m := 0; m < n; m++ {
+			w.ChargeMove()
+			if !prog.Apply(ws, depth, m) {
+				continue
+			}
+			sum += x.checkNode(w, ws, depth+1)
+			prog.Undo(ws, depth, m)
+		}
+		return sum
+	}
+	return x.specialNode(w, ws, depth)
+}
+
+// specialNode is the need_task branch of the check version: a special task
+// is created for the current fake task, pushed around each remaining child,
+// and the children run as fast_2 with depth reset to 0 so their subtrees
+// re-open for stealing.
+func (x *exec) specialNode(w *wsrt.Worker, ws sched.Workspace, depth int) int64 {
+	prog := w.Prog()
+	w.ChargeTask()
+	s := w.NewFrame(nil, ws, depth, depth, wsrt.KindSpecial)
+	var sum int64
+	anyStolen := false
+	n := prog.Moves(ws, depth)
+	for m := 0; m < n; m++ {
+		w.ChargeMove()
+		if !prog.Apply(ws, depth, m) {
+			continue
+		}
+		childWS := w.Clone(ws) // taskprivate honoured in the special path
+		prog.Undo(ws, depth, m)
+		s.PC, s.Sum = m+1, sum
+		w.Push(s)
+		// The child's cutoff-relative depth restarts at 0 so its subtree
+		// re-opens for task creation; its tree depth keeps counting.
+		v, completed := x.fast2Node(w, s, childWS, depth+1, 0)
+		stolen := w.PopSpecial()
+		switch {
+		case completed && !stolen:
+			sum += v
+		case !completed && stolen:
+			// The child's task chain was taken over a thief; its total will
+			// be deposited into the special frame by the chain's finaliser.
+			s.ExpectDeposit()
+			anyStolen = true
+		case completed && stolen:
+			panic("adaptivetc: special child completed inline but marked stolen")
+		default:
+			panic("adaptivetc: special child detached without the marker observing a theft")
+		}
+	}
+	if anyStolen {
+		// sync_specialtask: the special task waits for its children — it
+		// cannot be suspended, because it preserves the state of a fake
+		// task living on this worker's execution stack.
+		t0 := w.Proc.Now()
+		for {
+			total, done := s.DrainedAfter(sum)
+			if done {
+				sum = total
+				break
+			}
+			w.Proc.Sleep(w.Costs().WaitTick)
+		}
+		w.AddWait(w.Proc.Now() - t0)
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------------------
+// fast_2 version
+
+func (x *exec) fast2Node(w *wsrt.Worker, parent *wsrt.Frame, ws sched.Workspace, depth, rel int) (int64, bool) {
+	if rel >= x.cutoff2 {
+		return x.sequenceNode(w, ws, depth), true
+	}
+	w.BeginNode(ws, depth)
+	w.ChargeTask()
+	if v, term := w.Prog().Terminal(ws, depth); term {
+		return v, true
+	}
+	f := w.NewFrame(parent, ws, depth, rel, wsrt.KindFast2)
+	return x.fast2Loop(w, f, 0, 0)
+}
+
+func (x *exec) fast2Loop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64, bool) {
+	prog := w.Prog()
+	ws, depth := f.WS, f.Depth
+	n := prog.Moves(ws, depth)
+	for m := pc; m < n; m++ {
+		w.ChargeMove()
+		if !prog.Apply(ws, depth, m) {
+			continue
+		}
+		childWS := w.Clone(ws)
+		prog.Undo(ws, depth, m)
+		f.PC, f.Sum = m+1, sum
+		w.Push(f)
+		v, completed := x.fast2Node(w, f, childWS, depth+1, f.Rel+1)
+		if !completed {
+			return 0, false
+		}
+		if _, ok := w.Pop(); !ok {
+			w.Deposit(f, v)
+			return 0, false
+		}
+		sum += v
+	}
+	total, out := f.Sync(sum)
+	if out == wsrt.SyncSuspended {
+		w.Stats.Suspends++
+		return 0, false
+	}
+	return total, true
+}
+
+// ---------------------------------------------------------------------------
+// sequence version
+
+func (x *exec) sequenceNode(w *wsrt.Worker, ws sched.Workspace, depth int) int64 {
+	before := w.Stats.Nodes
+	v := sched.EvalSequential(w.Prog(), ws, depth, w.Costs(), w.Proc, &w.Stats)
+	w.Stats.FakeTasks += w.Stats.Nodes - before
+	return v
+}

@@ -1,0 +1,146 @@
+package cutoff
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptivetc/internal/sched"
+)
+
+// spine hides most of the work below the cut-off: a chain of the given
+// length where every node also has a small bushy side subtree.
+type spine struct{ length, bushHeight int }
+
+type spineWS struct{ stack []int32 }
+
+func (w *spineWS) Clone() sched.Workspace {
+	return &spineWS{stack: append([]int32(nil), w.stack...)}
+}
+func (w *spineWS) Bytes() int { return 48 }
+
+// encoding: values ≥ 0 are spine positions; values < 0 encode remaining
+// bush height -v-1.
+func (p spine) Name() string          { return fmt.Sprintf("spine(%d,%d)", p.length, p.bushHeight) }
+func (p spine) Root() sched.Workspace { return &spineWS{stack: []int32{0}} }
+func (p spine) Terminal(w sched.Workspace, depth int) (int64, bool) {
+	s := w.(*spineWS)
+	top := s.stack[len(s.stack)-1]
+	if top >= 0 && int(top) >= p.length {
+		return 1, true
+	}
+	if top < 0 && int(-top-1) == 0 {
+		return 1, true
+	}
+	return 0, false
+}
+func (p spine) Moves(sched.Workspace, int) int { return 2 }
+func (p spine) Apply(w sched.Workspace, depth, m int) bool {
+	s := w.(*spineWS)
+	top := s.stack[len(s.stack)-1]
+	var child int32
+	if top >= 0 {
+		if m == 0 {
+			child = top + 1 // continue the spine
+		} else {
+			child = int32(-p.bushHeight - 1) // enter a bush
+		}
+	} else {
+		child = top + 1 // descend the bush (height decreases)
+	}
+	s.stack = append(s.stack, child)
+	return true
+}
+func (p spine) Undo(w sched.Workspace, depth, m int) {
+	s := w.(*spineWS)
+	s.stack = s.stack[:len(s.stack)-1]
+}
+
+func serialOf(t *testing.T, p sched.Program) sched.Result {
+	t.Helper()
+	res, err := sched.Serial{}.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestValuesBothVariants(t *testing.T) {
+	p := spine{length: 300, bushHeight: 5}
+	want := serialOf(t, p).Value
+	for _, e := range []*Engine{NewProgrammer(), NewLibrary()} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			opt := sched.Options{Workers: workers, Cutoff: 4, Seed: int64(workers)}
+			res, err := e.Run(p, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Value != want {
+				t.Errorf("%s P=%d: %d, want %d", e.Name(), workers, res.Value, want)
+			}
+		}
+	}
+}
+
+func TestNoTasksBelowCutoff(t *testing.T) {
+	p := spine{length: 100, bushHeight: 4}
+	res, err := NewProgrammer().Run(p, sched.Options{Workers: 4, Cutoff: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes above depth 3 in this program: at most 2^0+2^1+2^2 = 7.
+	if res.Stats.TasksCreated > 7 {
+		t.Errorf("created %d tasks with cutoff 3, want ≤ 7", res.Stats.TasksCreated)
+	}
+}
+
+func TestLibraryStillCopiesBelowCutoff(t *testing.T) {
+	p := spine{length: 60, bushHeight: 4}
+	prog, err := NewProgrammer().Run(p, sched.Options{Workers: 2, Cutoff: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := NewLibrary().Run(p, sched.Options{Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Stats.WorkspaceCopies <= prog.Stats.WorkspaceCopies {
+		t.Errorf("library copies %d not above programmer copies %d — 'the cost of workspace copying cannot be reduced'",
+			lib.Stats.WorkspaceCopies, prog.Stats.WorkspaceCopies)
+	}
+}
+
+// TestStarvation: with the whole spine hidden below the cut-off, adding
+// workers cannot help much — the defining weakness of Figure 9.
+func TestStarvation(t *testing.T) {
+	p := spine{length: 2000, bushHeight: 2}
+	serial := serialOf(t, p)
+	res2, err := NewProgrammer().Run(p, sched.Options{Workers: 2, Cutoff: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res8, err := NewProgrammer().Run(p, sched.Options{Workers: 8, Cutoff: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := float64(serial.Makespan) / float64(res2.Makespan)
+	s8 := float64(serial.Makespan) / float64(res8.Makespan)
+	t.Logf("speedup: 2 workers %.2f, 8 workers %.2f", s2, s8)
+	if s8 > s2*2 {
+		t.Errorf("8 workers gave %.2f vs %.2f at 2 — cutoff should starve on a spine", s8, s2)
+	}
+}
+
+func TestProgrammerCutoffFromOptions(t *testing.T) {
+	p := spine{length: 40, bushHeight: 6}
+	shallow, _ := NewProgrammer().Run(p, sched.Options{Workers: 2, Cutoff: 1, Seed: 2})
+	deep, _ := NewProgrammer().Run(p, sched.Options{Workers: 2, Cutoff: 6, Seed: 2})
+	if deep.Stats.TasksCreated <= shallow.Stats.TasksCreated {
+		t.Errorf("cutoff 6 made %d tasks, cutoff 1 made %d", deep.Stats.TasksCreated, shallow.Stats.TasksCreated)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewProgrammer().Name() != "cutoff-programmer" || NewLibrary().Name() != "cutoff-library" {
+		t.Fatal("engine names changed")
+	}
+}

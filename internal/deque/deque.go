@@ -1,0 +1,257 @@
+// Package deque implements the work-stealing double-ended queue used by the
+// Cilk, cutoff and AdaptiveTC engines, following the simplified THE protocol
+// of the paper's Figure 3: the owner pushes and pops at the tail T without a
+// lock on the fast path, thieves take from the head H under the owner's
+// lock, and the owner falls back to the lock when H and T collide.
+//
+// The deque also carries the paper's starvation signal: a thief that fails
+// to steal increments the victim's stolen_num, and once it passes
+// max_stolen_num the victim's need_task flag is raised; a successful steal
+// clears both (Figure 3(d)/(e)).
+//
+// Special tasks (the AdaptiveTC transition markers) can never be stolen.
+// When the head of a deque is a special task a thief executes
+// steal_specialtask, which skips over the marker and takes the special
+// task's child instead (H += 2); the owner's PopSpecial detects the theft by
+// finding H beyond T and re-normalises H = T, keeping the never-stealable
+// marker logically at the head (Figure 3(b)/(e)).
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Entry is an element of a deque. Engines store task frames; the deque only
+// needs to know whether an entry is a special task.
+type Entry interface {
+	// Special reports whether this entry is an AdaptiveTC special task.
+	Special() bool
+}
+
+// WorkDeque is the owner/thief operation set the scheduling engines need.
+// The fixed-size Deque implements it directly; Growable removes the
+// overflow limit.
+type WorkDeque interface {
+	// Push appends at the tail (owner only); false reports overflow.
+	Push(Entry) bool
+	// Pop removes the tail entry (owner only).
+	Pop() (Entry, bool)
+	// PopSpecial removes the owner's special marker, reporting child theft.
+	PopSpecial() bool
+	// Steal takes from the head on behalf of a thief.
+	Steal() (Entry, bool)
+	// NeedTask reports the paper's need_task starvation flag.
+	NeedTask() bool
+	// SetNeedTask overrides the flag (tests, ablations).
+	SetNeedTask(bool)
+	// StolenNum returns the failed-steal counter.
+	StolenNum() int64
+	// MaxDepth returns the owner-observed size high-water mark.
+	MaxDepth() int64
+	// Cap returns the (current) capacity.
+	Cap() int
+	// Size returns the owner-visible entry count.
+	Size() int
+}
+
+// StealAware entries are notified of a successful steal while the thief
+// still holds the victim's lock. The work-stealing runtime uses this to
+// register the deposit the old executor will make after its failed pop:
+// the pop's failure path takes the same lock, so the notification is
+// ordered before the deposit.
+type StealAware interface {
+	OnStolen()
+}
+
+// Deque is a fixed-capacity THE-protocol work-stealing deque. The zero
+// value is not usable; call New.
+type Deque struct {
+	mu  sync.Mutex // the paper's worker.L
+	h   atomic.Int64
+	t   atomic.Int64
+	buf []atomic.Pointer[entryBox]
+	cap int64
+
+	stolenNum    atomic.Int64
+	needTask     atomic.Bool
+	maxStolenNum int64
+
+	// maxDepth is the owner-observed high-water mark of T-H.
+	maxDepth int64
+}
+
+type entryBox struct{ e Entry }
+
+// New returns a deque with the given capacity and max_stolen_num threshold.
+func New(capacity, maxStolenNum int) *Deque {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	if maxStolenNum <= 0 {
+		maxStolenNum = 20
+	}
+	return &Deque{
+		buf:          makeBuf(capacity),
+		cap:          int64(capacity),
+		maxStolenNum: int64(maxStolenNum),
+	}
+}
+
+func makeBuf(n int) []atomic.Pointer[entryBox] {
+	return make([]atomic.Pointer[entryBox], n)
+}
+
+// Cap returns the deque capacity.
+func (d *Deque) Cap() int { return int(d.cap) }
+
+// Size returns the current number of entries as seen by the owner. It is a
+// snapshot; concurrent steals may shrink it immediately.
+func (d *Deque) Size() int {
+	n := d.t.Load() - d.h.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// MaxDepth returns the owner-observed high-water mark of the deque size.
+func (d *Deque) MaxDepth() int64 { return d.maxDepth }
+
+// NeedTask reports whether starving thieves have raised the need_task flag.
+func (d *Deque) NeedTask() bool { return d.needTask.Load() }
+
+// SetNeedTask overrides the flag (used by tests and ablations).
+func (d *Deque) SetNeedTask(v bool) { d.needTask.Store(v) }
+
+// StolenNum returns the current failed-steal counter.
+func (d *Deque) StolenNum() int64 { return d.stolenNum.Load() }
+
+// Push appends e at the tail. Only the owner may call it. It reports false
+// on overflow (the deque is a fixed-size array, as in Cilk; the paper calls
+// out overflow-proneness explicitly, so we surface it rather than grow).
+//
+// Two slots of slack are reserved: a thief publishes its claim (H move)
+// before reading the claimed slot, and steal_specialtask claims two slots
+// at once, so without the slack a burst of pushes could lap the ring and
+// overwrite a claimed-but-unread slot.
+func (d *Deque) Push(e Entry) bool {
+	t := d.t.Load()
+	h := d.h.Load()
+	if t-h >= d.cap-2 {
+		return false
+	}
+	d.buf[t%d.cap].Store(&entryBox{e: e})
+	d.t.Store(t + 1) // release: publishes the buffer write to thieves
+	if depth := t + 1 - h; depth > d.maxDepth {
+		d.maxDepth = depth
+	}
+	return true
+}
+
+// Pop removes and returns the tail entry. Only the owner may call it.
+// It returns (nil, false) when the deque is empty or the tail entry has
+// been stolen; in that case the deque has been re-normalised to empty.
+// This is Figure 3(a) with the failure path additionally restoring T = H so
+// that subsequent pushes are well defined.
+func (d *Deque) Pop() (Entry, bool) {
+	t := d.t.Load() - 1
+	d.t.Store(t) // the MEMBAR of the figure: sequentially consistent store
+	h := d.h.Load()
+	if h > t {
+		d.t.Store(t + 1)
+		d.mu.Lock()
+		t = d.t.Load() - 1
+		d.t.Store(t)
+		h = d.h.Load()
+		if h > t {
+			d.t.Store(h) // normalise empty
+			d.mu.Unlock()
+			return nil, false
+		}
+		d.mu.Unlock()
+	}
+	box := d.buf[t%d.cap].Load()
+	return box.e, true
+}
+
+// PopSpecial removes the special task the owner pushed at the tail and
+// reports whether any of its child tasks were stolen in the meantime
+// (Figure 3(b)). stolen is meaningful only on the failure path: success
+// (found==true, stolen==false) means no child was taken; found==true,
+// stolen==true means a thief skipped over the marker and H has been reset
+// to T. In both cases the special entry is removed.
+func (d *Deque) PopSpecial() (stolen bool) {
+	d.mu.Lock()
+	t := d.t.Load() - 1
+	d.t.Store(t)
+	if d.h.Load() > t {
+		d.h.Store(t) // re-normalise: the marker stays owned by the victim
+		d.mu.Unlock()
+		return true
+	}
+	d.mu.Unlock()
+	return false
+}
+
+// Steal attempts to take the head entry on behalf of a thief, implementing
+// both Figure 3(d) and (e): if the head is a special task its child is
+// taken instead (or the attempt fails if the special task has no child in
+// the deque). On failure the victim's stolen_num is incremented and
+// need_task may be raised; on success both are cleared.
+//
+// The claim must be published (H moved) *before* T is consulted and before
+// the entry is read — the Dekker-style ordering against the owner's Pop is
+// what makes the protocol safe. Entries are therefore read only from slots
+// the thief has already claimed.
+func (d *Deque) Steal() (Entry, bool) {
+	d.mu.Lock()
+	h := d.h.Load()
+	// Claim the head slot: H++, MEMBAR, then check against T.
+	d.h.Store(h + 1)
+	t := d.t.Load()
+	if h+1 > t {
+		d.h.Store(h)
+		d.failLocked()
+		d.mu.Unlock()
+		return nil, false
+	}
+	box := d.buf[h%d.cap].Load()
+	if !box.e.Special() {
+		if sa, ok := box.e.(StealAware); ok {
+			sa.OnStolen()
+		}
+		d.stolenNum.Store(0)
+		d.needTask.Store(false)
+		d.mu.Unlock()
+		return box.e, true
+	}
+	// steal_specialtask: the marker can never be stolen. Re-claim with
+	// H += 2 and take the special task's child at h+1. The marker slot is
+	// protected while we hold the lock: the owner can only remove it via
+	// PopSpecial (which locks) or a tail Pop that collides with our claim
+	// (which falls back to the lock), so re-reading it was safe.
+	d.h.Store(h + 2)
+	t = d.t.Load()
+	if h+2 > t {
+		d.h.Store(h)
+		d.failLocked()
+		d.mu.Unlock()
+		return nil, false
+	}
+	child := d.buf[(h+1)%d.cap].Load()
+	if sa, ok := child.e.(StealAware); ok {
+		sa.OnStolen()
+	}
+	d.stolenNum.Store(0)
+	d.needTask.Store(false)
+	d.mu.Unlock()
+	return child.e, true
+}
+
+func (d *Deque) failLocked() {
+	n := d.stolenNum.Add(1)
+	if n > d.maxStolenNum {
+		d.needTask.Store(true)
+	}
+}

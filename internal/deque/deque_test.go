@@ -1,0 +1,301 @@
+package deque
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// entry is a plain stealable item.
+type entry struct {
+	id      int
+	special bool
+	stolen  atomic.Int64
+}
+
+func (e *entry) Special() bool { return e.special }
+func (e *entry) OnStolen()     { e.stolen.Add(1) }
+
+func item(id int) *entry        { return &entry{id: id} }
+func specialItem(id int) *entry { return &entry{id: id, special: true} }
+
+func TestPushPopLIFO(t *testing.T) {
+	d := New(16, 20)
+	for i := 0; i < 10; i++ {
+		if !d.Push(item(i)) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if got := d.Size(); got != 10 {
+		t.Fatalf("size = %d, want 10", got)
+	}
+	for i := 9; i >= 0; i-- {
+		e, ok := d.Pop()
+		if !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		if e.(*entry).id != i {
+			t.Fatalf("pop returned %d, want %d", e.(*entry).id, i)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+}
+
+func TestStealFIFO(t *testing.T) {
+	d := New(16, 20)
+	for i := 0; i < 5; i++ {
+		d.Push(item(i))
+	}
+	for i := 0; i < 5; i++ {
+		e, ok := d.Steal()
+		if !ok {
+			t.Fatalf("steal %d failed", i)
+		}
+		if e.(*entry).id != i {
+			t.Fatalf("steal returned %d, want %d (head order)", e.(*entry).id, i)
+		}
+		if e.(*entry).stolen.Load() != 1 {
+			t.Fatalf("OnStolen not called exactly once for %d", i)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("steal from empty deque succeeded")
+	}
+}
+
+func TestOverflow(t *testing.T) {
+	d := New(6, 20) // effective capacity 4: two slots reserved for claims
+	for i := 0; i < 4; i++ {
+		if !d.Push(item(i)) {
+			t.Fatalf("push %d failed before capacity", i)
+		}
+	}
+	if d.Push(item(4)) {
+		t.Fatal("push beyond capacity succeeded")
+	}
+	// Draining one slot re-enables pushing.
+	if _, ok := d.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if !d.Push(item(5)) {
+		t.Fatal("push after pop failed")
+	}
+}
+
+func TestNeedTaskSignalling(t *testing.T) {
+	d := New(8, 3) // max_stolen_num = 3
+	for i := 0; i < 3; i++ {
+		if _, ok := d.Steal(); ok {
+			t.Fatal("steal from empty deque succeeded")
+		}
+	}
+	if d.NeedTask() {
+		t.Fatal("need_task raised at stolen_num == max_stolen_num")
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("steal from empty deque succeeded")
+	}
+	if !d.NeedTask() {
+		t.Fatal("need_task not raised past max_stolen_num")
+	}
+	// A successful steal clears both counters.
+	d.Push(item(1))
+	if _, ok := d.Steal(); !ok {
+		t.Fatal("steal failed")
+	}
+	if d.NeedTask() || d.StolenNum() != 0 {
+		t.Fatalf("steal success did not clear signalling: need=%v num=%d", d.NeedTask(), d.StolenNum())
+	}
+}
+
+func TestSpecialNeverStolen(t *testing.T) {
+	d := New(8, 20)
+	s := specialItem(0)
+	d.Push(s)
+	// Alone in the deque: steal_specialtask must fail (no child).
+	if _, ok := d.Steal(); ok {
+		t.Fatal("stole a lone special task")
+	}
+	// With a child above it, the child is taken instead.
+	c := item(1)
+	d.Push(c)
+	e, ok := d.Steal()
+	if !ok {
+		t.Fatal("steal_specialtask failed with a child present")
+	}
+	if e.(*entry) != c {
+		t.Fatalf("steal_specialtask returned %d, want the child", e.(*entry).id)
+	}
+	if s.stolen.Load() != 0 {
+		t.Fatal("special task's OnStolen fired")
+	}
+	// The owner discovers the theft via PopSpecial.
+	if stolen := d.PopSpecial(); !stolen {
+		t.Fatal("PopSpecial did not report the stolen child")
+	}
+}
+
+func TestPopSpecialClean(t *testing.T) {
+	d := New(8, 20)
+	s := specialItem(0)
+	d.Push(s)
+	d.Push(item(1))
+	if _, ok := d.Pop(); !ok {
+		t.Fatal("pop of child failed")
+	}
+	if stolen := d.PopSpecial(); stolen {
+		t.Fatal("PopSpecial reported theft with none")
+	}
+	if d.Size() != 0 {
+		t.Fatalf("size = %d after PopSpecial, want 0", d.Size())
+	}
+	// The cycle repeats: push special + child again.
+	d.Push(s)
+	d.Push(item(2))
+	if e, ok := d.Pop(); !ok || e.(*entry).id != 2 {
+		t.Fatal("second cycle pop failed")
+	}
+	if d.PopSpecial() {
+		t.Fatal("second cycle PopSpecial reported theft")
+	}
+}
+
+// TestConcurrentStealPop hammers one owner against many thieves and checks
+// that every pushed entry is consumed exactly once — the THE-protocol
+// linearizability property. Run with -race.
+func TestConcurrentStealPop(t *testing.T) {
+	const (
+		items   = 20000
+		thieves = 4
+	)
+	d := New(64, 20)
+	var consumed sync.Map
+	var popped, stolenCount atomic.Int64
+	record := func(e Entry, by string) {
+		if _, dup := consumed.LoadOrStore(e.(*entry).id, by); dup {
+			t.Errorf("entry %d consumed twice", e.(*entry).id)
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					// Drain whatever remains after the owner finished.
+					for {
+						e, ok := d.Steal()
+						if !ok {
+							return
+						}
+						record(e, "thief")
+						stolenCount.Add(1)
+					}
+				default:
+				}
+				if e, ok := d.Steal(); ok {
+					record(e, "thief")
+					stolenCount.Add(1)
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(7))
+	next := 0
+	live := 0
+	for next < items {
+		if live < 48 && (live == 0 || rng.Intn(2) == 0) {
+			if d.Push(item(next)) {
+				next++
+				live++
+			}
+			continue
+		}
+		if e, ok := d.Pop(); ok {
+			record(e, "owner")
+			popped.Add(1)
+		}
+		// Whether the pop succeeded or not, entries may also vanish to
+		// thieves; recompute the live estimate from the deque itself.
+		live = d.Size()
+	}
+	for {
+		e, ok := d.Pop()
+		if !ok {
+			break
+		}
+		record(e, "owner")
+		popped.Add(1)
+	}
+	close(done)
+	wg.Wait()
+	total := popped.Load() + stolenCount.Load()
+	count := 0
+	consumed.Range(func(_, _ any) bool { count++; return true })
+	if count != items {
+		t.Fatalf("consumed %d distinct entries, want %d (popped=%d stolen=%d)",
+			count, items, popped.Load(), stolenCount.Load())
+	}
+	if total != items {
+		t.Fatalf("consumed %d total, want %d", total, items)
+	}
+}
+
+// TestQuickOwnerSequence drives random single-threaded op sequences and
+// checks the deque against a simple slice model.
+func TestQuickOwnerSequence(t *testing.T) {
+	f := func(ops []byte) bool {
+		d := New(32, 20)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				ok := d.Push(item(next))
+				wantOK := len(model) < 30 // capacity 32 minus claim slack
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+					next++
+				}
+			case 1: // pop
+				e, ok := d.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if e.(*entry).id != want {
+						return false
+					}
+				}
+			case 2: // steal
+				e, ok := d.Steal()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[0]
+					model = model[1:]
+					if e.(*entry).id != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

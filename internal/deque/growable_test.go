@@ -1,0 +1,130 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+var _ WorkDeque = (*Deque)(nil)
+var _ WorkDeque = (*Growable)(nil)
+
+func TestGrowablePushNeverOverflows(t *testing.T) {
+	g := NewGrowable(8, 20)
+	for i := 0; i < 10000; i++ {
+		if !g.Push(item(i)) {
+			t.Fatalf("push %d failed on a growable deque", i)
+		}
+	}
+	if g.Cap() < 10000 {
+		t.Fatalf("capacity %d after 10000 pushes", g.Cap())
+	}
+	for i := 9999; i >= 0; i-- {
+		e, ok := g.Pop()
+		if !ok || e.(*entry).id != i {
+			t.Fatalf("pop %d: got %v,%v", i, e, ok)
+		}
+	}
+}
+
+func TestGrowableKeepsWindowAcrossGrowth(t *testing.T) {
+	g := NewGrowable(8, 20)
+	// Interleave so the live window straddles a wrap point when growth hits.
+	next := 0
+	for i := 0; i < 5; i++ {
+		g.Push(item(next))
+		next++
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := g.Steal(); !ok {
+			t.Fatal("steal failed")
+		}
+	}
+	for i := 0; i < 40; i++ { // forces growth with h=3 offset
+		g.Push(item(next))
+		next++
+	}
+	// FIFO via steals must resume exactly at id 3.
+	for want := 3; want < next; want++ {
+		e, ok := g.Steal()
+		if !ok {
+			t.Fatalf("steal for id %d failed", want)
+		}
+		if e.(*entry).id != want {
+			t.Fatalf("steal got %d, want %d", e.(*entry).id, want)
+		}
+	}
+}
+
+func TestGrowableSpecialSemantics(t *testing.T) {
+	g := NewGrowable(8, 20)
+	s := specialItem(0)
+	g.Push(s)
+	if _, ok := g.Steal(); ok {
+		t.Fatal("stole a lone special")
+	}
+	g.Push(item(1))
+	if e, ok := g.Steal(); !ok || e.(*entry).id != 1 {
+		t.Fatal("steal_specialtask failed across growable")
+	}
+	if !g.PopSpecial() {
+		t.Fatal("PopSpecial missed the theft")
+	}
+}
+
+func TestGrowableConcurrentStress(t *testing.T) {
+	const items = 30000
+	g := NewGrowable(8, 20)
+	var consumed sync.Map
+	var count atomic.Int64
+	record := func(e Entry) {
+		if _, dup := consumed.LoadOrStore(e.(*entry).id, true); dup {
+			t.Errorf("entry %d consumed twice", e.(*entry).id)
+		}
+		count.Add(1)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if e, ok := g.Steal(); ok {
+					record(e)
+				}
+				select {
+				case <-done:
+					for {
+						e, ok := g.Steal()
+						if !ok {
+							return
+						}
+						record(e)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		g.Push(item(i))
+		if i%3 == 0 {
+			if e, ok := g.Pop(); ok {
+				record(e)
+			}
+		}
+	}
+	for {
+		e, ok := g.Pop()
+		if !ok {
+			break
+		}
+		record(e)
+	}
+	close(done)
+	wg.Wait()
+	if count.Load() != items {
+		t.Fatalf("consumed %d, want %d", count.Load(), items)
+	}
+}

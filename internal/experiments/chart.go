@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// renderBar draws one stacked percentage bar in the idiom of the paper's
+// Figures 6 and 7: one character per 2%, a letter per phase.
+func renderBar(w io.Writer, label string, segments []struct {
+	mark byte
+	pct  float64
+}) {
+	var bar strings.Builder
+	total := 0.0
+	for _, seg := range segments {
+		n := int(seg.pct/2 + 0.5)
+		for i := 0; i < n; i++ {
+			bar.WriteByte(seg.mark)
+		}
+		total += seg.pct
+	}
+	fmt.Fprintf(w, "  %-16s |%-50s| %5.1f%%\n", label, bar.String(), total)
+}
+
+// renderChart draws an ASCII line chart of speedup-vs-threads series, one
+// mark per engine, in the visual idiom of the paper's figures. Rows are
+// speedup bands from the top down; the ideal linear-speedup diagonal is
+// drawn with '.' for reference.
+func renderChart(w io.Writer, threads []int, rows []series) {
+	if len(rows) == 0 || len(threads) == 0 {
+		return
+	}
+	marks := []byte{'A', 'C', 'S', 'T', 'o', 'x', '+', '*'}
+	// Assign stable marks by engine name so charts are comparable.
+	markFor := func(name string) byte {
+		switch name {
+		case "adaptivetc":
+			return 'A'
+		case "cilk":
+			return 'C'
+		case "cilk-synched":
+			return 'S'
+		case "tascell":
+			return 'T'
+		case "cutoff-programmer":
+			return 'P'
+		case "cutoff-library":
+			return 'L'
+		case "helpfirst":
+			return 'H'
+		case "slaw":
+			return 'W'
+		}
+		return marks[len(name)%len(marks)]
+	}
+
+	maxV := float64(threads[len(threads)-1])
+	for _, r := range rows {
+		for _, v := range r.values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	const height = 12
+	colWidth := 6
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", colWidth*len(threads)+2))
+	}
+	rowOf := func(v float64) int {
+		r := height - 1 - int(v/maxV*float64(height-1)+0.5)
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	// Ideal linear speedup reference.
+	for i, t := range threads {
+		grid[rowOf(float64(t))][i*colWidth+colWidth/2] = '.'
+	}
+	for _, r := range rows {
+		m := markFor(r.name)
+		for i, v := range r.values {
+			pos := i*colWidth + colWidth/2
+			row := rowOf(v)
+			if grid[row][pos] == ' ' || grid[row][pos] == '.' {
+				grid[row][pos] = m
+			} else {
+				// Collision: nudge right.
+				if pos+1 < len(grid[row]) {
+					grid[row][pos+1] = m
+				}
+			}
+		}
+	}
+	for i, line := range grid {
+		label := "      "
+		// Print the speedup value of this band at a few rows.
+		if i%3 == 0 {
+			v := maxV * float64(height-1-i) / float64(height-1)
+			label = fmt.Sprintf("%5.1f ", v)
+		}
+		fmt.Fprintf(w, "  %s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", colWidth*len(threads)))
+	fmt.Fprintf(w, "        ")
+	for _, t := range threads {
+		fmt.Fprintf(w, "%*d", colWidth, t)
+	}
+	fmt.Fprintln(w, "   threads")
+	fmt.Fprint(w, "        legend:")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %c=%s", markFor(r.name), r.name)
+	}
+	fmt.Fprintln(w, " .=linear")
+}

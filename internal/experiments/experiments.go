@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"adaptivetc"
+)
+
+// Config drives one experiment run.
+type Config struct {
+	// Scale selects workload sizes (Quick/Default/Full).
+	Scale Scale
+	// Out receives the report. Nil means os.Stdout.
+	Out io.Writer
+	// MaxThreads is the largest thread count swept (paper: 8). Zero means 8.
+	MaxThreads int
+	// Seed fixes victim selection across the whole experiment.
+	Seed int64
+	// CutoffProgrammer is the user-supplied cut-off depth for the
+	// Cutoff-programmer baseline of Figure 9. Zero means 3.
+	CutoffProgrammer int
+	// Repeats runs each parallel configuration this many times with
+	// different seeds and plots the median makespan, smoothing
+	// steal-timing noise in the speedup curves. Zero means 1.
+	Repeats int
+	// CSV, when non-nil, additionally receives every speedup sample of
+	// the sweep experiments as "experiment,workload,engine,threads,speedup"
+	// rows (for external plotting). Write the header yourself or call
+	// CSVHeader once before the first experiment.
+	CSV io.Writer
+}
+
+// CSVHeader writes the column header for the CSV sink.
+func CSVHeader(w io.Writer) { fmt.Fprintln(w, "experiment,workload,engine,threads,speedup") }
+
+// csvRow appends one sample to the CSV sink.
+func (c *Config) csvRow(experiment, workload, engine string, threads int, speedup float64) {
+	if c.CSV == nil {
+		return
+	}
+	fmt.Fprintf(c.CSV, "%s,%s,%s,%d,%.4f\n", experiment, workload, engine, threads, speedup)
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return os.Stdout
+	}
+	return c.Out
+}
+
+func (c Config) threads() []int {
+	max := c.MaxThreads
+	if max <= 0 {
+		max = 8
+	}
+	ts := make([]int, max)
+	for i := range ts {
+		ts[i] = i + 1
+	}
+	return ts
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+func (c Config) repeats() int {
+	if c.Repeats <= 0 {
+		return 1
+	}
+	return c.Repeats
+}
+
+// All runs every experiment in paper order, then the extensions.
+func All(cfg Config) error {
+	for _, f := range []func(Config) error{
+		Figure4, Figure5, Table2, Figure6, Figure7, Figure8, Figure9, Figure10, Table3,
+		StealCounts,
+	} {
+		if err := f(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ByName dispatches "fig4", "table2", … or "all".
+func ByName(name string, cfg Config) error {
+	fns := map[string]func(Config) error{
+		"fig4": Figure4, "fig5": Figure5, "table2": Table2,
+		"fig6": Figure6, "fig7": Figure7, "fig8": Figure8,
+		"fig9": Figure9, "fig10": Figure10, "table3": Table3,
+		"steals": StealCounts, "all": All,
+	}
+	fn, ok := fns[name]
+	if !ok {
+		names := make([]string, 0, len(fns))
+		for k := range fns {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(names, ", "))
+	}
+	return fn(cfg)
+}
+
+// mustRun executes one configuration or returns the first error.
+func mustRun(e adaptivetc.Engine, p adaptivetc.Program, opt adaptivetc.Options) (adaptivetc.Result, error) {
+	res, err := e.Run(p, opt)
+	if err != nil {
+		return res, fmt.Errorf("%s/%s P=%d: %w", e.Name(), p.Name(), opt.Workers, err)
+	}
+	return res, nil
+}
+
+// serialBaseline runs the serial engine once and returns its makespan,
+// checking the value against every later run through check().
+type baseline struct {
+	value    int64
+	makespan int64
+}
+
+func serial(p adaptivetc.Program, seed int64) (baseline, error) {
+	res, err := mustRun(adaptivetc.NewSerial(), p, adaptivetc.Options{Seed: seed})
+	if err != nil {
+		return baseline{}, err
+	}
+	return baseline{value: res.Value, makespan: res.Makespan}, nil
+}
+
+func (b baseline) check(res adaptivetc.Result) error {
+	if res.Value != b.value {
+		return fmt.Errorf("%s/%s P=%d returned %d, serial baseline says %d",
+			res.Engine, res.Program, res.Workers, res.Value, b.value)
+	}
+	return nil
+}
+
+// series is one line of a speedup chart.
+type series struct {
+	name   string
+	values []float64 // one per thread count; NaN marks "not run"
+}
+
+// sweepSpeedups runs an engine over the thread sweep, returning speedups
+// against the serial makespan. With cfg.Repeats > 1 each configuration
+// runs under several seeds and the median makespan is used, smoothing
+// steal-timing noise.
+func sweepSpeedups(e adaptivetc.Engine, p adaptivetc.Program, base baseline, cfg *Config, experiment string, mutate func(*adaptivetc.Options)) (series, error) {
+	s := series{name: e.Name()}
+	for _, n := range cfg.threads() {
+		spans := make([]int64, 0, cfg.repeats())
+		for r := 0; r < cfg.repeats(); r++ {
+			opt := adaptivetc.Options{Workers: n, Seed: cfg.seed() + int64(r)*1009}
+			if mutate != nil {
+				mutate(&opt)
+			}
+			res, err := mustRun(e, p, opt)
+			if err != nil {
+				return s, err
+			}
+			if err := base.check(res); err != nil {
+				return s, err
+			}
+			spans = append(spans, res.Makespan)
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i] < spans[j] })
+		median := spans[len(spans)/2]
+		speedup := float64(base.makespan) / float64(median)
+		s.values = append(s.values, speedup)
+		cfg.csvRow(experiment, p.Name(), e.Name(), n, speedup)
+	}
+	return s, nil
+}
+
+func printSpeedupTable(w io.Writer, title string, threads []int, rows []series) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	fmt.Fprintf(w, "%-18s", "engine \\ threads")
+	for _, t := range threads {
+		fmt.Fprintf(w, "%8d", t)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s", r.name)
+		for _, v := range r.values {
+			fmt.Fprintf(w, "%8.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	renderChart(w, threads, rows)
+}
+
+func header(w io.Writer, title, description string) {
+	fmt.Fprintf(w, "\n================================================================\n")
+	fmt.Fprintf(w, "%s\n", title)
+	if description != "" {
+		fmt.Fprintf(w, "%s\n", description)
+	}
+	fmt.Fprintf(w, "================================================================\n")
+}

@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adaptivetc"
+)
+
+// engines4 is the comparison set of Figure 4: Cilk, Cilk-SYNCHED (only for
+// taskprivate benchmarks), Tascell and AdaptiveTC.
+func engines4(taskprivate bool) []adaptivetc.Engine {
+	es := []adaptivetc.Engine{adaptivetc.NewCilk()}
+	if taskprivate {
+		es = append(es, adaptivetc.NewCilkSynched())
+	}
+	return append(es, adaptivetc.NewTascell(), adaptivetc.NewAdaptiveTC())
+}
+
+// Figure4 regenerates the speedup-vs-threads curves for all eight
+// benchmarks (paper Figure 4 (a)–(h)).
+func Figure4(cfg Config) error {
+	w := cfg.out()
+	header(w, fmt.Sprintf("Figure 4 — speedup vs threads, scale=%s", cfg.Scale),
+		"Speedup = serial virtual time / engine virtual makespan.")
+	threads := cfg.threads()
+	for i, wl := range Figure4Workloads(cfg.Scale) {
+		base, err := serial(wl.Prog, cfg.seed())
+		if err != nil {
+			return err
+		}
+		var rows []series
+		for _, e := range engines4(wl.Taskprivate) {
+			s, err := sweepSpeedups(e, wl.Prog, base, &cfg, "fig4", nil)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, s)
+		}
+		printSpeedupTable(w, fmt.Sprintf("Figure 4(%c): %s  [paper: %s; instance: %s, serial %.1fms]",
+			'a'+i, wl.Name, wl.Paper, wl.Prog.Name(), float64(base.makespan)/1e6), threads, rows)
+	}
+	return nil
+}
+
+// Figure5 regenerates the 8-thread bar chart with Cilk's execution time as
+// the baseline (paper Figure 5).
+func Figure5(cfg Config) error {
+	w := cfg.out()
+	header(w, fmt.Sprintf("Figure 5 — speedup at %d threads, baseline Cilk, scale=%s", cfg.threadsMax(), cfg.Scale),
+		"Each cell is Cilk's makespan divided by the engine's makespan at the full thread count.")
+	n := cfg.threadsMax()
+	fmt.Fprintf(w, "\n%-18s%14s%14s%14s%14s\n", "benchmark", "cilk", "cilk-synched", "tascell", "adaptivetc")
+	for _, wl := range Figure4Workloads(cfg.Scale) {
+		base, err := serial(wl.Prog, cfg.seed())
+		if err != nil {
+			return err
+		}
+		cilkRes, err := mustRun(adaptivetc.NewCilk(), wl.Prog, adaptivetc.Options{Workers: n, Seed: cfg.seed()})
+		if err != nil {
+			return err
+		}
+		if err := base.check(cilkRes); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-18s%14.2f", wl.Name, 1.0)
+		for _, e := range []adaptivetc.Engine{adaptivetc.NewCilkSynched(), adaptivetc.NewTascell(), adaptivetc.NewAdaptiveTC()} {
+			if e.Name() == "cilk-synched" && !wl.Taskprivate {
+				fmt.Fprintf(w, "%14s", "—")
+				continue
+			}
+			res, err := mustRun(e, wl.Prog, adaptivetc.Options{Workers: n, Seed: cfg.seed()})
+			if err != nil {
+				return err
+			}
+			if err := base.check(res); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%14.2f", float64(cilkRes.Makespan)/float64(res.Makespan))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func (c Config) threadsMax() int {
+	ts := c.threads()
+	return ts[len(ts)-1]
+}
+
+// Table2 regenerates the one-thread execution times and their ratios to the
+// serial program (paper Table 2).
+func Table2(cfg Config) error {
+	w := cfg.out()
+	header(w, fmt.Sprintf("Table 2 — execution time with one thread, scale=%s", cfg.Scale),
+		"Virtual milliseconds and (ratio to serial), one worker.")
+	fmt.Fprintf(w, "\n%-18s%12s", "benchmark", "serial")
+	engines := []adaptivetc.Engine{
+		adaptivetc.NewTascell(), adaptivetc.NewCilk(),
+		adaptivetc.NewCilkSynched(), adaptivetc.NewAdaptiveTC(),
+	}
+	for _, e := range engines {
+		fmt.Fprintf(w, "%20s", e.Name())
+	}
+	fmt.Fprintln(w)
+	for _, wl := range Figure4Workloads(cfg.Scale) {
+		base, err := serial(wl.Prog, cfg.seed())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-18s%10.1fms", wl.Name, float64(base.makespan)/1e6)
+		for _, e := range engines {
+			if e.Name() == "cilk-synched" && !wl.Taskprivate {
+				fmt.Fprintf(w, "%20s", "—")
+				continue
+			}
+			res, err := mustRun(e, wl.Prog, adaptivetc.Options{Workers: 1, Seed: cfg.seed()})
+			if err != nil {
+				return err
+			}
+			if err := base.check(res); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%12.1fms (%4.2f)", float64(res.Makespan)/1e6,
+				float64(res.Makespan)/float64(base.makespan))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// breakdownRow prints one engine's phase percentages as text and as a
+// stacked bar (w=working, c=copy, d=deque/nested, p=poll, W=wait, s=steal).
+func breakdownRow(w io.Writer, name string, st adaptivetc.Stats) {
+	total := float64(st.WorkerTime)
+	if total <= 0 {
+		total = 1
+	}
+	pct := func(v int64) float64 { return 100 * float64(v) / total }
+	fmt.Fprintf(w, "%-16s working=%6.2f%%  taskprivate/copy=%6.2f%%  deque/nested=%6.2f%%  poll=%5.2f%%  wait=%5.2f%%  steal/idle=%5.2f%%\n",
+		name, pct(st.WorkTime), pct(st.CopyTime), pct(st.DequeTime+st.RespondTime),
+		pct(st.PollTime), pct(st.WaitTime), pct(st.StealTime))
+	renderBar(w, name, []struct {
+		mark byte
+		pct  float64
+	}{
+		{'w', pct(st.WorkTime)},
+		{'c', pct(st.CopyTime)},
+		{'d', pct(st.DequeTime + st.RespondTime)},
+		{'p', pct(st.PollTime)},
+		{'W', pct(st.WaitTime)},
+		{'s', pct(st.StealTime)},
+	})
+}
+
+// Figure6 regenerates the one-thread overhead breakdowns (paper Figure 6).
+func Figure6(cfg Config) error {
+	w := cfg.out()
+	header(w, fmt.Sprintf("Figure 6 — overhead breakdown with one thread, scale=%s", cfg.Scale),
+		"Shares of a single worker's time: working, taskprivate/workspace copying, deque or nested-function management.")
+	engines := []adaptivetc.Engine{
+		adaptivetc.NewTascell(), adaptivetc.NewCilk(),
+		adaptivetc.NewCilkSynched(), adaptivetc.NewAdaptiveTC(),
+	}
+	for i, wl := range figure67Workloads(cfg.Scale) {
+		fmt.Fprintf(w, "\nFigure 6(%c): %s\n", 'a'+i, wl.Name)
+		for _, e := range engines {
+			if e.Name() == "cilk-synched" && !wl.Taskprivate {
+				continue
+			}
+			res, err := mustRun(e, wl.Prog, adaptivetc.Options{Workers: 1, Profile: true, Seed: cfg.seed()})
+			if err != nil {
+				return err
+			}
+			breakdownRow(w, e.Name(), res.Stats)
+		}
+	}
+	return nil
+}
+
+// figure67Workloads are the three benchmarks of Figures 6 and 7.
+func figure67Workloads(s Scale) []Workload {
+	all := Figure4Workloads(s)
+	return []Workload{all[0], all[1], all[6]} // Nqueen-array, Nqueen-compute, Fib
+}
+
+// Figure7 regenerates Tascell's multi-thread overhead breakdown (paper
+// Figure 7): working vs polling vs waiting for children at 2, 4, 8 threads.
+func Figure7(cfg Config) error {
+	w := cfg.out()
+	header(w, fmt.Sprintf("Figure 7 — Tascell overhead breakdown with multiple threads, scale=%s", cfg.Scale),
+		"Aggregated over all workers; wait_children is the non-suspendable join cost the paper highlights.")
+	for i, wl := range figure67Workloads(cfg.Scale) {
+		fmt.Fprintf(w, "\nFigure 7(%c): %s\n", 'a'+i, wl.Name)
+		for _, n := range []int{2, 4, 8} {
+			res, err := mustRun(adaptivetc.NewTascell(), wl.Prog,
+				adaptivetc.Options{Workers: n, Profile: true, Seed: cfg.seed()})
+			if err != nil {
+				return err
+			}
+			st := res.Stats
+			total := float64(st.WorkerTime)
+			fmt.Fprintf(w, "  %d threads: working=%6.2f%%  polling=%5.2f%%  wait_children=%6.2f%%  respond=%5.2f%%  idle/steal=%6.2f%%\n",
+				n, 100*float64(st.WorkTime)/total, 100*float64(st.PollTime)/total,
+				100*float64(st.WaitTime)/total, 100*float64(st.RespondTime)/total,
+				100*float64(st.StealTime)/total)
+		}
+	}
+	return nil
+}
+
+// Figure8 reports the shape of the unbalanced Sudoku input1 tree along its
+// heavy path (paper Figure 8).
+func Figure8(cfg Config) error {
+	w := cfg.out()
+	_, input1, _ := SudokuInputs(cfg.Scale)
+	header(w, fmt.Sprintf("Figure 8 — the unbalanced tree of Sudoku input1, scale=%s", cfg.Scale),
+		"Subtree shares along the heavy path; the paper's tree (1,934,719,465 nodes, depth 63) shows 61%/28%/11% at depth 1.")
+	st := adaptivetc.Analyze(input1, 0)
+	fmt.Fprintf(w, "\nsize=%d; leaves=%d; depth=%d\n", st.Nodes, st.Leaves, st.Depth)
+	levels, err := HeavyPath(input1, 4)
+	if err != nil {
+		return err
+	}
+	for d, shares := range levels {
+		fmt.Fprintf(w, "depth %d children of heavy node:", d+1)
+		for _, p := range shares {
+			fmt.Fprintf(w, "  %.2f%%", p)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure9 regenerates the cut-off starvation experiment on Sudoku input1
+// (paper Figure 9).
+func Figure9(cfg Config) error {
+	w := cfg.out()
+	_, input1, _ := SudokuInputs(cfg.Scale)
+	cutP := cfg.CutoffProgrammer
+	if cutP <= 0 {
+		cutP = 3
+	}
+	header(w, fmt.Sprintf("Figure 9 — Sudoku input1: AdaptiveTC vs cut-off strategies, scale=%s", cfg.Scale),
+		fmt.Sprintf("Cutoff-programmer uses depth %d; Cutoff-library uses ⌈log2 N⌉. The paper reports both starving past 4 threads.", cutP))
+	base, err := serial(input1, cfg.seed())
+	if err != nil {
+		return err
+	}
+	threads := cfg.threads()
+	var rows []series
+	for _, e := range []adaptivetc.Engine{
+		adaptivetc.NewCilk(), adaptivetc.NewTascell(), adaptivetc.NewAdaptiveTC(),
+		adaptivetc.NewCutoffProgrammer(), adaptivetc.NewCutoffLibrary(),
+	} {
+		mutate := func(o *adaptivetc.Options) {}
+		if e.Name() == "cutoff-programmer" {
+			mutate = func(o *adaptivetc.Options) { o.Cutoff = cutP }
+		}
+		s, err := sweepSpeedups(e, input1, base, &cfg, "fig9", mutate)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, s)
+	}
+	printSpeedupTable(w, fmt.Sprintf("Sudoku input1 [%s, serial %.1fms]", input1.Name(), float64(base.makespan)/1e6), threads, rows)
+	return nil
+}
+
+// Figure10 regenerates the unbalanced-tree load-balancing comparison
+// (paper Figure 10): Sudoku input1/input2 plus the three Table 3 tree
+// pairs, under Cilk-SYNCHED, Tascell and AdaptiveTC.
+func Figure10(cfg Config) error {
+	w := cfg.out()
+	header(w, fmt.Sprintf("Figure 10 — speedup on unbalanced trees, scale=%s", cfg.Scale),
+		"Cilk suspends waiting tasks; Tascell cannot (hurts right-heavy trees); AdaptiveTC suspends everything but special tasks.")
+	threads := cfg.threads()
+	engines := []adaptivetc.Engine{adaptivetc.NewCilkSynched(), adaptivetc.NewTascell(), adaptivetc.NewAdaptiveTC()}
+
+	_, input1, input2 := SudokuInputs(cfg.Scale)
+	for _, p := range []adaptivetc.Program{input1, input2} {
+		base, err := serial(p, cfg.seed())
+		if err != nil {
+			return err
+		}
+		var rows []series
+		for _, e := range engines {
+			s, err := sweepSpeedups(e, p, base, &cfg, "fig10", nil)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, s)
+		}
+		printSpeedupTable(w, fmt.Sprintf("Figure 10(a): %s [serial %.1fms]", p.Name(), float64(base.makespan)/1e6), threads, rows)
+	}
+
+	specs := Table3Specs(cfg.Scale)
+	for i := 0; i < len(specs); i += 2 {
+		for _, spec := range specs[i : i+2] {
+			p := newTree(spec)
+			base, err := serial(p, cfg.seed())
+			if err != nil {
+				return err
+			}
+			var rows []series
+			for _, e := range engines {
+				s, err := sweepSpeedups(e, p, base, &cfg, "fig10", nil)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, s)
+			}
+			printSpeedupTable(w, fmt.Sprintf("Figure 10(%c): %s [serial %.1fms]",
+				'b'+i/2, p.Name(), float64(base.makespan)/1e6), threads, rows)
+		}
+	}
+	return nil
+}
+
+// Table3 describes the six random unbalanced trees (paper Table 3).
+func Table3(cfg Config) error {
+	w := cfg.out()
+	header(w, fmt.Sprintf("Table 3 — randomly generated unbalanced trees, scale=%s", cfg.Scale),
+		"Scaled stand-ins for the paper's ~2-billion-node trees; same fraction vectors, same L/R mirroring.")
+	fmt.Fprintf(w, "\n%-8s%12s%12s%7s  %s\n", "input", "nodes", "leaves", "depth", "depth-1 subtree shares (%)")
+	for _, spec := range Table3Specs(cfg.Scale) {
+		st := adaptivetc.Analyze(newTree(spec), 0)
+		fmt.Fprintf(w, "%-8s%12d%12d%7d  ", spec.Label, st.Nodes, st.Leaves, st.Depth)
+		for _, p := range st.Depth1Percent() {
+			fmt.Fprintf(w, "%.3f ", p)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adaptivetc"
+	"adaptivetc/problems/synthtree"
+)
+
+func newTree(spec synthtree.Spec) adaptivetc.Program { return synthtree.New(spec) }
+
+// HeavyPath walks `levels` steps down a program's search tree, always
+// descending into the largest child, and reports at every level each
+// child's share of the *whole* tree (in percent) — the annotation style of
+// the paper's Figure 8.
+func HeavyPath(p adaptivetc.Program, levels int) ([][]float64, error) {
+	ws := p.Root()
+	var sizeOf func(depth int) int64
+	sizeOf = func(depth int) int64 {
+		if _, term := p.Terminal(ws, depth); term {
+			return 1
+		}
+		size := int64(1)
+		n := p.Moves(ws, depth)
+		for m := 0; m < n; m++ {
+			if !p.Apply(ws, depth, m) {
+				continue
+			}
+			size += sizeOf(depth + 1)
+			p.Undo(ws, depth, m)
+		}
+		return size
+	}
+	total := sizeOf(0)
+	if total <= 0 {
+		return nil, fmt.Errorf("heavypath: empty tree for %s", p.Name())
+	}
+
+	var out [][]float64
+	depth := 0
+	for level := 0; level < levels; level++ {
+		if _, term := p.Terminal(ws, depth); term {
+			break
+		}
+		var shares []float64
+		var sizes []int64
+		n := p.Moves(ws, depth)
+		for m := 0; m < n; m++ {
+			if !p.Apply(ws, depth, m) {
+				continue
+			}
+			s := sizeOf(depth + 1)
+			p.Undo(ws, depth, m)
+			sizes = append(sizes, s)
+			shares = append(shares, 100*float64(s)/float64(total))
+		}
+		if len(sizes) == 0 {
+			break
+		}
+		out = append(out, shares)
+		// Descend into the heaviest child. We must re-find its move index
+		// among the legal moves.
+		best, bestIdx := int64(-1), -1
+		legal := 0
+		for m := 0; m < n; m++ {
+			if !p.Apply(ws, depth, m) {
+				continue
+			}
+			if sizes[legal] > best {
+				best, bestIdx = sizes[legal], m
+			}
+			p.Undo(ws, depth, m)
+			legal++
+		}
+		if bestIdx < 0 {
+			break
+		}
+		p.Apply(ws, depth, bestIdx)
+		depth++
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"adaptivetc"
+)
+
+func TestBuildProgramAllNames(t *testing.T) {
+	for _, name := range ProgramNames() {
+		n := 6
+		switch name {
+		case "sudoku-balanced", "sudoku-input1", "sudoku-input2":
+			n = 30
+		case "strimko":
+			n = 20
+		case "knight":
+			n = 4
+		case "pentomino":
+			n = 3
+		case "comp":
+			n = 64
+		case "atc-nqueens", "atc-fib", "atc-latin", "atc-knight":
+			n = 5
+		}
+		p, err := BuildProgram(name, n, 2000, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p == nil || p.Name() == "" {
+			t.Fatalf("%s: bad program", name)
+		}
+		// Every named program must at least run serially.
+		if _, err := mustRun(adaptivetc.NewSerial(), p, adaptivetc.Options{Workers: 1}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := BuildProgram("bogus", 1, 1, false); err == nil {
+		t.Fatal("accepted bogus program name")
+	}
+}
+
+func TestBuildProgramReverse(t *testing.T) {
+	l, err := BuildProgram("tree3", 0, 4000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := BuildProgram("tree3", 0, 4000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() == r.Name() {
+		t.Fatalf("reverse did not change the tree: %s", l.Name())
+	}
+}

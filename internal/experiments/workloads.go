@@ -1,0 +1,143 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) on the deterministic virtual-time platform: the
+// speedup curves of Figures 4 and 5, the one-thread costs of Table 2, the
+// overhead breakdowns of Figures 6 and 7, the tree shapes of Figure 8 and
+// Table 3, the cut-off starvation of Figure 9 and the unbalanced-tree
+// comparison of Figure 10.
+//
+// Problem sizes scale with Config.Scale: the paper's inputs (16-queens,
+// Knight 6×6, Fib 45, 1.9-billion-node Sudoku trees) ran for minutes to
+// hours on 2010 hardware; Quick and Default shrink them so a full
+// regeneration takes seconds to minutes while preserving every qualitative
+// relationship, and Full approaches paper-like tree sizes.
+package experiments
+
+import (
+	"adaptivetc"
+	"adaptivetc/problems/comp"
+	"adaptivetc/problems/fib"
+	"adaptivetc/problems/knight"
+	"adaptivetc/problems/nqueens"
+	"adaptivetc/problems/pentomino"
+	"adaptivetc/problems/strimko"
+	"adaptivetc/problems/sudoku"
+	"adaptivetc/problems/synthtree"
+)
+
+// Scale selects workload sizes.
+type Scale int
+
+const (
+	// Quick: tens of thousands of nodes per benchmark; the whole suite in
+	// well under a minute.
+	Quick Scale = iota
+	// Default: hundreds of thousands to ~2M nodes; minutes.
+	Default
+	// Full: multi-million-node trees approaching the paper's; an hour or
+	// more on one core.
+	Full
+)
+
+// ParseScale maps a flag value to a Scale.
+func ParseScale(s string) (Scale, bool) {
+	switch s {
+	case "quick":
+		return Quick, true
+	case "default", "":
+		return Default, true
+	case "full":
+		return Full, true
+	}
+	return 0, false
+}
+
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Full:
+		return "full"
+	default:
+		return "default"
+	}
+}
+
+// Workload pairs a display name (the paper's benchmark name) with a
+// program instance at the configured scale.
+type Workload struct {
+	// Name is the paper's label, e.g. "Nqueen-array(16)".
+	Name string
+	// Paper notes the paper's original input for the record.
+	Paper string
+	// Prog is the scaled instance actually run.
+	Prog adaptivetc.Program
+	// Taskprivate reports whether the benchmark has taskprivate data
+	// (fib and comp do not, so Figure 4 omits their Cilk-SYNCHED series).
+	Taskprivate bool
+}
+
+// Figure4Workloads returns the paper's eight benchmarks (Table 1) at the
+// given scale, in the paper's order.
+func Figure4Workloads(s Scale) []Workload {
+	type sizes struct{ qa, qc, strimko, knightW, knightH, balRemoved, pent, fib, comp int }
+	var z sizes
+	switch s {
+	case Quick:
+		z = sizes{qa: 10, qc: 10, strimko: 10, knightW: 5, knightH: 4, balRemoved: 42, pent: 8, fib: 24, comp: 8000}
+	case Full:
+		z = sizes{qa: 13, qc: 12, strimko: 5, knightW: 5, knightH: 5, balRemoved: 48, pent: 10, fib: 30, comp: 60000}
+	default:
+		z = sizes{qa: 12, qc: 11, strimko: 7, knightW: 4, knightH: 6, balRemoved: 46, pent: 9, fib: 27, comp: 20000}
+	}
+	pieces := "FILNPTUVWXYZ"
+	return []Workload{
+		{Name: "Nqueen-array", Paper: "Nqueen-array(16)", Prog: nqueens.NewArray(z.qa), Taskprivate: true},
+		{Name: "Nqueen-compute", Paper: "Nqueen-compute(16)", Prog: nqueens.NewCompute(z.qc), Taskprivate: true},
+		{Name: "Strimko", Paper: "Strimko 7x7", Prog: strimko.Diagonal(7, z.strimko), Taskprivate: true},
+		{Name: "Knight's Tour", Paper: "Knight's Tour (6x6)", Prog: knight.NewRect(z.knightW, z.knightH, 0, 0), Taskprivate: true},
+		{Name: "Sudoku", Paper: "Sudoku (balanced tree)", Prog: sudoku.Balanced(3, z.balRemoved), Taskprivate: true},
+		{Name: "Pentomino", Paper: "Pentomino(13)", Prog: pentomino.NewBoard(5, z.pent, pieces[:z.pent], "bench"), Taskprivate: true},
+		{Name: "Fib", Paper: "Fib(45)", Prog: fib.New(z.fib), Taskprivate: false},
+		{Name: "Comp", Paper: "Comp(60000)", Prog: comp.New(z.comp), Taskprivate: false},
+	}
+}
+
+// SudokuInputs returns the balanced, input1 and input2 Sudoku instances of
+// §5.3 at the given scale.
+func SudokuInputs(s Scale) (balanced, input1, input2 adaptivetc.Program) {
+	switch s {
+	case Quick:
+		return sudoku.Balanced(3, 42), sudoku.Input1(3, 52), sudoku.Input2(3, 52)
+	case Full:
+		return sudoku.Balanced(3, 48), sudoku.Input1(3, 57), sudoku.Input2(3, 55)
+	default:
+		return sudoku.Balanced(3, 46), sudoku.Input1(3, 54), sudoku.Input2(3, 54)
+	}
+}
+
+// TreeSize returns the synthetic-tree leaf count for a scale. (Table 3's
+// trees have ~2 billion nodes; these are scaled stand-ins.)
+func TreeSize(s Scale) int64 {
+	switch s {
+	case Quick:
+		return 50_000
+	case Full:
+		return 600_000
+	default:
+		return 150_000
+	}
+}
+
+// Table3Specs returns the six random unbalanced trees of Table 3 (the
+// three left-heavy shapes and their reversals) at the given scale.
+func Table3Specs(s Scale) []synthtree.Spec {
+	size := TreeSize(s)
+	mk := func(spec synthtree.Spec) synthtree.Spec {
+		spec.Seed = 20100424 // the paper's publication date as a seed
+		return spec
+	}
+	t1 := mk(synthtree.Tree1(size))
+	t2 := mk(synthtree.Tree2(size))
+	t3 := mk(synthtree.Tree3(size))
+	return []synthtree.Spec{t1, t1.Reverse(), t2, t2.Reverse(), t3, t3.Reverse()}
+}

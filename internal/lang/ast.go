@@ -1,0 +1,117 @@
+package lang
+
+// The AST of an ATC program. An ATC source file declares compile-time
+// parameters, the taskprivate state (scalars and arrays), an optional init
+// block, and the four rules every backtracking task function consists of
+// (the shape of the paper's Appendix A):
+//
+//	param n = 8                 # compile-time constant, overridable
+//	state cols[n]               # taskprivate array (the default)
+//	state count shared          # a shared scalar is not part of the clone
+//	init { ... }                # establish the root workspace
+//	terminal depth == n -> 1    # leaf test and leaf value
+//	moves n                     # candidate moves per node
+//	apply { ... reject ... }    # play move m (reject = illegal)
+//	undo { ... }                # reverse move m
+type file struct {
+	params   []*paramDecl
+	states   []*stateDecl
+	initBody []stmt
+	terminal *terminalDecl
+	moves    expr
+	apply    []stmt
+	undo     []stmt
+}
+
+type paramDecl struct {
+	name  string
+	value expr // constant expression over earlier params
+	line  int
+}
+
+type stateDecl struct {
+	name   string
+	size   expr // nil = scalar
+	shared bool // shared state is not cloned (read-mostly lookup tables)
+	line   int
+}
+
+type terminalDecl struct {
+	cond  expr
+	value expr
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+type expr interface{ pos() (int, int) }
+
+type numLit struct {
+	v         int64
+	line, col int
+}
+
+type ident struct {
+	name      string
+	line, col int
+}
+
+type indexExpr struct {
+	name      string
+	index     expr
+	line, col int
+}
+
+type unaryExpr struct {
+	op        kind // tokMinus or tokNot
+	operand   expr
+	line, col int
+}
+
+type binExpr struct {
+	op          kind
+	left, right expr
+	line, col   int
+}
+
+func (e *numLit) pos() (int, int)    { return e.line, e.col }
+func (e *ident) pos() (int, int)     { return e.line, e.col }
+func (e *indexExpr) pos() (int, int) { return e.line, e.col }
+func (e *unaryExpr) pos() (int, int) { return e.line, e.col }
+func (e *binExpr) pos() (int, int)   { return e.line, e.col }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+type stmt interface{ stmtPos() (int, int) }
+
+type assignStmt struct {
+	target    string
+	index     expr // nil for scalars
+	value     expr
+	line, col int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, alt []stmt
+	line, col int
+}
+
+type rejectStmt struct {
+	line, col int
+}
+
+// forStmt is `for v = lo to hi { body }`: v ranges over [lo, hi), a fresh
+// read-only local scoped to the body.
+type forStmt struct {
+	varName   string
+	lo, hi    expr
+	body      []stmt
+	line, col int
+}
+
+func (s *assignStmt) stmtPos() (int, int) { return s.line, s.col }
+func (s *forStmt) stmtPos() (int, int)    { return s.line, s.col }
+func (s *ifStmt) stmtPos() (int, int)     { return s.line, s.col }
+func (s *rejectStmt) stmtPos() (int, int) { return s.line, s.col }

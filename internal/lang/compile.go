@@ -1,0 +1,572 @@
+package lang
+
+import "fmt"
+
+// store holds the runtime values of ATC state: scalar slots and arrays.
+type store struct {
+	scalars []int64
+	arrays  [][]int64
+}
+
+func (s *store) clone() *store {
+	c := &store{
+		scalars: append([]int64(nil), s.scalars...),
+		arrays:  make([][]int64, len(s.arrays)),
+	}
+	for i, a := range s.arrays {
+		c.arrays[i] = append([]int64(nil), a...)
+	}
+	return c
+}
+
+func (s *store) copyFrom(o *store) {
+	copy(s.scalars, o.scalars)
+	for i := range s.arrays {
+		copy(s.arrays[i], o.arrays[i])
+	}
+}
+
+func (s *store) bytes() int {
+	n := 8 * len(s.scalars)
+	for _, a := range s.arrays {
+		n += 8 * len(a)
+	}
+	return n
+}
+
+// writeRec is one entry of the apply rollback log.
+type writeRec struct {
+	shared bool
+	array  int // -1 for a scalar
+	slot   int
+	old    int64
+}
+
+// env is the evaluation context of one workspace.
+type env struct {
+	ws     *store
+	shared *store
+	depth  int64
+	m      int64
+	locals []int64 // for-loop variables, slot-indexed
+
+	rejected bool
+	logging  bool
+	log      []writeRec
+}
+
+type evalFn func(*env) int64
+type execFn func(*env) bool // false = stop (a reject fired)
+
+// symKind classifies resolved names.
+type symKind int
+
+const (
+	symScalar symKind = iota
+	symArray
+	symSharedScalar
+	symSharedArray
+	symParam
+	symBuiltinDepth
+	symBuiltinMove
+)
+
+type symbol struct {
+	kind symKind
+	slot int   // scalar/array index in its store
+	val  int64 // for params
+	size int   // for arrays
+}
+
+// Compiled is an ATC program compiled to closures; lang.Program wraps it
+// into a sched.Program.
+type Compiled struct {
+	name         string
+	syms         map[string]*symbol
+	scalarCount  int
+	arraySizes   []int
+	sharedProto  *store // built by init; referenced read-only by all runs
+	initStmts    execFn
+	terminalCond evalFn
+	terminalVal  evalFn
+	movesExpr    evalFn
+	applyStmts   execFn
+	undoStmts    execFn
+}
+
+type compiler struct {
+	syms        map[string]*symbol
+	scalarCount int
+	arraySizes  []int
+	inInit      bool
+	inApply     bool
+	locals      []string // lexical stack of for-loop variables
+	maxLocals   int
+}
+
+// Compile parses and compiles ATC source. Parameter values may be
+// overridden (the mechanism behind "Nqueen-array(16)"-style sizing).
+func Compile(name, src string, overrides map[string]int64) (*Compiled, error) {
+	f, perr := parse(src)
+	if perr != nil {
+		return nil, perr
+	}
+	c := &compiler{syms: map[string]*symbol{}}
+
+	// Parameters: const-fold in declaration order; overrides win.
+	for _, pd := range f.params {
+		if _, dup := c.syms[pd.name]; dup || pd.name == "depth" || pd.name == "m" {
+			return nil, errf(pd.line, 1, "duplicate or reserved name %q", pd.name)
+		}
+		v, err := c.constEval(pd.value)
+		if err != nil {
+			return nil, err
+		}
+		if ov, ok := overrides[pd.name]; ok {
+			v = ov
+		}
+		c.syms[pd.name] = &symbol{kind: symParam, val: v}
+	}
+	for name := range overrides {
+		if s, ok := c.syms[name]; !ok || s.kind != symParam {
+			return nil, fmt.Errorf("lang: override for unknown param %q", name)
+		}
+	}
+
+	// State declarations.
+	var sharedScalars int
+	var sharedSizes []int
+	for _, sd := range f.states {
+		if _, dup := c.syms[sd.name]; dup || sd.name == "depth" || sd.name == "m" {
+			return nil, errf(sd.line, 1, "duplicate or reserved name %q", sd.name)
+		}
+		sym := &symbol{}
+		if sd.size == nil {
+			if sd.shared {
+				sym.kind, sym.slot = symSharedScalar, sharedScalars
+				sharedScalars++
+			} else {
+				sym.kind, sym.slot = symScalar, c.scalarCount
+				c.scalarCount++
+			}
+		} else {
+			n, err := c.constEval(sd.size)
+			if err != nil {
+				return nil, err
+			}
+			if n <= 0 {
+				return nil, errf(sd.line, 1, "state %s has non-positive size %d", sd.name, n)
+			}
+			if sd.shared {
+				sym.kind, sym.slot, sym.size = symSharedArray, len(sharedSizes), int(n)
+				sharedSizes = append(sharedSizes, int(n))
+			} else {
+				sym.kind, sym.slot, sym.size = symArray, len(c.arraySizes), int(n)
+				c.arraySizes = append(c.arraySizes, int(n))
+			}
+		}
+		c.syms[sd.name] = sym
+	}
+
+	out := &Compiled{
+		name:        name,
+		syms:        c.syms,
+		scalarCount: c.scalarCount,
+		arraySizes:  c.arraySizes,
+	}
+
+	// init block (may write shared state).
+	c.inInit = true
+	initFn, err := c.compileBlock(f.initBody)
+	if err != nil {
+		return nil, err
+	}
+	c.inInit = false
+	out.initStmts = initFn
+
+	if out.terminalCond, err = c.compileExpr(f.terminal.cond); err != nil {
+		return nil, err
+	}
+	if out.terminalVal, err = c.compileExpr(f.terminal.value); err != nil {
+		return nil, err
+	}
+	if out.movesExpr, err = c.compileExpr(f.moves); err != nil {
+		return nil, err
+	}
+	c.inApply = true
+	if out.applyStmts, err = c.compileBlock(f.apply); err != nil {
+		return nil, err
+	}
+	c.inApply = false
+	if out.undoStmts, err = c.compileBlock(f.undo); err != nil {
+		return nil, err
+	}
+
+	// Build the zeroed shared prototype; NewProgram runs init exactly once
+	// to populate it (running it here too would double any read-modify-
+	// write the init block performs on shared state).
+	out.sharedProto = &store{
+		scalars: make([]int64, sharedScalars),
+		arrays:  make([][]int64, len(sharedSizes)),
+	}
+	for i, n := range sharedSizes {
+		out.sharedProto.arrays[i] = make([]int64, n)
+	}
+	return out, nil
+}
+
+func (p *Compiled) newStore() *store {
+	s := &store{
+		scalars: make([]int64, p.scalarCount),
+		arrays:  make([][]int64, len(p.arraySizes)),
+	}
+	for i, n := range p.arraySizes {
+		s.arrays[i] = make([]int64, n)
+	}
+	return s
+}
+
+// constEval evaluates an expression over parameters only (array sizes,
+// parameter initialisers).
+func (c *compiler) constEval(e expr) (int64, *Error) {
+	switch v := e.(type) {
+	case *numLit:
+		return v.v, nil
+	case *ident:
+		if s, ok := c.syms[v.name]; ok && s.kind == symParam {
+			return s.val, nil
+		}
+		return 0, errf(v.line, v.col, "%q is not a compile-time constant", v.name)
+	case *unaryExpr:
+		x, err := c.constEval(v.operand)
+		if err != nil {
+			return 0, err
+		}
+		if v.op == tokMinus {
+			return -x, nil
+		}
+		return b2i(x == 0), nil
+	case *binExpr:
+		l, err := c.constEval(v.left)
+		if err != nil {
+			return 0, err
+		}
+		r, err := c.constEval(v.right)
+		if err != nil {
+			return 0, err
+		}
+		return applyBin(v.op, l, r, v.line, v.col)
+	}
+	line, col := e.pos()
+	return 0, errf(line, col, "expression is not a compile-time constant")
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func applyBin(op kind, l, r int64, line, col int) (int64, *Error) {
+	switch op {
+	case tokPlus:
+		return l + r, nil
+	case tokMinus:
+		return l - r, nil
+	case tokStar:
+		return l * r, nil
+	case tokSlash:
+		if r == 0 {
+			return 0, errf(line, col, "division by zero")
+		}
+		return l / r, nil
+	case tokPercent:
+		if r == 0 {
+			return 0, errf(line, col, "modulo by zero")
+		}
+		return l % r, nil
+	case tokEq:
+		return b2i(l == r), nil
+	case tokNeq:
+		return b2i(l != r), nil
+	case tokLt:
+		return b2i(l < r), nil
+	case tokLe:
+		return b2i(l <= r), nil
+	case tokGt:
+		return b2i(l > r), nil
+	case tokGe:
+		return b2i(l >= r), nil
+	case tokAnd:
+		return b2i(l != 0 && r != 0), nil
+	case tokOr:
+		return b2i(l != 0 || r != 0), nil
+	}
+	return 0, errf(line, col, "bad operator")
+}
+
+// compileExpr resolves names and returns an evaluator closure.
+func (c *compiler) compileExpr(e expr) (evalFn, *Error) {
+	switch v := e.(type) {
+	case *numLit:
+		n := v.v
+		return func(*env) int64 { return n }, nil
+	case *ident:
+		switch v.name {
+		case "depth":
+			return func(ev *env) int64 { return ev.depth }, nil
+		case "m":
+			return func(ev *env) int64 { return ev.m }, nil
+		}
+		for i := len(c.locals) - 1; i >= 0; i-- {
+			if c.locals[i] == v.name {
+				slot := i
+				return func(ev *env) int64 { return ev.locals[slot] }, nil
+			}
+		}
+		s, ok := c.syms[v.name]
+		if !ok {
+			return nil, errf(v.line, v.col, "undefined name %q", v.name)
+		}
+		slot := s.slot
+		switch s.kind {
+		case symParam:
+			n := s.val
+			return func(*env) int64 { return n }, nil
+		case symScalar:
+			return func(ev *env) int64 { return ev.ws.scalars[slot] }, nil
+		case symSharedScalar:
+			return func(ev *env) int64 { return ev.shared.scalars[slot] }, nil
+		default:
+			return nil, errf(v.line, v.col, "array %q used without an index", v.name)
+		}
+	case *indexExpr:
+		s, ok := c.syms[v.name]
+		if !ok {
+			return nil, errf(v.line, v.col, "undefined name %q", v.name)
+		}
+		idx, err := c.compileExpr(v.index)
+		if err != nil {
+			return nil, err
+		}
+		slot, size := s.slot, int64(s.size)
+		line, col := v.line, v.col
+		switch s.kind {
+		case symArray:
+			return func(ev *env) int64 {
+				i := idx(ev)
+				if i < 0 || i >= size {
+					panic(errf(line, col, "index %d out of range [0,%d)", i, size))
+				}
+				return ev.ws.arrays[slot][i]
+			}, nil
+		case symSharedArray:
+			return func(ev *env) int64 {
+				i := idx(ev)
+				if i < 0 || i >= size {
+					panic(errf(line, col, "index %d out of range [0,%d)", i, size))
+				}
+				return ev.shared.arrays[slot][i]
+			}, nil
+		default:
+			return nil, errf(v.line, v.col, "%q is not an array", v.name)
+		}
+	case *unaryExpr:
+		sub, err := c.compileExpr(v.operand)
+		if err != nil {
+			return nil, err
+		}
+		if v.op == tokMinus {
+			return func(ev *env) int64 { return -sub(ev) }, nil
+		}
+		return func(ev *env) int64 { return b2i(sub(ev) == 0) }, nil
+	case *binExpr:
+		l, err := c.compileExpr(v.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileExpr(v.right)
+		if err != nil {
+			return nil, err
+		}
+		op, line, col := v.op, v.line, v.col
+		switch op {
+		case tokAnd:
+			return func(ev *env) int64 { return b2i(l(ev) != 0 && r(ev) != 0) }, nil
+		case tokOr:
+			return func(ev *env) int64 { return b2i(l(ev) != 0 || r(ev) != 0) }, nil
+		default:
+			return func(ev *env) int64 {
+				out, err := applyBin(op, l(ev), r(ev), line, col)
+				if err != nil {
+					panic(err)
+				}
+				return out
+			}, nil
+		}
+	}
+	line, col := e.pos()
+	return nil, errf(line, col, "unsupported expression")
+}
+
+// compileBlock compiles statements; the returned closure reports false when
+// a reject fired.
+func (c *compiler) compileBlock(body []stmt) (execFn, *Error) {
+	var fns []execFn
+	for _, s := range body {
+		fn, err := c.compileStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, fn)
+	}
+	return func(ev *env) bool {
+		for _, fn := range fns {
+			if !fn(ev) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func (c *compiler) compileStmt(s stmt) (execFn, *Error) {
+	switch v := s.(type) {
+	case *rejectStmt:
+		if !c.inApply {
+			return nil, errf(v.line, v.col, "reject is only allowed inside apply")
+		}
+		return func(ev *env) bool {
+			ev.rejected = true
+			return false
+		}, nil
+	case *ifStmt:
+		cond, err := c.compileExpr(v.cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := c.compileBlock(v.then)
+		if err != nil {
+			return nil, err
+		}
+		alt, err := c.compileBlock(v.alt)
+		if err != nil {
+			return nil, err
+		}
+		return func(ev *env) bool {
+			if cond(ev) != 0 {
+				return then(ev)
+			}
+			return alt(ev)
+		}, nil
+	case *forStmt:
+		for _, name := range c.locals {
+			if name == v.varName {
+				return nil, errf(v.line, v.col, "loop variable %q shadows an enclosing loop variable", v.varName)
+			}
+		}
+		if _, clash := c.syms[v.varName]; clash || v.varName == "depth" || v.varName == "m" {
+			return nil, errf(v.line, v.col, "loop variable %q shadows an existing name", v.varName)
+		}
+		lo, err := c.compileExpr(v.lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.compileExpr(v.hi)
+		if err != nil {
+			return nil, err
+		}
+		slot := len(c.locals)
+		c.locals = append(c.locals, v.varName)
+		if len(c.locals) > c.maxLocals {
+			c.maxLocals = len(c.locals)
+		}
+		body, err := c.compileBlock(v.body)
+		c.locals = c.locals[:len(c.locals)-1]
+		if err != nil {
+			return nil, err
+		}
+		return func(ev *env) bool {
+			for len(ev.locals) <= slot {
+				ev.locals = append(ev.locals, 0)
+			}
+			for i := lo(ev); i < hi(ev); i++ {
+				ev.locals[slot] = i
+				if !body(ev) {
+					return false
+				}
+			}
+			return true
+		}, nil
+	case *assignStmt:
+		for _, name := range c.locals {
+			if name == v.target {
+				return nil, errf(v.line, v.col, "cannot assign to loop variable %q", v.target)
+			}
+		}
+		sym, ok := c.syms[v.target]
+		if !ok {
+			if v.target == "depth" || v.target == "m" {
+				return nil, errf(v.line, v.col, "cannot assign to builtin %q", v.target)
+			}
+			return nil, errf(v.line, v.col, "undefined name %q", v.target)
+		}
+		if sym.kind == symParam {
+			return nil, errf(v.line, v.col, "cannot assign to param %q", v.target)
+		}
+		shared := sym.kind == symSharedScalar || sym.kind == symSharedArray
+		if shared && !c.inInit {
+			return nil, errf(v.line, v.col, "shared state %q may only be written in init (it is not cloned for tasks)", v.target)
+		}
+		val, err := c.compileExpr(v.value)
+		if err != nil {
+			return nil, err
+		}
+		slot := sym.slot
+		switch sym.kind {
+		case symScalar, symSharedScalar:
+			if v.index != nil {
+				return nil, errf(v.line, v.col, "%q is a scalar, not an array", v.target)
+			}
+			return func(ev *env) bool {
+				st := ev.ws
+				if shared {
+					st = ev.shared
+				}
+				if ev.logging {
+					ev.log = append(ev.log, writeRec{shared: shared, array: -1, slot: slot, old: st.scalars[slot]})
+				}
+				st.scalars[slot] = val(ev)
+				return true
+			}, nil
+		case symArray, symSharedArray:
+			if v.index == nil {
+				return nil, errf(v.line, v.col, "array %q assigned without an index", v.target)
+			}
+			idx, err := c.compileExpr(v.index)
+			if err != nil {
+				return nil, err
+			}
+			size := int64(sym.size)
+			line, col := v.line, v.col
+			return func(ev *env) bool {
+				st := ev.ws
+				if shared {
+					st = ev.shared
+				}
+				i := idx(ev)
+				if i < 0 || i >= size {
+					panic(errf(line, col, "index %d out of range [0,%d)", i, size))
+				}
+				if ev.logging {
+					ev.log = append(ev.log, writeRec{shared: shared, array: slot, slot: int(i), old: st.arrays[slot][i]})
+				}
+				st.arrays[slot][i] = val(ev)
+				return true
+			}, nil
+		}
+	}
+	line, col := s.stmtPos()
+	return nil, errf(line, col, "unsupported statement")
+}

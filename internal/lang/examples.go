@@ -1,0 +1,153 @@
+package lang
+
+// Example ATC sources, used by tests, examples/dsl and cmd/adaptivetc-run.
+
+// NQueensSrc is the paper's canonical taskprivate example (§4.1): n-queens
+// with conflict arrays (the Nqueen-array variant of Table 1).
+const NQueensSrc = `
+# N-Queens, array variant (the paper's canonical taskprivate example).
+param n = 8
+
+state x[n]              # queen column per row - the chessboard
+state cols[n]           # conflict arrays
+state d1[2*n - 1]
+state d2[2*n - 1]
+
+terminal depth == n -> 1
+
+moves n
+
+apply {
+    if cols[m] != 0 || d1[depth + m] != 0 || d2[depth - m + n - 1] != 0 {
+        reject
+    }
+    x[depth] = m
+    cols[m] = 1
+    d1[depth + m] = 1
+    d2[depth - m + n - 1] = 1
+}
+
+undo {
+    cols[m] = 0
+    d1[depth + m] = 0
+    d2[depth - m + n - 1] = 0
+}
+`
+
+// FibSrc computes Fibonacci recursively: the workspace is an explicit
+// stack of pending subproblems, as in problems/fib.
+const FibSrc = `
+# Recursive Fibonacci: fib(n) = fib(n-1) + fib(n-2); leaves are worth n.
+param n = 20
+param maxdepth = 96
+
+state stack[maxdepth]
+state sp
+
+init {
+    stack[0] = n
+    sp = 0
+}
+
+terminal stack[sp] < 2 -> stack[sp]
+
+moves 2
+
+apply {
+    stack[sp + 1] = stack[sp] - 1 - m
+    sp = sp + 1
+}
+
+undo {
+    sp = sp - 1
+}
+`
+
+// LatinSrc counts Latin squares of order n (the degenerate Strimko of
+// problems/strimko): rows and columns each contain every digit once.
+const LatinSrc = `
+# Latin squares of order n: 576 for n = 4, 161280 for n = 5.
+param n = 4
+
+state grid[n * n]
+state rowUsed[n * n]    # rowUsed[r*n + v] = digit v used in row r
+state colUsed[n * n]
+
+terminal depth == n * n -> 1
+
+moves n
+
+apply {
+    if rowUsed[(depth / n) * n + m] != 0 || colUsed[(depth % n) * n + m] != 0 {
+        reject
+    }
+    grid[depth] = m + 1
+    rowUsed[(depth / n) * n + m] = 1
+    colUsed[(depth % n) * n + m] = 1
+}
+
+undo {
+    grid[depth] = 0
+    rowUsed[(depth / n) * n + m] = 0
+    colUsed[(depth % n) * n + m] = 0
+}
+`
+
+// KnightSrc counts open knight's tours on an n×n board from the corner,
+// matching problems/knight. The move deltas live in shared (non-cloned)
+// lookup tables built by the init block.
+const KnightSrc = `
+# Knight's tours on an n x n board starting at (0,0).
+param n = 5
+param cells = n * n
+
+state visited[cells]
+state path[cells]       # cell index per step; path[depth] is current
+state dr[8] shared      # knight move deltas (offset by +2 to stay >= 0)
+state dc[8] shared
+
+init {
+    dr[0] = 3  dc[0] = 4   # (+1,+2) stored as (d+2)
+    dr[1] = 4  dc[1] = 3
+    dr[2] = 4  dc[2] = 1
+    dr[3] = 3  dc[3] = 0
+    dr[4] = 1  dc[4] = 0
+    dr[5] = 0  dc[5] = 1
+    dr[6] = 0  dc[6] = 3
+    dr[7] = 1  dc[7] = 4
+    visited[0] = 1
+    path[0] = 0
+}
+
+terminal depth == cells - 1 -> 1
+
+moves 8
+
+apply {
+    if path[depth] / n + dr[m] - 2 < 0 || path[depth] / n + dr[m] - 2 >= n {
+        reject
+    }
+    if path[depth] % n + dc[m] - 2 < 0 || path[depth] % n + dc[m] - 2 >= n {
+        reject
+    }
+    if visited[(path[depth] / n + dr[m] - 2) * n + path[depth] % n + dc[m] - 2] != 0 {
+        reject
+    }
+    path[depth + 1] = (path[depth] / n + dr[m] - 2) * n + path[depth] % n + dc[m] - 2
+    visited[path[depth + 1]] = 1
+}
+
+undo {
+    visited[path[depth + 1]] = 0
+}
+`
+
+// Sources lists the built-in ATC programs by name.
+func Sources() map[string]string {
+	return map[string]string{
+		"nqueens": NQueensSrc,
+		"fib":     FibSrc,
+		"latin":   LatinSrc,
+		"knight":  KnightSrc,
+	}
+}

@@ -1,0 +1,167 @@
+package lang
+
+// lexer turns ATC source into tokens. Comments run from '#' to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.peekByte() {
+		case ' ', '\t', '\r', '\n':
+			l.advance()
+		case '#':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// next returns the next token or a lexical error.
+func (l *lexer) next() (token, *Error) {
+	l.skipSpace()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.advance()
+	mk := func(k kind, text string) (token, *Error) {
+		return token{kind: k, text: text, line: line, col: col}, nil
+	}
+	switch c {
+	case '{':
+		return mk(tokLBrace, "{")
+	case '}':
+		return mk(tokRBrace, "}")
+	case '[':
+		return mk(tokLBracket, "[")
+	case ']':
+		return mk(tokRBracket, "]")
+	case '(':
+		return mk(tokLParen, "(")
+	case ')':
+		return mk(tokRParen, ")")
+	case ',':
+		return mk(tokComma, ",")
+	case '+':
+		return mk(tokPlus, "+")
+	case '*':
+		return mk(tokStar, "*")
+	case '/':
+		return mk(tokSlash, "/")
+	case '%':
+		return mk(tokPercent, "%")
+	case '-':
+		if l.peekByte() == '>' {
+			l.advance()
+			return mk(tokArrow, "->")
+		}
+		return mk(tokMinus, "-")
+	case '=':
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokEq, "==")
+		}
+		return mk(tokAssign, "=")
+	case '!':
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokNeq, "!=")
+		}
+		return mk(tokNot, "!")
+	case '<':
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokLe, "<=")
+		}
+		return mk(tokLt, "<")
+	case '>':
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokGe, ">=")
+		}
+		return mk(tokGt, ">")
+	case '&':
+		if l.peekByte() == '&' {
+			l.advance()
+			return mk(tokAnd, "&&")
+		}
+		return token{}, errf(line, col, "stray '&' (did you mean '&&'?)")
+	case '|':
+		if l.peekByte() == '|' {
+			l.advance()
+			return mk(tokOr, "||")
+		}
+		return token{}, errf(line, col, "stray '|' (did you mean '||'?)")
+	}
+	if isDigit(c) {
+		n := int64(c - '0')
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			n = n*10 + int64(l.advance()-'0')
+			if n < 0 {
+				return token{}, errf(line, col, "integer literal overflows int64")
+			}
+		}
+		return token{kind: tokNumber, num: n, line: line, col: col}, nil
+	}
+	if isAlpha(c) {
+		start := l.pos - 1
+		for l.pos < len(l.src) && (isAlpha(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if k, ok := keywords[word]; ok {
+			return token{kind: k, text: word, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: word, line: line, col: col}, nil
+	}
+	return token{}, errf(line, col, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, *Error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package lang
+
+// parser is a recursive-descent parser over the token slice.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) take() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k kind) (token, *Error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, errf(t.line, t.col, "expected %s, found %s", k, describe(t))
+	}
+	return p.take(), nil
+}
+
+func describe(t token) string {
+	switch t.kind {
+	case tokIdent:
+		return "identifier " + t.text
+	case tokNumber:
+		return "number"
+	default:
+		return "'" + t.kind.String() + "'"
+	}
+}
+
+// parse builds the file AST.
+func parse(src string) (*file, *Error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &file{}
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		switch t.kind {
+		case tokParam:
+			d, err := p.parseParam()
+			if err != nil {
+				return nil, err
+			}
+			f.params = append(f.params, d)
+		case tokState:
+			d, err := p.parseState()
+			if err != nil {
+				return nil, err
+			}
+			f.states = append(f.states, d)
+		case tokInit:
+			if f.initBody != nil {
+				return nil, errf(t.line, t.col, "duplicate init block")
+			}
+			p.take()
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			f.initBody = body
+		case tokTerminal:
+			if f.terminal != nil {
+				return nil, errf(t.line, t.col, "duplicate terminal rule")
+			}
+			p.take()
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokArrow); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.terminal = &terminalDecl{cond: cond, value: val}
+		case tokMoves:
+			if f.moves != nil {
+				return nil, errf(t.line, t.col, "duplicate moves rule")
+			}
+			p.take()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.moves = e
+		case tokApply:
+			if f.apply != nil {
+				return nil, errf(t.line, t.col, "duplicate apply block")
+			}
+			p.take()
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			f.apply = body
+		case tokUndo:
+			if f.undo != nil {
+				return nil, errf(t.line, t.col, "duplicate undo block")
+			}
+			p.take()
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			f.undo = body
+		default:
+			return nil, errf(t.line, t.col, "expected a declaration (param/state/init/terminal/moves/apply/undo), found %s", describe(t))
+		}
+	}
+	switch {
+	case f.terminal == nil:
+		return nil, errf(1, 1, "missing terminal rule")
+	case f.moves == nil:
+		return nil, errf(1, 1, "missing moves rule")
+	case f.apply == nil:
+		return nil, errf(1, 1, "missing apply block")
+	case f.undo == nil:
+		return nil, errf(1, 1, "missing undo block")
+	}
+	return f, nil
+}
+
+func (p *parser) parseParam() (*paramDecl, *Error) {
+	t := p.take() // param
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &paramDecl{name: name.text, value: v, line: t.line}, nil
+}
+
+func (p *parser) parseState() (*stateDecl, *Error) {
+	t := p.take() // state
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &stateDecl{name: name.text, line: t.line}
+	if p.cur().kind == tokLBracket {
+		p.take()
+		size, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		d.size = size
+	}
+	switch p.cur().kind {
+	case tokShared:
+		p.take()
+		d.shared = true
+	case tokTaskprivate:
+		p.take() // the default, stated explicitly
+	}
+	return d, nil
+}
+
+func (p *parser) parseBlock() ([]stmt, *Error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for p.cur().kind != tokRBrace {
+		if p.cur().kind == tokEOF {
+			t := p.cur()
+			return nil, errf(t.line, t.col, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.take() // }
+	return out, nil
+}
+
+func (p *parser) parseStmt() (stmt, *Error) {
+	t := p.cur()
+	switch t.kind {
+	case tokReject:
+		p.take()
+		return &rejectStmt{line: t.line, col: t.col}, nil
+	case tokFor:
+		p.take()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokTo); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &forStmt{varName: name.text, lo: lo, hi: hi, body: body, line: t.line, col: t.col}, nil
+	case tokIf:
+		p.take()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{cond: cond, then: then, line: t.line, col: t.col}
+		if p.cur().kind == tokElse {
+			p.take()
+			if p.cur().kind == tokIf {
+				inner, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				s.alt = []stmt{inner}
+			} else {
+				alt, err := p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+				s.alt = alt
+			}
+		}
+		return s, nil
+	case tokIdent:
+		name := p.take()
+		var index expr
+		if p.cur().kind == tokLBracket {
+			p.take()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			index = e
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{target: name.text, index: index, value: v, line: t.line, col: t.col}, nil
+	}
+	return nil, errf(t.line, t.col, "expected a statement, found %s", describe(t))
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	or:      and ("||" and)*
+//	and:     cmp ("&&" cmp)*
+//	cmp:     add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//	add:     mul (("+"|"-") mul)*
+//	mul:     unary (("*"|"/"|"%") unary)*
+//	unary:   ("-"|"!") unary | primary
+//	primary: number | ident | ident "[" expr "]" | "(" expr ")"
+func (p *parser) parseExpr() (expr, *Error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr, *Error) {
+	return p.parseLeftAssoc(p.parseAnd, tokOr)
+}
+
+func (p *parser) parseAnd() (expr, *Error) {
+	return p.parseLeftAssoc(p.parseCmp, tokAnd)
+}
+
+func (p *parser) parseLeftAssoc(sub func() (expr, *Error), ops ...kind) (expr, *Error) {
+	left, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		matched := false
+		for _, op := range ops {
+			if t.kind == op {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+		p.take()
+		right, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{op: t.kind, left: left, right: right, line: t.line, col: t.col}
+	}
+}
+
+func (p *parser) parseCmp() (expr, *Error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	switch t.kind {
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		p.take()
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &binExpr{op: t.kind, left: left, right: right, line: t.line, col: t.col}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (expr, *Error) {
+	return p.parseLeftAssoc(p.parseMul, tokPlus, tokMinus)
+}
+
+func (p *parser) parseMul() (expr, *Error) {
+	return p.parseLeftAssoc(p.parseUnary, tokStar, tokSlash, tokPercent)
+}
+
+func (p *parser) parseUnary() (expr, *Error) {
+	t := p.cur()
+	if t.kind == tokMinus || t.kind == tokNot {
+		p.take()
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: t.kind, operand: operand, line: t.line, col: t.col}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, *Error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.take()
+		return &numLit{v: t.num, line: t.line, col: t.col}, nil
+	case tokIdent:
+		p.take()
+		if p.cur().kind == tokLBracket {
+			p.take()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			return &indexExpr{name: t.text, index: idx, line: t.line, col: t.col}, nil
+		}
+		return &ident{name: t.text, line: t.line, col: t.col}, nil
+	case tokLParen:
+		p.take()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.line, t.col, "expected an expression, found %s", describe(t))
+}

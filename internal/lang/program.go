@@ -1,0 +1,121 @@
+package lang
+
+import (
+	"adaptivetc/internal/sched"
+)
+
+// workspace adapts a store to sched.Workspace: the taskprivate state of
+// one task, deep-copied on Clone exactly as the paper's taskprivate
+// attribute prescribes.
+type workspace struct {
+	st *store
+}
+
+// Clone implements sched.Workspace.
+func (w *workspace) Clone() sched.Workspace { return &workspace{st: w.st.clone()} }
+
+// Bytes implements sched.Workspace: the taskprivate payload size.
+func (w *workspace) Bytes() int { return w.st.bytes() }
+
+// CopyFrom implements sched.Reusable.
+func (w *workspace) CopyFrom(src sched.Workspace) { w.st.copyFrom(src.(*workspace).st) }
+
+// Program adapts a Compiled ATC program to sched.Program, so every engine
+// in the repository (Cilk, Tascell, AdaptiveTC, …) can run source written
+// in the mini-language.
+type Program struct {
+	c       *Compiled
+	wsProto *store
+}
+
+// NewProgram wraps a compiled ATC file, running the init block exactly
+// once to establish the shared state and the root taskprivate state. The
+// shared prototype is re-zeroed first, so wrapping the same Compiled twice
+// is safe.
+func NewProgram(c *Compiled) *Program {
+	for i := range c.sharedProto.scalars {
+		c.sharedProto.scalars[i] = 0
+	}
+	for _, a := range c.sharedProto.arrays {
+		for i := range a {
+			a[i] = 0
+		}
+	}
+	probe := &env{ws: c.newStore(), shared: c.sharedProto}
+	c.initStmts(probe)
+	return &Program{c: c, wsProto: probe.ws}
+}
+
+// CompileProgram is the one-call front end: source to runnable program.
+func CompileProgram(name, src string, overrides map[string]int64) (*Program, error) {
+	c, err := Compile(name, src, overrides)
+	if err != nil {
+		return nil, err
+	}
+	return NewProgram(c), nil
+}
+
+// Name implements sched.Program.
+func (p *Program) Name() string { return "atc:" + p.c.name }
+
+// Root implements sched.Program.
+func (p *Program) Root() sched.Workspace { return &workspace{st: p.wsProto.clone()} }
+
+func (p *Program) envFor(w sched.Workspace, depth, m int) *env {
+	return &env{
+		ws:     w.(*workspace).st,
+		shared: p.c.sharedProto,
+		depth:  int64(depth),
+		m:      int64(m),
+	}
+}
+
+// Terminal implements sched.Program.
+func (p *Program) Terminal(w sched.Workspace, depth int) (int64, bool) {
+	ev := p.envFor(w, depth, 0)
+	if p.c.terminalCond(ev) == 0 {
+		return 0, false
+	}
+	return p.c.terminalVal(ev), true
+}
+
+// Moves implements sched.Program.
+func (p *Program) Moves(w sched.Workspace, depth int) int {
+	ev := p.envFor(w, depth, 0)
+	n := p.c.movesExpr(ev)
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Apply implements sched.Program: run the apply block with a rollback log;
+// a reject restores every write and reports the move illegal.
+func (p *Program) Apply(w sched.Workspace, depth, m int) bool {
+	ev := p.envFor(w, depth, m)
+	ev.logging = true
+	p.c.applyStmts(ev)
+	if !ev.rejected {
+		return true
+	}
+	// Roll back in reverse order.
+	for i := len(ev.log) - 1; i >= 0; i-- {
+		rec := ev.log[i]
+		st := ev.ws
+		if rec.shared {
+			st = ev.shared
+		}
+		if rec.array < 0 {
+			st.scalars[rec.slot] = rec.old
+		} else {
+			st.arrays[rec.array][rec.slot] = rec.old
+		}
+	}
+	return false
+}
+
+// Undo implements sched.Program.
+func (p *Program) Undo(w sched.Workspace, depth, m int) {
+	ev := p.envFor(w, depth, m)
+	p.c.undoStmts(ev)
+}

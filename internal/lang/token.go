@@ -1,0 +1,111 @@
+package lang
+
+import "fmt"
+
+// kind enumerates token kinds of the ATC mini-language.
+type kind int
+
+const (
+	tokEOF kind = iota
+	tokIdent
+	tokNumber
+	// punctuation
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLBracket // [
+	tokRBracket // ]
+	tokLParen   // (
+	tokRParen   // )
+	tokComma
+	tokAssign // =
+	tokArrow  // ->
+	// operators
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokEq  // ==
+	tokNeq // !=
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokAnd // &&
+	tokOr  // ||
+	tokNot // !
+	// keywords
+	tokParam
+	tokState
+	tokInit
+	tokTerminal
+	tokMoves
+	tokApply
+	tokUndo
+	tokIf
+	tokElse
+	tokReject
+	tokTaskprivate
+	tokShared
+	tokFor
+	tokTo
+)
+
+var keywords = map[string]kind{
+	"param":       tokParam,
+	"state":       tokState,
+	"init":        tokInit,
+	"terminal":    tokTerminal,
+	"moves":       tokMoves,
+	"apply":       tokApply,
+	"undo":        tokUndo,
+	"if":          tokIf,
+	"else":        tokElse,
+	"reject":      tokReject,
+	"taskprivate": tokTaskprivate,
+	"shared":      tokShared,
+	"for":         tokFor,
+	"to":          tokTo,
+}
+
+func (k kind) String() string {
+	names := map[kind]string{
+		tokEOF: "end of file", tokIdent: "identifier", tokNumber: "number",
+		tokLBrace: "{", tokRBrace: "}", tokLBracket: "[", tokRBracket: "]",
+		tokLParen: "(", tokRParen: ")", tokComma: ",", tokAssign: "=",
+		tokArrow: "->", tokPlus: "+", tokMinus: "-", tokStar: "*",
+		tokSlash: "/", tokPercent: "%", tokEq: "==", tokNeq: "!=",
+		tokLt: "<", tokLe: "<=", tokGt: ">", tokGe: ">=", tokAnd: "&&",
+		tokOr: "||", tokNot: "!",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	for w, kw := range keywords {
+		if kw == k {
+			return w
+		}
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind kind
+	text string
+	num  int64
+	line int
+	col  int
+}
+
+// Error is a compile-time diagnostic with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,77 @@
+package sched
+
+import "fmt"
+
+// TreeStats describes the shape of a program's search tree, the quantities
+// the paper reports in Figure 8 and Table 3: total size, leaf count, depth,
+// and the share of the whole held by each depth-1 subtree.
+type TreeStats struct {
+	Program   string
+	Nodes     int64
+	Leaves    int64
+	Depth     int
+	Depth1    []int64 // size of each depth-1 subtree (absent children omitted? kept as 0)
+	Truncated bool    // the MaxNodes cap was hit; numbers are lower bounds
+}
+
+// Depth1Percent returns each depth-1 subtree's share of the whole, in the
+// format of Table 3's last column.
+func (t TreeStats) Depth1Percent() []float64 {
+	out := make([]float64, len(t.Depth1))
+	for i, s := range t.Depth1 {
+		out[i] = 100 * float64(s) / float64(t.Nodes)
+	}
+	return out
+}
+
+func (t TreeStats) String() string {
+	return fmt.Sprintf("%s: nodes=%d leaves=%d depth=%d depth1=%v%%",
+		t.Program, t.Nodes, t.Leaves, t.Depth, t.Depth1Percent())
+}
+
+// Analyze walks p's search tree sequentially and reports its shape. If
+// maxNodes > 0 the walk aborts once that many nodes have been visited and
+// marks the result truncated.
+func Analyze(p Program, maxNodes int64) TreeStats {
+	st := TreeStats{Program: p.Name()}
+	ws := p.Root()
+	var walk func(depth int) int64
+	walk = func(depth int) int64 {
+		if st.Truncated {
+			return 0
+		}
+		st.Nodes++
+		if maxNodes > 0 && st.Nodes > maxNodes {
+			st.Truncated = true
+			return 0
+		}
+		if depth > st.Depth {
+			st.Depth = depth
+		}
+		if _, term := p.Terminal(ws, depth); term {
+			st.Leaves++
+			return 1
+		}
+		size := int64(1)
+		n := p.Moves(ws, depth)
+		anyChild := false
+		for m := 0; m < n; m++ {
+			if !p.Apply(ws, depth, m) {
+				continue
+			}
+			anyChild = true
+			sub := walk(depth + 1)
+			p.Undo(ws, depth, m)
+			if depth == 0 {
+				st.Depth1 = append(st.Depth1, sub)
+			}
+			size += sub
+		}
+		if !anyChild {
+			st.Leaves++ // dead end: no legal moves
+		}
+		return size
+	}
+	walk(0)
+	return st
+}

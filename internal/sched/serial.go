@@ -1,0 +1,66 @@
+package sched
+
+import "adaptivetc/internal/vtime"
+
+// ChargeNode advances proc by the modelled cost of visiting one node of p.
+func ChargeNode(p Program, ws Workspace, depth int, c *Costs, proc vtime.Proc) {
+	cost := c.Node
+	if extra, ok := p.(Coster); ok {
+		cost += extra.NodeCost(ws, depth)
+	}
+	proc.Advance(cost)
+}
+
+// EvalSequential evaluates the subtree rooted at ws with plain recursion and
+// move undo — no tasks, no copies. It is both the serial baseline and the
+// "sequence version" that every parallel engine falls back to. Counters are
+// accumulated into st; proc's clock advances by the modelled work.
+func EvalSequential(p Program, ws Workspace, depth int, c *Costs, proc vtime.Proc, st *Stats) int64 {
+	st.Nodes++
+	ChargeNode(p, ws, depth, c, proc)
+	proc.Yield()
+	if v, term := p.Terminal(ws, depth); term {
+		return v
+	}
+	var sum int64
+	n := p.Moves(ws, depth)
+	for m := 0; m < n; m++ {
+		proc.Advance(c.Move)
+		if !p.Apply(ws, depth, m) {
+			continue
+		}
+		sum += EvalSequential(p, ws, depth+1, c, proc, st)
+		p.Undo(ws, depth, m)
+	}
+	return sum
+}
+
+// Serial runs the program on one worker with no scheduling machinery at all.
+// It is the baseline every speedup in the paper (and here) is computed
+// against.
+type Serial struct{}
+
+// Name implements Engine.
+func (Serial) Name() string { return "serial" }
+
+// Run implements Engine.
+func (Serial) Run(p Program, opt Options) (Result, error) {
+	costs := opt.CostsOrDefault()
+	var st Stats
+	var value int64
+	plat := opt.PlatformOrDefault()
+	makespan := plat.Run(1, func(proc vtime.Proc) {
+		start := proc.Now()
+		value = EvalSequential(p, p.Root(), 0, &costs, proc, &st)
+		st.WorkerTime += proc.Now() - start
+	})
+	st.WorkTime = st.WorkerTime
+	return Result{
+		Value:    value,
+		Makespan: makespan,
+		Workers:  1,
+		Engine:   "serial",
+		Program:  p.Name(),
+		Stats:    st,
+	}, nil
+}

@@ -1,0 +1,199 @@
+// Package slaw implements the help-first scheduling policy and a SLAW-like
+// adaptive switcher between help-first and work-first — the alternative
+// adaptive scheduler the paper's related work contrasts AdaptiveTC with
+// ("SLAW adaptively switches between work-first and help-first scheduling
+// policies", Guo et al., IPDPS 2010).
+//
+// Under work-first (Cilk's policy, internal/cilk) the worker executes the
+// spawned child immediately and leaves its own continuation stealable.
+// Under help-first the worker pushes the *child* as an unstarted task and
+// continues its own loop, so a burst of spawns fans out breadth-first —
+// good when thieves are starving, at the price of a frame and a workspace
+// copy per spawn even when nothing is stolen.
+//
+// The adaptive policy uses a simplified SLAW rule: spawn help-first while
+// the worker's deque holds fewer tasks than the worker count (parallelism
+// still needs to be published), work-first once the deque is comfortably
+// populated. This engine exists as an extension for comparison against
+// AdaptiveTC, which adapts along a different axis (how many tasks exist at
+// all, rather than which end of the spawn is made stealable).
+package slaw
+
+import (
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/wsrt"
+)
+
+// Policy selects the spawn side that becomes stealable.
+type Policy int
+
+const (
+	// HelpFirst always pushes the child.
+	HelpFirst Policy = iota
+	// WorkFirst always pushes the continuation (≡ Cilk; here for ablation
+	// symmetry within this engine's code path).
+	WorkFirst
+	// Adaptive switches per spawn on deque population (SLAW-like).
+	Adaptive
+)
+
+// Engine is the help-first / SLAW scheduler.
+type Engine struct {
+	policy Policy
+}
+
+// NewHelpFirst returns the pure help-first engine.
+func NewHelpFirst() *Engine { return &Engine{policy: HelpFirst} }
+
+// New returns the adaptive (SLAW-like) engine.
+func New() *Engine { return &Engine{policy: Adaptive} }
+
+// NewWorkFirst returns this engine's work-first configuration.
+func NewWorkFirst() *Engine { return &Engine{policy: WorkFirst} }
+
+// Name implements sched.Engine.
+func (e *Engine) Name() string {
+	switch e.policy {
+	case HelpFirst:
+		return "helpfirst"
+	case WorkFirst:
+		return "slaw-workfirst"
+	default:
+		return "slaw"
+	}
+}
+
+// Run implements sched.Engine.
+func (e *Engine) Run(p sched.Program, opt sched.Options) (sched.Result, error) {
+	return wsrt.Run(p, opt, func(rt *wsrt.Runtime) wsrt.Engine {
+		return &exec{policy: e.policy, workers: opt.WorkersOrDefault()}
+	}, e.Name())
+}
+
+type exec struct {
+	policy  Policy
+	workers int
+}
+
+// Root implements wsrt.Engine.
+func (x *exec) Root(w *wsrt.Worker) (int64, bool) {
+	return x.node(w, nil, w.Prog().Root(), 0)
+}
+
+// Resume implements wsrt.Engine. A stolen KindChild frame is an unstarted
+// node; a stolen continuation resumes its loop.
+func (x *exec) Resume(w *wsrt.Worker, f *wsrt.Frame) (int64, bool) {
+	if f.Kind == wsrt.KindChild {
+		f.Start()
+		return x.nodeFrame(w, f)
+	}
+	return x.loop(w, f, f.PC, f.Sum)
+}
+
+func (x *exec) helpFirst(w *wsrt.Worker) bool {
+	switch x.policy {
+	case HelpFirst:
+		return true
+	case WorkFirst:
+		return false
+	default:
+		return w.Deque.Size() < x.workers
+	}
+}
+
+// node runs one task from scratch.
+func (x *exec) node(w *wsrt.Worker, parent *wsrt.Frame, ws sched.Workspace, depth int) (int64, bool) {
+	w.BeginNode(ws, depth)
+	w.ChargeTask()
+	if v, term := w.Prog().Terminal(ws, depth); term {
+		return v, true
+	}
+	f := w.NewFrame(parent, ws, depth, depth, wsrt.KindFast)
+	return x.loop(w, f, 0, 0)
+}
+
+// nodeFrame runs an unstarted child frame. Its task-creation cost was
+// charged when the frame was spawned (help-first pays the frame up front),
+// so only the node visit is charged here.
+func (x *exec) nodeFrame(w *wsrt.Worker, f *wsrt.Frame) (int64, bool) {
+	w.BeginNode(f.WS, f.Depth)
+	if v, term := w.Prog().Terminal(f.WS, f.Depth); term {
+		return v, true
+	}
+	return x.loop(w, f, 0, 0)
+}
+
+// loop is the spawn loop, choosing help-first or work-first per move.
+func (x *exec) loop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64, bool) {
+	prog := w.Prog()
+	ws, depth := f.WS, f.Depth
+	n := prog.Moves(ws, depth)
+	queued := 0 // our help-first children currently in the deque
+	for m := pc; m < n; m++ {
+		w.ChargeMove()
+		if !prog.Apply(ws, depth, m) {
+			continue
+		}
+		childWS := w.Clone(ws)
+		prog.Undo(ws, depth, m)
+		if x.helpFirst(w) {
+			// Push the child, keep going: the spawn fans out. The frame is
+			// paid for now, whether or not it is ever stolen — help-first's
+			// intrinsic cost.
+			w.ChargeTask()
+			child := w.NewFrame(f, childWS, depth+1, depth+1, wsrt.KindChild)
+			w.Push(child)
+			queued++
+			continue
+		}
+		// Work-first: push our continuation and dive into the child.
+		f.PC, f.Sum = m+1, sum
+		w.Push(f)
+		v, completed := x.node(w, f, childWS, depth+1)
+		if !completed {
+			// Everything below our continuation — our queued help-first
+			// children included — was stolen first; their values arrive as
+			// deposits (the steal of each KindChild credited our join).
+			return 0, false
+		}
+		if _, ok := w.Pop(); !ok {
+			w.Deposit(f, v)
+			return 0, false
+		}
+		sum += v
+	}
+	// Drain our queued help-first children: LIFO pops return them unless
+	// they were stolen (head side), in which case the pop fails only after
+	// everything of ours is gone.
+	for queued > 0 {
+		e, ok := w.Pop()
+		if !ok {
+			// The rest were stolen; each theft already registered a
+			// pending deposit on our frame.
+			break
+		}
+		child := e.(*wsrt.Frame)
+		if child.Parent != f || child.Kind != wsrt.KindChild {
+			panic("slaw: popped a frame that is not one of our queued children")
+		}
+		queued--
+		child.Start()
+		// Register the possible deposit *before* running the child: if it
+		// suspends, its finaliser may deposit into f immediately, racing a
+		// post-hoc registration.
+		f.ExpectDeposit()
+		v, completed := x.nodeFrame(w, child)
+		if completed {
+			f.CancelExpected()
+			sum += v
+			continue
+		}
+		// The child suspended (or detached): its total arrives by deposit.
+	}
+	total, out := f.Sync(sum)
+	if out == wsrt.SyncSuspended {
+		w.Stats.Suspends++
+		return 0, false
+	}
+	return total, true
+}

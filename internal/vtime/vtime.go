@@ -1,0 +1,290 @@
+// Package vtime is the execution platform shared by every scheduling engine
+// in this repository. A Platform runs N workers; each worker receives a Proc
+// handle through which it accounts for the cost of its actions and offers
+// scheduling points.
+//
+// Two implementations exist:
+//
+//   - Real: workers are ordinary goroutines and Now is the wall clock. Use
+//     this on multi-core hosts and in race-detector tests.
+//   - Sim: a deterministic conservative discrete-event core. Only the worker
+//     with the smallest virtual clock runs; everything an engine does
+//     (executing a node, pushing a frame, attempting a steal, copying a
+//     workspace, polling, waiting) advances its clock by a modelled cost.
+//     The virtual makespan of a run is then a faithful, reproducible stand-in
+//     for wall-clock time on a machine with N real cores — which is how this
+//     reproduction measures speedup on a single-core host.
+//
+// Engines must follow one rule for the two modes to be interchangeable:
+// never call Advance, Yield or Sleep while holding a lock that another
+// worker may contend. Between two Yield points a Sim worker runs alone, so
+// uncontended locks cost nothing and the identical code is race-safe under
+// Real with the locks doing their usual job.
+package vtime
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proc is a worker's handle onto the platform. A Proc is owned by exactly
+// one worker goroutine; none of its methods may be called from elsewhere.
+type Proc interface {
+	// ID is the worker index in [0, N).
+	ID() int
+	// Now returns the worker's current time in nanoseconds. Under Sim this
+	// is the worker's virtual clock; under Real it is wall time since the
+	// run started. Time from different workers is comparable.
+	Now() int64
+	// Advance accounts d nanoseconds of work. Under Sim it moves the
+	// virtual clock; under Real it only feeds the busy-time counter
+	// (the work itself is real). Negative d is ignored.
+	Advance(d int64)
+	// Yield is a scheduling point. Under Sim control may transfer to the
+	// worker with the smallest clock; under Real it is (almost) free.
+	Yield()
+	// Sleep advances the clock by d and yields, modelling a blocking wait
+	// tick (e.g. the paper's usleep(100) in sync_specialtask).
+	Sleep(d int64)
+	// Rand is this worker's deterministic random source (victim selection).
+	Rand() *rand.Rand
+}
+
+// Platform runs workers to completion.
+type Platform interface {
+	// Run starts n workers executing body and returns when all have
+	// returned. It reports the makespan in nanoseconds: virtual under Sim,
+	// wall-clock under Real.
+	Run(n int, body func(Proc)) int64
+	// Name identifies the platform ("real" or "sim").
+	Name() string
+}
+
+// ---------------------------------------------------------------------------
+// Real platform
+
+// Real executes workers as plain goroutines against the wall clock.
+type Real struct {
+	// Seed makes per-worker random sources reproducible. Zero means 1.
+	Seed int64
+}
+
+// Name implements Platform.
+func (*Real) Name() string { return "real" }
+
+// Run implements Platform.
+func (r *Real) Run(n int, body func(Proc)) int64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("vtime: Real.Run with n=%d workers", n))
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[panicBox]
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p := &realProc{id: i, start: start, rng: rand.New(rand.NewSource(seed + int64(i)*7919))}
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &panicBox{val: r})
+				}
+			}()
+			body(p)
+		}()
+	}
+	wg.Wait()
+	if pb := panicked.Load(); pb != nil {
+		panic(pb.val) // re-raise on the caller's goroutine
+	}
+	return time.Since(start).Nanoseconds()
+}
+
+type panicBox struct{ val any }
+
+type realProc struct {
+	id    int
+	start time.Time
+	rng   *rand.Rand
+	busy  int64
+}
+
+func (p *realProc) ID() int          { return p.id }
+func (p *realProc) Now() int64       { return time.Since(p.start).Nanoseconds() }
+func (p *realProc) Rand() *rand.Rand { return p.rng }
+
+func (p *realProc) Advance(d int64) {
+	if d > 0 {
+		p.busy += d
+	}
+}
+
+func (p *realProc) Yield() {}
+
+func (p *realProc) Sleep(d int64) {
+	switch {
+	case d <= 0:
+	case d < int64(2*time.Microsecond):
+		runtime.Gosched()
+	default:
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sim platform
+
+// Sim is a deterministic virtual-time platform. At any instant exactly one
+// worker executes; the core always resumes the runnable worker with the
+// smallest virtual clock (ties broken by worker ID). To keep the
+// channel-handoff overhead low the core grants each worker a slice: the
+// worker may keep running without a handoff until its clock passes the
+// second-smallest clock plus Quantum.
+type Sim struct {
+	// Seed for per-worker random sources. Zero means 1.
+	Seed int64
+	// Quantum is the slice slack in nanoseconds. Larger values run faster
+	// but allow workers to interleave up to Quantum out of order. Zero
+	// means 500ns.
+	Quantum int64
+	// Limit aborts the run (panic) if any clock passes this virtual time.
+	// Zero means no limit. It exists to turn engine livelocks into loud
+	// failures instead of hangs.
+	Limit int64
+}
+
+// Name implements Platform.
+func (*Sim) Name() string { return "sim" }
+
+type simProc struct {
+	id      int
+	clock   int64
+	horizon int64
+	rng     *rand.Rand
+	limit   int64
+
+	// resume carries the new horizon from the core; yield signals the core
+	// that the worker paused (false) or finished (true).
+	resume chan int64
+	yield  chan bool
+}
+
+func (p *simProc) ID() int          { return p.id }
+func (p *simProc) Now() int64       { return p.clock }
+func (p *simProc) Rand() *rand.Rand { return p.rng }
+
+func (p *simProc) Advance(d int64) {
+	if d > 0 {
+		p.clock += d
+		if p.limit > 0 && p.clock > p.limit {
+			panic(fmt.Sprintf("vtime: worker %d exceeded virtual time limit %dns (livelocked engine?)", p.id, p.limit))
+		}
+	}
+}
+
+func (p *simProc) Yield() {
+	if p.clock < p.horizon {
+		return
+	}
+	p.yield <- false
+	p.horizon = <-p.resume
+}
+
+func (p *simProc) Sleep(d int64) {
+	p.Advance(d)
+	p.Yield()
+}
+
+// Run implements Platform.
+func (s *Sim) Run(n int, body func(Proc)) int64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("vtime: Sim.Run with n=%d workers", n))
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	quantum := s.Quantum
+	if quantum == 0 {
+		quantum = 500
+	}
+
+	procs := make([]*simProc, n)
+	done := make([]bool, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &simProc{
+			id:     i,
+			rng:    rand.New(rand.NewSource(seed + int64(i)*7919)),
+			limit:  s.Limit,
+			resume: make(chan int64),
+			yield:  make(chan bool),
+		}
+	}
+	var panicked atomic.Pointer[panicBox]
+	for i := 0; i < n; i++ {
+		p := procs[i]
+		go func() {
+			p.horizon = <-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					// Capture the panic and surface it from Run on the
+					// caller's goroutine; mark the worker finished first so
+					// the core is not left waiting.
+					panicked.CompareAndSwap(nil, &panicBox{val: r})
+				}
+				p.yield <- true
+			}()
+			body(p)
+		}()
+	}
+
+	var makespan int64
+	remaining := n
+	for remaining > 0 {
+		// Pick the runnable worker with the smallest clock.
+		best := -1
+		for i, p := range procs {
+			if done[i] {
+				continue
+			}
+			if best == -1 || p.clock < procs[best].clock {
+				best = i
+			}
+		}
+		// Its horizon is the next runnable worker's clock plus the quantum.
+		second := int64(-1)
+		for i, p := range procs {
+			if done[i] || i == best {
+				continue
+			}
+			if second == -1 || p.clock < second {
+				second = p.clock
+			}
+		}
+		p := procs[best]
+		horizon := p.clock + quantum
+		if second >= 0 && second+quantum > horizon {
+			horizon = second + quantum
+		}
+		p.resume <- horizon
+		if <-p.yield {
+			done[best] = true
+			remaining--
+			if p.clock > makespan {
+				makespan = p.clock
+			}
+		}
+	}
+	if pb := panicked.Load(); pb != nil {
+		panic(pb.val) // re-raise on the caller's goroutine
+	}
+	return makespan
+}

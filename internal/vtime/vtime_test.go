@@ -1,0 +1,148 @@
+package vtime
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSimDeterministicOrder(t *testing.T) {
+	run := func() []int {
+		var order []int
+		sim := &Sim{Seed: 3, Quantum: 1}
+		sim.Run(3, func(p Proc) {
+			for i := 0; i < 5; i++ {
+				p.Advance(int64(10 * (p.ID() + 1)))
+				order = append(order, p.ID()) // safe: Sim serialises workers
+				p.Yield()
+			}
+		})
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 15 {
+		t.Fatalf("got %d events, want 15", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSimMakespan(t *testing.T) {
+	sim := &Sim{}
+	makespan := sim.Run(4, func(p Proc) {
+		p.Advance(int64(1000 * (p.ID() + 1)))
+		p.Yield()
+	})
+	if makespan != 4000 {
+		t.Fatalf("makespan = %d, want 4000 (slowest worker)", makespan)
+	}
+}
+
+func TestSimMinClockScheduling(t *testing.T) {
+	// A slow worker and a fast worker: the fast worker should accumulate
+	// many steps while the slow worker takes one.
+	var trace []int
+	sim := &Sim{Quantum: 1}
+	sim.Run(2, func(p Proc) {
+		if p.ID() == 0 {
+			for i := 0; i < 3; i++ {
+				p.Advance(1000)
+				trace = append(trace, 0)
+				p.Yield()
+			}
+		} else {
+			for i := 0; i < 30; i++ {
+				p.Advance(100)
+				trace = append(trace, 1)
+				p.Yield()
+			}
+		}
+	})
+	// Worker 1 should finish its first ~10 steps before worker 0's second.
+	ones := 0
+	for _, id := range trace[:10] {
+		if id == 1 {
+			ones++
+		}
+	}
+	if ones < 8 {
+		t.Fatalf("fast worker starved: first 10 events %v", trace[:10])
+	}
+}
+
+func TestSimSleepConvergence(t *testing.T) {
+	// One worker produces a flag at t=5000; the other waits on it with
+	// Sleep ticks and must observe it, at a clock past the producer's.
+	var flag atomic.Bool
+	var sawAt int64
+	sim := &Sim{}
+	sim.Run(2, func(p Proc) {
+		if p.ID() == 0 {
+			p.Advance(5000)
+			p.Yield()
+			flag.Store(true)
+		} else {
+			for !flag.Load() {
+				p.Sleep(200)
+			}
+			sawAt = p.Now()
+		}
+	})
+	if sawAt < 5000 {
+		t.Fatalf("waiter observed the flag at virtual %d, before the producer's 5000", sawAt)
+	}
+}
+
+func TestSimLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from virtual time limit")
+		}
+	}()
+	sim := &Sim{Limit: 1000}
+	sim.Run(1, func(p Proc) {
+		for {
+			p.Sleep(500)
+		}
+	})
+}
+
+func TestRealPlatformRuns(t *testing.T) {
+	var count atomic.Int64
+	r := &Real{Seed: 5}
+	makespan := r.Run(4, func(p Proc) {
+		count.Add(1)
+		p.Advance(10)
+		p.Yield()
+		p.Sleep(100)
+	})
+	if count.Load() != 4 {
+		t.Fatalf("ran %d workers, want 4", count.Load())
+	}
+	if makespan <= 0 {
+		t.Fatalf("makespan = %d, want > 0", makespan)
+	}
+}
+
+func TestProcRandDeterministic(t *testing.T) {
+	draw := func(seed int64) [2]int64 {
+		var out [2]int64
+		sim := &Sim{Seed: seed}
+		sim.Run(2, func(p Proc) {
+			out[p.ID()] = p.Rand().Int63()
+		})
+		return out
+	}
+	a, b := draw(9), draw(9)
+	if a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if a[0] == a[1] {
+		t.Fatal("workers share a random stream")
+	}
+	if c := draw(10); c == a {
+		t.Fatal("different seeds produced identical streams")
+	}
+}

@@ -1,0 +1,130 @@
+package wsrt
+
+import "testing"
+
+func TestSyncCompleteWithoutTheft(t *testing.T) {
+	f := &Frame{}
+	total, out := f.Sync(42)
+	if out != SyncComplete || total != 42 {
+		t.Fatalf("got (%d,%v), want (42,complete)", total, out)
+	}
+}
+
+func TestStealSuspendDeposit(t *testing.T) {
+	f := &Frame{}
+	f.OnStolen() // a thief took the frame; one deposit is now owed
+	if total, out := f.Sync(10); out != SyncSuspended || total != 0 {
+		t.Fatalf("sync with pending child: got (%d,%v)", total, out)
+	}
+	total, finalise := f.deposit(32)
+	if !finalise || total != 42 {
+		t.Fatalf("last deposit: got (%d,%v), want (42,true)", total, finalise)
+	}
+}
+
+func TestDepositBeforeSyncFoldsIn(t *testing.T) {
+	f := &Frame{}
+	f.OnStolen()
+	if _, finalise := f.deposit(5); finalise {
+		t.Fatal("deposit finalised an unsuspended frame")
+	}
+	total, out := f.Sync(10)
+	if out != SyncComplete || total != 15 {
+		t.Fatalf("got (%d,%v), want (15,complete)", total, out)
+	}
+}
+
+func TestMultipleSteals(t *testing.T) {
+	f := &Frame{}
+	f.OnStolen()
+	f.OnStolen()
+	f.OnStolen()
+	if _, fin := f.deposit(1); fin {
+		t.Fatal("finalised early")
+	}
+	if _, out := f.Sync(100); out != SyncSuspended {
+		t.Fatal("should suspend with 2 pending")
+	}
+	if _, fin := f.deposit(2); fin {
+		t.Fatal("finalised early")
+	}
+	total, fin := f.deposit(3)
+	if !fin || total != 106 {
+		t.Fatalf("got (%d,%v), want (106,true)", total, fin)
+	}
+}
+
+func TestSpecialExpectAndDrain(t *testing.T) {
+	f := &Frame{Kind: KindSpecial, waited: true}
+	if !f.Special() {
+		t.Fatal("not special")
+	}
+	f.ExpectDeposit()
+	if _, done := f.DrainedAfter(7); done {
+		t.Fatal("drained with a pending deposit")
+	}
+	if _, fin := f.deposit(5); fin {
+		t.Fatal("a depositor finalised a waited frame")
+	}
+	total, done := f.DrainedAfter(7)
+	if !done || total != 12 {
+		t.Fatalf("got (%d,%v), want (12,true)", total, done)
+	}
+}
+
+func TestSpecialEarlyDepositTransient(t *testing.T) {
+	// The finaliser may deposit before the check version registers
+	// ExpectDeposit; pending dips negative and recovers.
+	f := &Frame{Kind: KindSpecial, waited: true}
+	if _, fin := f.deposit(9); fin {
+		t.Fatal("finalised waited frame")
+	}
+	f.ExpectDeposit()
+	total, done := f.DrainedAfter(1)
+	if !done || total != 10 {
+		t.Fatalf("got (%d,%v), want (10,true)", total, done)
+	}
+}
+
+func TestDepositWithoutTheftPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected protocol-violation panic")
+		}
+	}()
+	f := &Frame{}
+	f.deposit(1)
+}
+
+func TestCancelExpected(t *testing.T) {
+	f := &Frame{}
+	f.ExpectDeposit()
+	f.CancelExpected()
+	if total, out := f.Sync(5); out != SyncComplete || total != 5 {
+		t.Fatalf("after cancel: got (%d,%v), want (5,complete)", total, out)
+	}
+}
+
+func TestStartConvertsChild(t *testing.T) {
+	parent := &Frame{}
+	child := &Frame{Kind: KindChild, Parent: parent}
+	child.OnStolen() // help-first theft credits the parent
+	if parent.pending != 1 || child.pending != 0 {
+		t.Fatalf("child theft credited wrong frame: parent=%d child=%d", parent.pending, child.pending)
+	}
+	child.Start()
+	if child.Kind != KindFast {
+		t.Fatal("Start did not convert the child")
+	}
+	child.OnStolen() // continuation theft credits the frame itself
+	if child.pending != 1 {
+		t.Fatalf("continuation theft went to pending=%d", child.pending)
+	}
+	// Resolve both to keep the invariants tidy.
+	if _, fin := child.deposit(1); fin {
+		t.Fatal("unexpected finalise")
+	}
+	if _, fin := parent.deposit(2); fin {
+		t.Fatal("unexpected finalise")
+	}
+}

@@ -1,0 +1,342 @@
+package wsrt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"adaptivetc/internal/deque"
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/vtime"
+)
+
+// Engine is the per-strategy part of the runtime: how to execute the root
+// task and how to resume a stolen frame (the paper's slow version). Both
+// return (value, completed); completed is false when the computation
+// detached — the frame was re-stolen or suspended and its value will arrive
+// at its parent through the deposit protocol.
+type Engine interface {
+	Root(w *Worker) (int64, bool)
+	Resume(w *Worker, f *Frame) (int64, bool)
+}
+
+// Runtime ties N workers, their deques and an Engine together for one run.
+type Runtime struct {
+	Prog   sched.Program
+	Costs  sched.Costs
+	N      int
+	Deques []deque.WorkDeque
+	Eng    Engine
+
+	profile bool
+	done    atomic.Bool
+	value   atomic.Int64
+	failure atomic.Pointer[runError]
+}
+
+type runError struct{ err error }
+
+// Done reports whether the run has completed (or failed).
+func (rt *Runtime) Done() bool { return rt.done.Load() }
+
+func (rt *Runtime) complete(v int64) {
+	rt.value.Store(v)
+	rt.done.Store(true)
+}
+
+// Abort stops the run with an error (e.g. deque overflow). Engines call it
+// via panic(abortError{...}) so that deep recursion unwinds; the worker's
+// top level recovers.
+type abortError struct{ err error }
+
+func (e abortError) Error() string { return e.err.Error() }
+
+// Worker is one scheduler thread.
+type Worker struct {
+	ID    int
+	Proc  vtime.Proc
+	Deque deque.WorkDeque
+	Stats sched.Stats
+
+	rt   *Runtime
+	pool []sched.Workspace
+}
+
+// Rt returns the worker's runtime.
+func (w *Worker) Rt() *Runtime { return w.rt }
+
+// Prog returns the program under execution.
+func (w *Worker) Prog() sched.Program { return w.rt.Prog }
+
+// Costs returns the run's cost model.
+func (w *Worker) Costs() *sched.Costs { return &w.rt.Costs }
+
+// BeginNode accounts one node visit.
+func (w *Worker) BeginNode(ws sched.Workspace, depth int) {
+	w.Stats.Nodes++
+	sched.ChargeNode(w.rt.Prog, ws, depth, &w.rt.Costs, w.Proc)
+	w.Proc.Yield()
+}
+
+// ChargeMove accounts one candidate move.
+func (w *Worker) ChargeMove() { w.Proc.Advance(w.rt.Costs.Move) }
+
+// ChargeTask accounts the creation of one real task (frame allocation and
+// initialisation — the paper's "task creation" overhead). Engines call it
+// at the entry of every task version, including for leaves, matching the
+// alloc/free pair in the paper's Appendix B; the Go Frame object itself is
+// only materialised when the node actually spawns.
+func (w *Worker) ChargeTask() {
+	t0 := w.now()
+	w.Proc.Advance(w.rt.Costs.Spawn)
+	w.Stats.TasksCreated++
+	w.addDeque(t0)
+}
+
+// NewFrame builds a frame for the node at tree depth `depth` with
+// cutoff-relative depth `rel`. Cost is accounted separately via ChargeTask.
+func (w *Worker) NewFrame(parent *Frame, ws sched.Workspace, depth, rel int, kind Kind) *Frame {
+	f := &Frame{Parent: parent, Depth: depth, Rel: rel, Kind: kind, WS: ws}
+	if kind == KindSpecial {
+		f.waited = true
+		w.Stats.SpecialTasks++
+	}
+	return f
+}
+
+// Push pushes f on the worker's own deque, accounting the cost. It aborts
+// the run on overflow (the deque is a fixed-size array, as in Cilk).
+func (w *Worker) Push(f *Frame) {
+	t0 := w.now()
+	w.Proc.Advance(w.rt.Costs.Push)
+	if !w.Deque.Push(f) {
+		panic(abortError{fmt.Errorf("%w: worker %d, capacity %d, program %s",
+			sched.ErrDequeOverflow, w.ID, w.Deque.Cap(), w.rt.Prog.Name())})
+	}
+	w.addDeque(t0)
+}
+
+// Pop pops the worker's own deque tail, accounting the cost.
+func (w *Worker) Pop() (deque.Entry, bool) {
+	t0 := w.now()
+	w.Proc.Advance(w.rt.Costs.Pop)
+	e, ok := w.Deque.Pop()
+	w.addDeque(t0)
+	return e, ok
+}
+
+// PopSpecial pops the special task the worker pushed and reports whether
+// its child was stolen.
+func (w *Worker) PopSpecial() (stolen bool) {
+	t0 := w.now()
+	w.Proc.Advance(w.rt.Costs.Pop)
+	stolen = w.Deque.PopSpecial()
+	w.addDeque(t0)
+	return stolen
+}
+
+// Clone copies ws for a child task (the taskprivate allocate-and-copy),
+// charging allocation plus per-byte cost. Programs without taskprivate data
+// (Bytes() == 0 — fib, comp) pay nothing: their spawn arguments travel by
+// value and the structural Clone below stands in for ordinary argument
+// passing, whose price is already inside Costs.Spawn.
+func (w *Worker) Clone(ws sched.Workspace) sched.Workspace {
+	if ws.Bytes() == 0 {
+		return ws.Clone()
+	}
+	t0 := w.now()
+	c := &w.rt.Costs
+	w.Proc.Advance(c.CopyBase + int64(ws.Bytes())/c.CopyBytesPerNs)
+	w.Stats.WorkspaceCopies++
+	w.Stats.WorkspaceBytes += int64(ws.Bytes())
+	clone := ws.Clone()
+	w.addCopy(t0)
+	return clone
+}
+
+// ClonePooled copies ws reusing a per-worker buffer when possible — the
+// Cilk-SYNCHED behaviour: memory is conserved, but the bytes are still
+// copied, so only the allocation part of the cost is saved.
+func (w *Worker) ClonePooled(ws sched.Workspace) sched.Workspace {
+	if ws.Bytes() == 0 {
+		return ws.Clone()
+	}
+	t0 := w.now()
+	c := &w.rt.Costs
+	w.Proc.Advance(c.PooledBase + int64(ws.Bytes())/c.CopyBytesPerNs)
+	w.Stats.WorkspaceCopies++
+	w.Stats.WorkspaceBytes += int64(ws.Bytes())
+	var clone sched.Workspace
+	if n := len(w.pool); n > 0 {
+		dst := w.pool[n-1]
+		w.pool = w.pool[:n-1]
+		if r, ok := dst.(sched.Reusable); ok {
+			r.CopyFrom(ws)
+			clone = dst
+		}
+	}
+	if clone == nil {
+		clone = ws.Clone()
+	}
+	w.addCopy(t0)
+	return clone
+}
+
+// Release returns a workspace to the worker's pool once its child subtree
+// has completed inline.
+func (w *Worker) Release(ws sched.Workspace) {
+	if len(w.pool) < 64 {
+		w.pool = append(w.pool, ws)
+	}
+}
+
+// Deposit delivers v to parent, finalising and cascading when a suspended
+// frame's last expected deposit arrives. A nil parent completes the run.
+func (w *Worker) Deposit(parent *Frame, v int64) {
+	for {
+		if parent == nil {
+			w.rt.complete(v)
+			return
+		}
+		total, finalise := parent.deposit(v)
+		if !finalise {
+			return
+		}
+		v, parent = total, parent.Parent
+	}
+}
+
+func (w *Worker) now() int64 {
+	if w.rt.profile {
+		return w.Proc.Now()
+	}
+	return 0
+}
+
+func (w *Worker) addDeque(t0 int64) {
+	if w.rt.profile {
+		w.Stats.DequeTime += w.Proc.Now() - t0
+	}
+}
+
+func (w *Worker) addCopy(t0 int64) {
+	if w.rt.profile {
+		w.Stats.CopyTime += w.Proc.Now() - t0
+	}
+}
+
+// AddWait accounts join-wait time explicitly (special task sync).
+func (w *Worker) AddWait(d int64) {
+	if w.rt.profile {
+		w.Stats.WaitTime += d
+	}
+}
+
+// AddPoll accounts need_task polling.
+func (w *Worker) AddPoll(d int64) {
+	if w.rt.profile {
+		w.Stats.PollTime += d
+	}
+}
+
+// thiefLoop steals until the run completes.
+func (w *Worker) thiefLoop() {
+	rt := w.rt
+	for !rt.done.Load() {
+		victim := w.ID
+		if rt.N > 1 {
+			victim = w.Proc.Rand().Intn(rt.N - 1)
+			if victim >= w.ID {
+				victim++
+			}
+		}
+		t0 := w.now()
+		w.Proc.Advance(rt.Costs.Steal)
+		e, ok := rt.Deques[victim].Steal()
+		if w.rt.profile {
+			w.Stats.StealTime += w.Proc.Now() - t0
+		}
+		if ok {
+			w.Stats.Steals++
+			f := e.(*Frame)
+			v, completed := rt.Eng.Resume(w, f)
+			if completed {
+				w.Deposit(f.Parent, v)
+			}
+		} else {
+			w.Stats.StealFails++
+		}
+		w.Proc.Yield()
+	}
+}
+
+// Run executes prog under eng with the given options and engine name.
+func Run(prog sched.Program, opt sched.Options, mk func(rt *Runtime) Engine, name string) (sched.Result, error) {
+	n := opt.WorkersOrDefault()
+	rt := &Runtime{
+		Prog:    prog,
+		Costs:   opt.CostsOrDefault(),
+		N:       n,
+		Deques:  make([]deque.WorkDeque, n),
+		profile: opt.Profile,
+	}
+	for i := range rt.Deques {
+		if opt.GrowableDeque {
+			rt.Deques[i] = deque.NewGrowable(opt.DequeCapacityOrDefault(), opt.MaxStolenNumOrDefault())
+		} else {
+			rt.Deques[i] = deque.New(opt.DequeCapacityOrDefault(), opt.MaxStolenNumOrDefault())
+		}
+	}
+	rt.Eng = mk(rt)
+
+	workers := make([]*Worker, n)
+	makespan := opt.PlatformOrDefault().Run(n, func(proc vtime.Proc) {
+		w := &Worker{ID: proc.ID(), Proc: proc, Deque: rt.Deques[proc.ID()], rt: rt}
+		workers[w.ID] = w
+		start := proc.Now()
+		defer func() {
+			w.Stats.WorkerTime += proc.Now() - start
+			if r := recover(); r != nil {
+				if ae, ok := r.(abortError); ok {
+					rt.failure.CompareAndSwap(nil, &runError{err: ae.err})
+					rt.done.Store(true)
+					return
+				}
+				panic(r)
+			}
+		}()
+		if w.ID == 0 {
+			v, completed := rt.Eng.Root(w)
+			if completed {
+				rt.complete(v)
+			}
+		}
+		w.thiefLoop()
+	})
+
+	var st sched.Stats
+	for _, w := range workers {
+		if w != nil {
+			st.Add(w.Stats)
+		}
+	}
+	for _, d := range rt.Deques {
+		if d.MaxDepth() > st.MaxDequeDepth {
+			st.MaxDequeDepth = d.MaxDepth()
+		}
+	}
+	if opt.Profile {
+		st.WorkTime = st.WorkerTime - st.CopyTime - st.DequeTime - st.PollTime - st.WaitTime - st.StealTime
+	}
+	res := sched.Result{
+		Value:    rt.value.Load(),
+		Makespan: makespan,
+		Workers:  n,
+		Engine:   name,
+		Program:  prog.Name(),
+		Stats:    st,
+	}
+	if f := rt.failure.Load(); f != nil {
+		return res, f.err
+	}
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package comp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adaptivetc/internal/progtest"
+	"adaptivetc/internal/sched"
+)
+
+func TestSerialMatchesExpected(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 100, 500} {
+		p := New(n)
+		res, err := sched.Serial{}.Run(p, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != p.Expected() {
+			t.Errorf("comp(%d) = %d, want %d", n, res.Value, p.Expected())
+		}
+	}
+}
+
+func TestLeafSizeInvariance(t *testing.T) {
+	// The answer must not depend on the divide-and-conquer leaf size.
+	f := func(leafSeed uint8) bool {
+		leaf := 1 + int(leafSeed)%50
+		p := NewLeaf(60, leaf)
+		res, err := sched.Serial{}.Run(p, sched.Options{})
+		if err != nil {
+			return false
+		}
+		return res.Value == p.Expected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicArrays(t *testing.T) {
+	a, b := New(100), New(100)
+	if a.Expected() != b.Expected() {
+		t.Fatal("array generation not deterministic")
+	}
+	if a.Expected() == 0 {
+		t.Fatal("no matches at all; value range too wide for the test to bite")
+	}
+}
+
+func TestNoTaskprivate(t *testing.T) {
+	if New(10).Root().Bytes() != 0 {
+		t.Error("comp must report zero taskprivate bytes (Figure 4 caption)")
+	}
+}
+
+func TestNodeCostOnLeavesOnly(t *testing.T) {
+	p := NewLeaf(256, 64)
+	root := p.Root()
+	if p.NodeCost(root, 0) != 0 {
+		t.Error("interior rectangle charged leaf cost")
+	}
+	// Descend to a leaf.
+	ws := root
+	depth := 0
+	for {
+		if _, term := p.Terminal(ws, depth); term {
+			break
+		}
+		if !p.Apply(ws, depth, 0) {
+			t.Fatal("split refused")
+		}
+		depth++
+	}
+	if p.NodeCost(ws, depth) <= 0 {
+		t.Error("leaf rectangle has no work cost")
+	}
+}
+
+func TestConformance(t *testing.T) {
+	progtest.Conformance(t, NewLeaf(96, 16))
+}

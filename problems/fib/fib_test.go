@@ -1,0 +1,59 @@
+package fib
+
+import (
+	"testing"
+
+	"adaptivetc/internal/progtest"
+	"adaptivetc/internal/sched"
+)
+
+func TestFibClosedForm(t *testing.T) {
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, w := range want {
+		if got := Fib(n); got != w {
+			t.Errorf("Fib(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestSerialMatchesClosedForm(t *testing.T) {
+	for n := 0; n <= 20; n++ {
+		res, err := sched.Serial{}.Run(New(n), sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != Fib(n) {
+			t.Errorf("recursive fib(%d) = %d, want %d", n, res.Value, Fib(n))
+		}
+	}
+}
+
+func TestNoTaskprivate(t *testing.T) {
+	if New(10).Root().Bytes() != 0 {
+		t.Error("fib must report zero taskprivate bytes (Figure 4 caption)")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := New(10)
+	w := p.Root()
+	p.Apply(w, 0, 0)
+	c := w.Clone()
+	p.Apply(c, 1, 1)
+	if got := w.(*ws).top(); got != 9 {
+		t.Fatalf("original top = %d after clone mutation, want 9", got)
+	}
+}
+
+func TestTreeSize(t *testing.T) {
+	// The fib call tree has a known node count: T(n) = 2*fib(n+1) - 1.
+	st := sched.Analyze(New(12), 0)
+	want := 2*Fib(13) - 1
+	if st.Nodes != want {
+		t.Fatalf("fib(12) tree nodes = %d, want %d", st.Nodes, want)
+	}
+}
+
+func TestConformance(t *testing.T) {
+	progtest.Conformance(t, New(13))
+}

@@ -1,0 +1,103 @@
+package knight
+
+import (
+	"testing"
+
+	"adaptivetc/internal/progtest"
+	"adaptivetc/internal/sched"
+)
+
+func countSerial(t *testing.T, p *Program) int64 {
+	t.Helper()
+	res, err := sched.Serial{}.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Value
+}
+
+// naive is an independent DFS tour counter.
+func naive(w, h, r0, c0 int) int64 {
+	visited := make([]bool, w*h)
+	visited[r0*w+c0] = true
+	var rec func(r, c, left int) int64
+	rec = func(r, c, left int) int64 {
+		if left == 0 {
+			return 1
+		}
+		var sum int64
+		for _, d := range deltas {
+			nr, nc := r+d[0], c+d[1]
+			if nr < 0 || nr >= h || nc < 0 || nc >= w || visited[nr*w+nc] {
+				continue
+			}
+			visited[nr*w+nc] = true
+			sum += rec(nr, nc, left-1)
+			visited[nr*w+nc] = false
+		}
+		return sum
+	}
+	return rec(r0, c0, w*h-1)
+}
+
+func TestSmallBoards(t *testing.T) {
+	cases := []struct{ w, h, r0, c0 int }{
+		{3, 3, 0, 0}, // no tour: the centre is unreachable
+		{4, 3, 0, 0},
+		{4, 4, 0, 0}, // classically zero tours on 4×4
+		{5, 4, 0, 0},
+		{5, 5, 0, 0},
+		{5, 5, 2, 2},
+	}
+	for _, c := range cases {
+		p := NewRect(c.w, c.h, c.r0, c.c0)
+		want := naive(c.w, c.h, c.r0, c.c0)
+		if got := countSerial(t, p); got != want {
+			t.Errorf("%s = %d, naive says %d", p.Name(), got, want)
+		}
+	}
+}
+
+func TestKnownZeroBoards(t *testing.T) {
+	if got := countSerial(t, New(4)); got != 0 {
+		t.Errorf("4x4 tours = %d, want 0 (classical result)", got)
+	}
+	if got := countSerial(t, New(3)); got != 0 {
+		t.Errorf("3x3 tours = %d, want 0 (centre unreachable)", got)
+	}
+}
+
+func TestTourSymmetry(t *testing.T) {
+	// By the board's diagonal symmetry, tours from (0,0) on a square board
+	// equal tours from (0,0) with transposed moves — i.e. the count must be
+	// invariant under swapping the start coordinates.
+	a := countSerial(t, NewRect(5, 5, 1, 0))
+	b := countSerial(t, NewRect(5, 5, 0, 1))
+	if a != b {
+		t.Errorf("asymmetric counts: (1,0)=%d vs (0,1)=%d", a, b)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	p := New(5)
+	root := p.Root()
+	if !p.Apply(root, 0, 0) {
+		t.Fatal("move refused")
+	}
+	c := root.Clone().(*ws)
+	p.Undo(root, 0, 0)
+	// The undo on the original must not disturb the clone's state.
+	if len(c.path) != 2 {
+		t.Fatalf("clone path length %d, want 2", len(c.path))
+	}
+	if !c.visited[c.path[1]] {
+		t.Fatal("undo on the original cleared the clone's visited board")
+	}
+	if len(root.(*ws).path) != 1 {
+		t.Fatal("undo failed on the original")
+	}
+}
+
+func TestConformance(t *testing.T) {
+	progtest.Conformance(t, NewRect(4, 5, 0, 0))
+}

@@ -1,0 +1,174 @@
+package nqueens
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adaptivetc/internal/progtest"
+	"adaptivetc/internal/sched"
+)
+
+func countSerial(t *testing.T, p *Program) int64 {
+	t.Helper()
+	res, err := sched.Serial{}.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Value
+}
+
+func TestKnownCounts(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		want := Solutions(n)
+		if got := countSerial(t, NewArray(n)); got != want {
+			t.Errorf("array(%d) = %d, want %d", n, got, want)
+		}
+		if got := countSerial(t, NewCompute(n)); got != want {
+			t.Errorf("compute(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// naive is an independent implementation used as an oracle.
+func naive(n int) int64 {
+	pos := make([]int, n)
+	var rec func(row int) int64
+	rec = func(row int) int64 {
+		if row == n {
+			return 1
+		}
+		var sum int64
+		for c := 0; c < n; c++ {
+			ok := true
+			for r := 0; r < row; r++ {
+				if pos[r] == c || pos[r]-r == c-row || pos[r]+r == c+row {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				pos[row] = c
+				sum += rec(row + 1)
+			}
+		}
+		return sum
+	}
+	return rec(0)
+}
+
+func TestAgainstNaive(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		want := naive(n)
+		if got := countSerial(t, NewArray(n)); got != want {
+			t.Errorf("array(%d) = %d, naive says %d", n, got, want)
+		}
+	}
+}
+
+func TestWorkspaceCloneIsolation(t *testing.T) {
+	p := NewArray(8)
+	ws := p.Root()
+	if !p.Apply(ws, 0, 0) {
+		t.Fatal("first move illegal")
+	}
+	clone := ws.Clone()
+	if !p.Apply(clone, 1, 2) {
+		t.Fatal("clone move illegal")
+	}
+	// The original must not see the clone's queen: placing at the same
+	// spot must still succeed.
+	if !p.Apply(ws, 1, 2) {
+		t.Fatal("clone mutation leaked into the original workspace")
+	}
+}
+
+func TestApplyUndoRoundTrip(t *testing.T) {
+	check := func(p *Program) func(moves []uint8) bool {
+		return func(moves []uint8) bool {
+			ws := p.Root()
+			ref := p.Root()
+			depth := 0
+			var applied []int
+			for _, mv := range moves {
+				m := int(mv) % p.N
+				if p.Apply(ws, depth, m) {
+					applied = append(applied, m)
+					depth++
+					if depth == p.N {
+						break
+					}
+				}
+			}
+			for i := len(applied) - 1; i >= 0; i-- {
+				depth--
+				p.Undo(ws, depth, applied[i])
+			}
+			// After undoing everything, the workspace must accept exactly
+			// the same root-level moves as a fresh one.
+			for m := 0; m < p.N; m++ {
+				a := p.Apply(ws, 0, m)
+				b := p.Apply(ref, 0, m)
+				if a != b {
+					return false
+				}
+				if a {
+					p.Undo(ws, 0, m)
+					p.Undo(ref, 0, m)
+				}
+			}
+			return true
+		}
+	}
+	for _, p := range []*Program{NewArray(6), NewCompute(6)} {
+		if err := quick.Check(check(p), &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if b := NewArray(16).Root().Bytes(); b <= 16 {
+		t.Errorf("array workspace bytes = %d, want conflict arrays included", b)
+	}
+	if b := NewCompute(16).Root().Bytes(); b != 16 {
+		t.Errorf("compute workspace bytes = %d, want 16 (just the board)", b)
+	}
+}
+
+func TestReusableCopyFrom(t *testing.T) {
+	for _, p := range []*Program{NewArray(5), NewCompute(5)} {
+		ws := p.Root()
+		p.Apply(ws, 0, 2)
+		dst := p.Root().(sched.Reusable)
+		dst.CopyFrom(ws)
+		// dst must now refuse column 2 at row 1 diag-conflicts etc. exactly
+		// like a clone would.
+		c := ws.Clone()
+		for m := 0; m < 5; m++ {
+			a := p.Apply(dst, 1, m)
+			b := p.Apply(c, 1, m)
+			if a != b {
+				t.Fatalf("%s: CopyFrom disagrees with Clone at move %d", p.Name(), m)
+			}
+			if a {
+				p.Undo(dst, 1, m)
+				p.Undo(c, 1, m)
+			}
+		}
+	}
+}
+
+func TestNodeCost(t *testing.T) {
+	pa, pc := NewArray(8), NewCompute(8)
+	if pa.NodeCost(pa.Root(), 4) != 0 {
+		t.Error("array variant should have no extra node cost")
+	}
+	if pc.NodeCost(pc.Root(), 4) == 0 {
+		t.Error("compute variant should charge for conflict re-scanning")
+	}
+}
+
+func TestConformance(t *testing.T) {
+	progtest.Conformance(t, NewArray(6))
+	progtest.Conformance(t, NewCompute(6))
+}

@@ -1,0 +1,160 @@
+package pentomino
+
+import (
+	"testing"
+
+	"adaptivetc/internal/progtest"
+	"adaptivetc/internal/sched"
+)
+
+func countSerial(t *testing.T, p *Program) int64 {
+	t.Helper()
+	res, err := sched.Serial{}.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Value
+}
+
+func TestOrientationCounts(t *testing.T) {
+	want := map[byte]int{
+		'F': 8, 'I': 2, 'L': 8, 'N': 8, 'P': 8, 'T': 4,
+		'U': 4, 'V': 4, 'W': 4, 'X': 1, 'Y': 8, 'Z': 4,
+	}
+	for name, shape := range baseShapes {
+		if got := len(orientations(shape)); got != want[name] {
+			t.Errorf("piece %c has %d orientations, want %d", name, got, want[name])
+		}
+	}
+}
+
+func TestEveryPieceHasFiveCells(t *testing.T) {
+	for name, shape := range baseShapes {
+		if len(shape) != 5 {
+			t.Errorf("piece %c has %d cells", name, len(shape))
+		}
+		for _, o := range orientations(shape) {
+			if o[0].r != 0 || o[0].c != 0 {
+				t.Errorf("piece %c orientation not anchored at origin: %v", name, o)
+			}
+			seen := map[cell]bool{}
+			for _, c := range o {
+				if seen[c] {
+					t.Errorf("piece %c orientation has duplicate cell %v", name, c)
+				}
+				seen[c] = true
+			}
+		}
+	}
+}
+
+// naive independently counts tilings via DFS on a cell grid.
+func naive(p *Program) int64 {
+	board := make([]bool, p.W*p.H)
+	used := make([]bool, len(p.pieces))
+	var rec func() int64
+	rec = func() int64 {
+		anchor := -1
+		for i, b := range board {
+			if !b {
+				anchor = i
+				break
+			}
+		}
+		if anchor == -1 {
+			return 1
+		}
+		ar, ac := anchor/p.W, anchor%p.W
+		var sum int64
+		for pi := range p.pieces {
+			if used[pi] {
+				continue
+			}
+			for _, shape := range p.shapes[pi] {
+				ok := true
+				for _, c := range shape {
+					r, cc := ar+c.r, ac+c.c
+					if r < 0 || r >= p.H || cc < 0 || cc >= p.W || board[r*p.W+cc] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for _, c := range shape {
+					board[(ar+c.r)*p.W+ac+c.c] = true
+				}
+				used[pi] = true
+				sum += rec()
+				used[pi] = false
+				for _, c := range shape {
+					board[(ar+c.r)*p.W+ac+c.c] = false
+				}
+			}
+		}
+		return sum
+	}
+	return rec()
+}
+
+func TestSmallBoardsAgainstNaive(t *testing.T) {
+	cases := []struct {
+		w, h   int
+		pieces string
+	}{
+		{5, 1, "I"},
+		{5, 2, "LP"},
+		{5, 3, "LPU"},
+		{5, 4, "LNPY"},
+		{4, 5, "FTUV"},
+		{5, 5, "FILPN"},
+	}
+	for _, c := range cases {
+		p := NewBoard(c.w, c.h, c.pieces, "t")
+		want := naive(p)
+		got := countSerial(t, p)
+		if got != want {
+			t.Errorf("%dx%d %q = %d, naive says %d", c.w, c.h, c.pieces, got, want)
+		}
+		t.Logf("%dx%d %q: %d tilings", c.w, c.h, c.pieces, got)
+	}
+}
+
+func TestTrivialCounts(t *testing.T) {
+	// A 5×1 strip is tiled only by the I pentomino, in exactly one way.
+	if got := countSerial(t, NewBoard(5, 1, "I", "strip")); got != 1 {
+		t.Errorf("I on 5x1 = %d, want 1", got)
+	}
+	if got := countSerial(t, NewBoard(1, 5, "I", "column")); got != 1 {
+		t.Errorf("I on 1x5 = %d, want 1", got)
+	}
+	// X can never tile anything on its own 5-cell cross-less rectangle.
+	if got := countSerial(t, NewBoard(5, 1, "X", "impossible")); got != 0 {
+		t.Errorf("X on 5x1 = %d, want 0", got)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	p := NewBoard(5, 2, "LP", "t")
+	ws := p.Root()
+	m := -1
+	for cand := 0; cand < p.Moves(ws, 0); cand++ {
+		if p.Apply(ws, 0, cand) {
+			m = cand
+			break
+		}
+	}
+	if m < 0 {
+		t.Fatal("no legal first placement")
+	}
+	c := ws.Clone()
+	p.Undo(ws, 0, m)
+	if p.Apply(c, 0, m) {
+		t.Fatal("clone shares the board with the original")
+	}
+}
+
+func TestConformance(t *testing.T) {
+	progtest.Conformance(t, NewBoard(5, 3, "LPU", "conf"))
+}

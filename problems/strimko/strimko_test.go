@@ -1,0 +1,131 @@
+package strimko
+
+import (
+	"testing"
+
+	"adaptivetc/internal/progtest"
+	"adaptivetc/internal/sched"
+)
+
+func countSerial(t *testing.T, p *Program) int64 {
+	t.Helper()
+	res, err := sched.Serial{}.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Value
+}
+
+// TestLatinSquareCounts uses the classical counts of Latin squares:
+// order 3 → 12, order 4 → 576, order 5 → 161280.
+func TestLatinSquareCounts(t *testing.T) {
+	want := map[int]int64{1: 1, 2: 2, 3: 12, 4: 576, 5: 161280}
+	for n, w := range want {
+		if n == 5 && testing.Short() {
+			continue
+		}
+		if got := countSerial(t, LatinSquares(n)); got != w {
+			t.Errorf("latin(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+// naive counts solutions of an instance with an independent DFS.
+func naive(p *Program) int64 {
+	n := p.n
+	board := append([]uint8(nil), p.givens...)
+	legal := func(cell int, v uint8) bool {
+		r, c := cell/n, cell%n
+		for i := 0; i < n; i++ {
+			if board[r*n+i] == v || board[i*n+c] == v {
+				return false
+			}
+		}
+		for i := 0; i < n*n; i++ {
+			if p.stream[i] == p.stream[cell] && board[i] == v {
+				return false
+			}
+		}
+		return true
+	}
+	var rec func(cell int) int64
+	rec = func(cell int) int64 {
+		for ; cell < n*n && board[cell] != 0; cell++ {
+		}
+		if cell == n*n {
+			return 1
+		}
+		var sum int64
+		for v := uint8(1); v <= uint8(n); v++ {
+			if legal(cell, v) {
+				board[cell] = v
+				sum += rec(cell + 1)
+				board[cell] = 0
+			}
+		}
+		return sum
+	}
+	return rec(0)
+}
+
+func TestDiagonalAgainstNaive(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		for _, givens := range []int{0, 1, 2} {
+			if givens > 0 && n != 5 {
+				continue // diagonal prefill needs n coprime to 6
+			}
+			p := Diagonal(n, givens)
+			want := naive(p)
+			if got := countSerial(t, p); got != want {
+				t.Errorf("diag(%d,%d) = %d, naive says %d", n, givens, got, want)
+			}
+		}
+	}
+}
+
+func TestStreamConstraintBinds(t *testing.T) {
+	// Diagonal streams forbid some boards that plain Latin squares allow,
+	// so the diagonal instance can never have more solutions. Knut Vik
+	// designs (Latin squares whose broken diagonals are also transversal)
+	// exist only for n coprime to 6, so n=5 is the smallest useful size —
+	// and n=4 must come out to exactly zero.
+	lat := countSerial(t, LatinSquares(5))
+	diag := countSerial(t, Diagonal(5, 0))
+	if diag > lat {
+		t.Fatalf("diagonal streams (%d) exceed latin squares (%d)", diag, lat)
+	}
+	if diag == 0 {
+		t.Fatal("diagonal instance has no solutions; bad benchmark instance")
+	}
+	if got := countSerial(t, Diagonal(4, 0)); got != 0 {
+		t.Fatalf("diag(4) = %d, want 0 (no Knut Vik design of order 4)", got)
+	}
+}
+
+func TestRejectsBadStreams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on uneven streams")
+		}
+	}()
+	stream := make([]int, 9) // all cells in stream 0
+	New(3, stream, make([]uint8, 9), "bad")
+}
+
+func TestCloneIsolation(t *testing.T) {
+	p := Diagonal(4, 0)
+	ws := p.Root()
+	if !p.Apply(ws, 0, 0) {
+		t.Fatal("move refused")
+	}
+	c := ws.Clone()
+	p.Undo(ws, 0, 0)
+	if p.Apply(c, 0, 0) {
+		t.Fatal("clone shares masks with original")
+	}
+}
+
+func TestConformance(t *testing.T) {
+	progtest.Conformance(t, LatinSquares(4))
+	progtest.Conformance(t, Diagonal(5, 0))
+}

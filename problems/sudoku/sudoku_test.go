@@ -1,0 +1,190 @@
+package sudoku
+
+import (
+	"testing"
+
+	"adaptivetc/internal/progtest"
+	"adaptivetc/internal/sched"
+)
+
+func countSerial(t *testing.T, p *Program) int64 {
+	t.Helper()
+	res, err := sched.Serial{}.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Value
+}
+
+// TestShidoku288 is the classical absolute oracle: the empty 4×4 grid has
+// exactly 288 completions.
+func TestShidoku288(t *testing.T) {
+	if got := countSerial(t, Empty(2)); got != 288 {
+		t.Fatalf("empty shidoku solutions = %d, want 288", got)
+	}
+}
+
+func TestBaseGridValid(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		b := Base(k)
+		if !validGivens(k, b) {
+			t.Fatalf("base grid k=%d invalid", k)
+		}
+		p := New(k, b, "full")
+		if got := countSerial(t, p); got != 1 {
+			t.Fatalf("full base grid k=%d has %d solutions, want 1", k, got)
+		}
+	}
+}
+
+func TestSingleHoleHasOneSolution(t *testing.T) {
+	b := Base(3)
+	b[40] = 0
+	if got := countSerial(t, New(3, b, "hole")); got != 1 {
+		t.Fatalf("one-hole grid has %d solutions, want 1", got)
+	}
+}
+
+// naive brute force over a 4×4 board, independent of the Program machinery.
+func naiveShidoku(board []uint8) int64 {
+	legal := func(cell int, v uint8) bool {
+		r, c := cell/4, cell%4
+		for i := 0; i < 4; i++ {
+			if board[r*4+i] == v || board[i*4+c] == v {
+				return false
+			}
+		}
+		br, bc := (r/2)*2, (c/2)*2
+		for dr := 0; dr < 2; dr++ {
+			for dc := 0; dc < 2; dc++ {
+				if board[(br+dr)*4+bc+dc] == v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var rec func(cell int) int64
+	rec = func(cell int) int64 {
+		for ; cell < 16 && board[cell] != 0; cell++ {
+		}
+		if cell == 16 {
+			return 1
+		}
+		var sum int64
+		for v := uint8(1); v <= 4; v++ {
+			if legal(cell, v) {
+				board[cell] = v
+				sum += rec(cell + 1)
+				board[cell] = 0
+			}
+		}
+		return sum
+	}
+	return rec(0)
+}
+
+func TestCarvedAgainstNaive(t *testing.T) {
+	for _, removed := range []int{4, 8, 12, 16} {
+		p := Carved(2, removed, 42, false, "t")
+		board := append([]uint8(nil), p.givens...)
+		want := naiveShidoku(board)
+		if got := countSerial(t, p); got != want {
+			t.Errorf("carved(2,%d): got %d, naive says %d", removed, got, want)
+		}
+	}
+}
+
+func TestCarvedDeterministic(t *testing.T) {
+	a := Carved(3, 40, 7, true, "a")
+	b := Carved(3, 40, 7, true, "b")
+	for i := range a.givens {
+		if a.givens[i] != b.givens[i] {
+			t.Fatal("same seed produced different boards")
+		}
+	}
+	c := Carved(3, 40, 8, true, "c")
+	same := true
+	for i := range a.givens {
+		if a.givens[i] != c.givens[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical boards")
+	}
+}
+
+func TestUnbalancedInputsDiffer(t *testing.T) {
+	in1 := sched.Analyze(Input1(3, 52), 1e6)
+	in2 := sched.Analyze(Input2(3, 52), 1e6)
+	t.Logf("input1: %v", in1)
+	t.Logf("input2: %v", in2)
+	if in1.Truncated || in2.Truncated {
+		t.Fatal("analysis truncated; shrink the instances")
+	}
+	if in1.Nodes < 1000 || in2.Nodes < 1000 {
+		t.Fatalf("unbalanced inputs too small: %d / %d nodes", in1.Nodes, in2.Nodes)
+	}
+	if in1.Nodes == in2.Nodes && len(in1.Depth1) == len(in2.Depth1) {
+		same := true
+		for i := range in1.Depth1 {
+			if in1.Depth1[i] != in2.Depth1[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("input1 and input2 generated the same tree")
+		}
+	}
+	// Both must be visibly unbalanced: the largest depth-1 subtree holds
+	// well over its fair share of the tree.
+	for _, st := range []sched.TreeStats{in1, in2} {
+		var maxShare float64
+		for _, p := range st.Depth1Percent() {
+			if p > maxShare {
+				maxShare = p
+			}
+		}
+		fair := 100.0 / float64(len(st.Depth1))
+		if maxShare < 1.3*fair {
+			t.Errorf("%s: max depth-1 share %.1f%% vs fair %.1f%% — not unbalanced", st.Program, maxShare, fair)
+		}
+	}
+}
+
+func TestWorkspaceRoundTrip(t *testing.T) {
+	p := Empty(2)
+	ws := p.Root()
+	if !p.Apply(ws, 0, 0) {
+		t.Fatal("move refused")
+	}
+	clone := ws.Clone()
+	p.Undo(ws, 0, 0)
+	// The clone still holds the digit, the original does not.
+	if p.Apply(clone, 0, 0) {
+		p.Undo(clone, 0, 0)
+		t.Fatal("clone lost the applied digit")
+	}
+	if !p.Apply(ws, 0, 0) {
+		t.Fatal("undo did not free the cell")
+	}
+}
+
+func TestRejectsConflictingGivens(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on conflicting givens")
+		}
+	}()
+	b := make([]uint8, 16)
+	b[0], b[1] = 1, 1 // same row
+	New(2, b, "bad")
+}
+
+func TestConformance(t *testing.T) {
+	progtest.Conformance(t, Empty(2))
+	progtest.Conformance(t, Balanced(2, 9))
+}

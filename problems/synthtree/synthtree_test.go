@@ -1,0 +1,133 @@
+package synthtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adaptivetc/internal/progtest"
+	"adaptivetc/internal/sched"
+)
+
+func countSerial(t *testing.T, p *Program) int64 {
+	t.Helper()
+	res, err := sched.Serial{}.Run(p, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Value
+}
+
+func TestValueEqualsSize(t *testing.T) {
+	for _, spec := range []Spec{Tree1(5000), Tree2(5000), Tree3(5000), Fig8(5000)} {
+		if got := countSerial(t, New(spec)); got != spec.Size {
+			t.Errorf("%s: value = %d, want %d", spec.Label, got, spec.Size)
+		}
+	}
+}
+
+func TestValueEqualsSizeQuick(t *testing.T) {
+	f := func(raw uint16, reversed bool) bool {
+		size := int64(raw)%5000 + 1
+		spec := Tree1(size)
+		spec.Seed = uint32(raw)
+		spec.Reversed = reversed
+		return countSerial(t, New(spec)) == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	spec := Tree2(20000)
+	spec.Seed = 99
+	a := sched.Analyze(New(spec), 0)
+	b := sched.Analyze(New(spec), 0)
+	if a.Nodes != b.Nodes || a.Depth != b.Depth || a.Leaves != b.Leaves {
+		t.Fatalf("same spec produced different trees: %v vs %v", a, b)
+	}
+}
+
+func TestReverseMirrorsShape(t *testing.T) {
+	l := Tree3(30000)
+	r := l.Reverse()
+	if r.Label != "tree3R" {
+		t.Fatalf("reversed label = %q", r.Label)
+	}
+	sl := sched.Analyze(New(l), 0)
+	sr := sched.Analyze(New(r), 0)
+	if sl.Nodes != sr.Nodes || sl.Leaves != sr.Leaves || sl.Depth != sr.Depth {
+		t.Fatalf("mirror changed totals: %v vs %v", sl, sr)
+	}
+	// The depth-1 size vectors must be exact mirrors.
+	for i := range sl.Depth1 {
+		if sl.Depth1[i] != sr.Depth1[len(sr.Depth1)-1-i] {
+			t.Fatalf("depth-1 sizes not mirrored: %v vs %v", sl.Depth1, sr.Depth1)
+		}
+	}
+}
+
+func TestTree3Skew(t *testing.T) {
+	st := sched.Analyze(New(Tree3(100000)), 0)
+	pct := st.Depth1Percent()
+	if len(pct) == 0 {
+		t.Fatal("no depth-1 children")
+	}
+	// Table 3 says Tree3L's first child holds ~89.7% of the tree; the root
+	// split is exact up to integer apportionment.
+	if pct[0] < 85 {
+		t.Errorf("tree3L first child holds %.1f%%, want the lion's share (~89.7%% in Table 3)", pct[0])
+	}
+	t.Logf("tree3L: %v", st)
+}
+
+func TestTree1MatchesTable3Roughly(t *testing.T) {
+	st := sched.Analyze(New(Tree1(200000)), 0)
+	want := []float64{42.512, 25.362, 13.019, 4.936, 0.416, 11.771, 1.984}
+	pct := st.Depth1Percent()
+	if len(pct) != len(want) {
+		t.Fatalf("got %d depth-1 children, want %d (%v)", len(pct), len(want), pct)
+	}
+	for i := range want {
+		if diff := pct[i] - want[i]; diff > 3 || diff < -3 {
+			t.Errorf("child %d holds %.2f%%, Table 3 says %.2f%%", i, pct[i], want[i])
+		}
+	}
+}
+
+func TestNoInfiniteRecursion(t *testing.T) {
+	// Extreme concentration used to make a child as large as its parent;
+	// the shave-one-unit guard must keep depth finite.
+	spec := Spec{Label: "extreme", Size: 3000, RootFractions: []float64{1, 0.0000001}, Alpha: 12}
+	st := sched.Analyze(New(spec), 0)
+	if st.Depth <= 0 || int64(st.Depth) > spec.Size {
+		t.Fatalf("suspicious depth %d", st.Depth)
+	}
+	if got := countSerial(t, New(spec)); got != 3000 {
+		t.Fatalf("value = %d, want 3000", got)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	p := New(Tree1(1000))
+	root := p.Root()
+	if !p.Apply(root, 0, 0) {
+		t.Fatal("move refused")
+	}
+	c := p.Root()
+	c.(*ws).CopyFrom(root)
+	p.Undo(root, 0, 0)
+	if len(c.(*ws).stack) != 2 {
+		t.Fatal("copy lost the descent")
+	}
+	if len(root.(*ws).stack) != 1 {
+		t.Fatal("undo failed")
+	}
+}
+
+func TestConformance(t *testing.T) {
+	spec := Tree2(3000)
+	spec.Seed = 77
+	progtest.Conformance(t, New(spec))
+	progtest.Conformance(t, New(spec.Reverse()))
+}
