@@ -4,17 +4,24 @@
 //
 //	adaptivetc-bench [-exp all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table2|table3]
 //	                 [-scale quick|default|full] [-threads 8] [-seed 1]
-//	                 [-cutoff 5]
+//	                 [-cutoff 5] [-parallel 0] [-repeats 1] [-csv out.csv]
+//	                 [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Output is plain text, one table per figure, with speedups measured in
 // deterministic virtual time (see the vtime package docs). Results for the
 // default scale are recorded in EXPERIMENTS.md.
+//
+// -parallel runs that many experiment cells concurrently (0 means one per
+// CPU, 1 forces sequential). Output is byte-identical at any setting; only
+// wall-clock time changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"adaptivetc/internal/experiments"
@@ -28,12 +35,18 @@ func main() {
 	cutoff := flag.Int("cutoff", 3, "Cutoff-programmer depth for fig9")
 	repeats := flag.Int("repeats", 1, "runs per configuration; the median makespan is plotted")
 	csvPath := flag.String("csv", "", "also write sweep samples as CSV to this file")
+	parallel := flag.Int("parallel", 0, "experiment cells run concurrently; 0 = GOMAXPROCS, 1 = sequential")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	scale, ok := experiments.ParseScale(*scaleFlag)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "adaptivetc-bench: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
+	}
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
 	}
 	cfg := experiments.Config{
 		Scale:            scale,
@@ -42,6 +55,7 @@ func main() {
 		Seed:             *seed,
 		CutoffProgrammer: *cutoff,
 		Repeats:          *repeats,
+		Parallel:         *parallel,
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -53,10 +67,36 @@ func main() {
 		experiments.CSVHeader(f)
 		cfg.CSV = f
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adaptivetc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "adaptivetc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	start := time.Now()
 	if err := experiments.ByName(*exp, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "adaptivetc-bench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("\n[done in %s]\n", time.Since(start).Round(time.Millisecond))
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adaptivetc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "adaptivetc-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

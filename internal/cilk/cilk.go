@@ -73,7 +73,13 @@ func (x *exec) node(w *wsrt.Worker, parent *wsrt.Frame, ws sched.Workspace, dept
 		return v, true
 	}
 	f := w.NewFrame(parent, ws, depth, depth, wsrt.KindFast)
-	return x.loop(w, f, 0, 0)
+	v, completed := x.loop(w, f, 0, 0)
+	if completed {
+		// Completed inline: never stolen at the end, nothing pending — the
+		// frame is dead and this worker is its sole owner.
+		w.FreeFrame(f)
+	}
+	return v, completed
 }
 
 // loop runs f's spawn loop from move pc with the given partial sum.

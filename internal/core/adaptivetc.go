@@ -96,7 +96,11 @@ func (x *exec) fastNode(w *wsrt.Worker, parent *wsrt.Frame, ws sched.Workspace, 
 		return v, true
 	}
 	f := w.NewFrame(parent, ws, depth, depth, wsrt.KindFast)
-	return x.fastLoop(w, f, 0, 0)
+	v, completed := x.fastLoop(w, f, 0, 0)
+	if completed {
+		w.FreeFrame(f) // completed inline: the frame is dead and solely ours
+	}
+	return v, completed
 }
 
 func (x *exec) fastLoop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64, bool) {
@@ -217,6 +221,10 @@ func (x *exec) specialNode(w *wsrt.Worker, ws sched.Workspace, depth int) int64 
 		}
 		w.AddWait(w.Proc.Now() - t0)
 	}
+	// The marker is out of the deque and every expected deposit has been
+	// drained (waited frames are never finalised by depositors), so the
+	// special frame is dead and solely ours.
+	w.FreeFrame(s)
 	return sum
 }
 
@@ -233,7 +241,11 @@ func (x *exec) fast2Node(w *wsrt.Worker, parent *wsrt.Frame, ws sched.Workspace,
 		return v, true
 	}
 	f := w.NewFrame(parent, ws, depth, rel, wsrt.KindFast2)
-	return x.fast2Loop(w, f, 0, 0)
+	v, completed := x.fast2Loop(w, f, 0, 0)
+	if completed {
+		w.FreeFrame(f) // completed inline: the frame is dead and solely ours
+	}
+	return v, completed
 }
 
 func (x *exec) fast2Loop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64, bool) {

@@ -85,7 +85,11 @@ func (x *exec) node(w *wsrt.Worker, parent *wsrt.Frame, ws sched.Workspace, dept
 		return v, true
 	}
 	f := w.NewFrame(parent, ws, depth, depth, wsrt.KindFast)
-	return x.loop(w, f, 0, 0)
+	v, completed := x.loop(w, f, 0, 0)
+	if completed {
+		w.FreeFrame(f) // completed inline: the frame is dead and solely ours
+	}
+	return v, completed
 }
 
 func (x *exec) loop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64, bool) {

@@ -1,0 +1,69 @@
+package deque
+
+import "testing"
+
+// TestPushPopZeroAllocs pins the hot-path guarantee: once the box free-list
+// is warm, the owner's Push/Pop cycle performs no heap allocation at all.
+func TestPushPopZeroAllocs(t *testing.T) {
+	d := New(64, 20)
+	e := item(1)
+	// One warm-up cycle seeds the free-list and sizes its backing array.
+	d.Push(e)
+	d.Pop()
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.Push(e)
+		d.Pop()
+	})
+	if allocs != 0 {
+		t.Errorf("owner Push+Pop allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestDeepPushPopZeroAllocs repeats the check at realistic deque depth: a
+// spawn burst of 32 frames pushed then popped, as a deep recursion would.
+func TestDeepPushPopZeroAllocs(t *testing.T) {
+	d := New(64, 20)
+	es := make([]*entry, 32)
+	for i := range es {
+		es[i] = item(i)
+	}
+	burst := func() {
+		for _, e := range es {
+			d.Push(e)
+		}
+		for range es {
+			d.Pop()
+		}
+	}
+	burst() // warm the free-list to burst depth
+	if allocs := testing.AllocsPerRun(100, burst); allocs != 0 {
+		t.Errorf("32-deep Push/Pop burst allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkPushPop measures the owner's uncontended Push+Pop cycle — the
+// dominant deque operation of every engine's spawn loop.
+func BenchmarkPushPop(b *testing.B) {
+	d := New(64, 20)
+	e := item(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Push(e)
+		d.Pop()
+	}
+}
+
+// BenchmarkPushPopDepth32 measures a 32-deep spawn burst per iteration.
+func BenchmarkPushPopDepth32(b *testing.B) {
+	d := New(64, 20)
+	e := item(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 32; j++ {
+			d.Push(e)
+		}
+		for j := 0; j < 32; j++ {
+			d.Pop()
+		}
+	}
+}

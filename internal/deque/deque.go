@@ -79,6 +79,15 @@ type Deque struct {
 
 	// maxDepth is the owner-observed high-water mark of T-H.
 	maxDepth int64
+
+	// free recycles entry boxes: Push takes one, a successful Pop returns
+	// the popped slot's box. A popped slot is exclusively the owner's (a
+	// thief that claimed it would have made the pop fail through the lock),
+	// so reuse is as safe as the read of box.e always was, and the owner's
+	// Push/Pop fast path allocates nothing in steady state. Boxes consumed
+	// by thieves leave through the steal and are never recycled, so the
+	// list's length is bounded by the deque's own high-water mark.
+	free []*entryBox
 }
 
 type entryBox struct{ e Entry }
@@ -141,7 +150,16 @@ func (d *Deque) Push(e Entry) bool {
 	if t-h >= d.cap-2 {
 		return false
 	}
-	d.buf[t%d.cap].Store(&entryBox{e: e})
+	var box *entryBox
+	if n := len(d.free); n > 0 {
+		box = d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		box.e = e
+	} else {
+		box = &entryBox{e: e}
+	}
+	d.buf[t%d.cap].Store(box)
 	d.t.Store(t + 1) // release: publishes the buffer write to thieves
 	if depth := t + 1 - h; depth > d.maxDepth {
 		d.maxDepth = depth
@@ -172,7 +190,10 @@ func (d *Deque) Pop() (Entry, bool) {
 		d.mu.Unlock()
 	}
 	box := d.buf[t%d.cap].Load()
-	return box.e, true
+	e := box.e
+	box.e = nil
+	d.free = append(d.free, box)
+	return e, true
 }
 
 // PopSpecial removes the special task the owner pushed at the tail and

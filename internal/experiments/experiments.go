@@ -32,6 +32,18 @@ type Config struct {
 	// rows (for external plotting). Write the header yourself or call
 	// CSVHeader once before the first experiment.
 	CSV io.Writer
+	// Parallel is the number of experiment cells run concurrently. Values
+	// below 2 run strictly sequentially (the historical behaviour). Output —
+	// report text and CSV rows alike — is byte-identical at any setting,
+	// because results are collected in submission order and every cell's
+	// seed derives from the Config, not from scheduling (see runner.go).
+	Parallel int
+
+	// sem is the lazily-created pool gate for Parallel > 1; see ensureSem.
+	// Config is passed by value between figures, so each figure gets its
+	// own gate — the bound applies per running figure, which is all the
+	// cells that can be in flight at once anyway.
+	sem chan struct{}
 }
 
 // CSVHeader writes the column header for the CSV sink.
@@ -111,28 +123,11 @@ func ByName(name string, cfg Config) error {
 	return fn(cfg)
 }
 
-// mustRun executes one configuration or returns the first error.
-func mustRun(e adaptivetc.Engine, p adaptivetc.Program, opt adaptivetc.Options) (adaptivetc.Result, error) {
-	res, err := e.Run(p, opt)
-	if err != nil {
-		return res, fmt.Errorf("%s/%s P=%d: %w", e.Name(), p.Name(), opt.Workers, err)
-	}
-	return res, nil
-}
-
-// serialBaseline runs the serial engine once and returns its makespan,
-// checking the value against every later run through check().
+// baseline is the serial engine's result, checking the value of every later
+// run through check(). Built from a submitSerial future via awaitBaseline.
 type baseline struct {
 	value    int64
 	makespan int64
-}
-
-func serial(p adaptivetc.Program, seed int64) (baseline, error) {
-	res, err := mustRun(adaptivetc.NewSerial(), p, adaptivetc.Options{Seed: seed})
-	if err != nil {
-		return baseline{}, err
-	}
-	return baseline{value: res.Value, makespan: res.Makespan}, nil
 }
 
 func (b baseline) check(res adaptivetc.Result) error {
@@ -147,37 +142,6 @@ func (b baseline) check(res adaptivetc.Result) error {
 type series struct {
 	name   string
 	values []float64 // one per thread count; NaN marks "not run"
-}
-
-// sweepSpeedups runs an engine over the thread sweep, returning speedups
-// against the serial makespan. With cfg.Repeats > 1 each configuration
-// runs under several seeds and the median makespan is used, smoothing
-// steal-timing noise.
-func sweepSpeedups(e adaptivetc.Engine, p adaptivetc.Program, base baseline, cfg *Config, experiment string, mutate func(*adaptivetc.Options)) (series, error) {
-	s := series{name: e.Name()}
-	for _, n := range cfg.threads() {
-		spans := make([]int64, 0, cfg.repeats())
-		for r := 0; r < cfg.repeats(); r++ {
-			opt := adaptivetc.Options{Workers: n, Seed: cfg.seed() + int64(r)*1009}
-			if mutate != nil {
-				mutate(&opt)
-			}
-			res, err := mustRun(e, p, opt)
-			if err != nil {
-				return s, err
-			}
-			if err := base.check(res); err != nil {
-				return s, err
-			}
-			spans = append(spans, res.Makespan)
-		}
-		sort.Slice(spans, func(i, j int) bool { return spans[i] < spans[j] })
-		median := spans[len(spans)/2]
-		speedup := float64(base.makespan) / float64(median)
-		s.values = append(s.values, speedup)
-		cfg.csvRow(experiment, p.Name(), e.Name(), n, speedup)
-	}
-	return s, nil
 }
 
 func printSpeedupTable(w io.Writer, title string, threads []int, rows []series) {

@@ -7,6 +7,13 @@ import (
 	"adaptivetc"
 )
 
+// Every generator below is written submit-all-then-collect: the first loop
+// schedules each experiment cell through the driver in runner.go, the second
+// awaits them in the same order and formats. Under a sequential Config the
+// cells run inline at submission; under Config.Parallel > 1 they overlap on
+// the pool — the collect loop is single-threaded either way, so the report
+// and the CSV come out byte-identical.
+
 // engines4 is the comparison set of Figure 4: Cilk, Cilk-SYNCHED (only for
 // taskprivate benchmarks), Tascell and AdaptiveTC.
 func engines4(taskprivate bool) []adaptivetc.Engine {
@@ -24,18 +31,27 @@ func Figure4(cfg Config) error {
 	header(w, fmt.Sprintf("Figure 4 — speedup vs threads, scale=%s", cfg.Scale),
 		"Speedup = serial virtual time / engine virtual makespan.")
 	threads := cfg.threads()
-	for i, wl := range Figure4Workloads(cfg.Scale) {
-		base, err := serial(wl.Prog, cfg.seed())
+	wls := Figure4Workloads(cfg.Scale)
+	bases := make([]*future, len(wls))
+	sweeps := make([][]*sweep, len(wls))
+	for i, wl := range wls {
+		bases[i] = cfg.submitSerial(wl.Prog)
+		for _, e := range engines4(wl.Taskprivate) {
+			sweeps[i] = append(sweeps[i], cfg.submitSweep(e, wl.Prog, nil))
+		}
+	}
+	for i, wl := range wls {
+		base, err := awaitBaseline(bases[i])
 		if err != nil {
 			return err
 		}
 		var rows []series
-		for _, e := range engines4(wl.Taskprivate) {
-			s, err := sweepSpeedups(e, wl.Prog, base, &cfg, "fig4", nil)
+		for _, s := range sweeps[i] {
+			row, err := cfg.collectSweep(s, base, "fig4")
 			if err != nil {
 				return err
 			}
-			rows = append(rows, s)
+			rows = append(rows, row)
 		}
 		printSpeedupTable(w, fmt.Sprintf("Figure 4(%c): %s  [paper: %s; instance: %s, serial %.1fms]",
 			'a'+i, wl.Name, wl.Paper, wl.Prog.Name(), float64(base.makespan)/1e6), threads, rows)
@@ -50,13 +66,28 @@ func Figure5(cfg Config) error {
 	header(w, fmt.Sprintf("Figure 5 — speedup at %d threads, baseline Cilk, scale=%s", cfg.threadsMax(), cfg.Scale),
 		"Each cell is Cilk's makespan divided by the engine's makespan at the full thread count.")
 	n := cfg.threadsMax()
+	wls := Figure4Workloads(cfg.Scale)
+	bases := make([]*future, len(wls))
+	cilks := make([]*future, len(wls))
+	rest := make([][]*future, len(wls)) // nil entry = engine skipped for this workload
+	for i, wl := range wls {
+		bases[i] = cfg.submitSerial(wl.Prog)
+		cilks[i] = cfg.submit(adaptivetc.NewCilk(), wl.Prog, adaptivetc.Options{Workers: n, Seed: cfg.seed()})
+		for _, e := range []adaptivetc.Engine{adaptivetc.NewCilkSynched(), adaptivetc.NewTascell(), adaptivetc.NewAdaptiveTC()} {
+			if e.Name() == "cilk-synched" && !wl.Taskprivate {
+				rest[i] = append(rest[i], nil)
+				continue
+			}
+			rest[i] = append(rest[i], cfg.submit(e, wl.Prog, adaptivetc.Options{Workers: n, Seed: cfg.seed()}))
+		}
+	}
 	fmt.Fprintf(w, "\n%-18s%14s%14s%14s%14s\n", "benchmark", "cilk", "cilk-synched", "tascell", "adaptivetc")
-	for _, wl := range Figure4Workloads(cfg.Scale) {
-		base, err := serial(wl.Prog, cfg.seed())
+	for i, wl := range wls {
+		base, err := awaitBaseline(bases[i])
 		if err != nil {
 			return err
 		}
-		cilkRes, err := mustRun(adaptivetc.NewCilk(), wl.Prog, adaptivetc.Options{Workers: n, Seed: cfg.seed()})
+		cilkRes, err := cilks[i].await()
 		if err != nil {
 			return err
 		}
@@ -64,12 +95,12 @@ func Figure5(cfg Config) error {
 			return err
 		}
 		fmt.Fprintf(w, "%-18s%14.2f", wl.Name, 1.0)
-		for _, e := range []adaptivetc.Engine{adaptivetc.NewCilkSynched(), adaptivetc.NewTascell(), adaptivetc.NewAdaptiveTC()} {
-			if e.Name() == "cilk-synched" && !wl.Taskprivate {
+		for _, fu := range rest[i] {
+			if fu == nil {
 				fmt.Fprintf(w, "%14s", "—")
 				continue
 			}
-			res, err := mustRun(e, wl.Prog, adaptivetc.Options{Workers: n, Seed: cfg.seed()})
+			res, err := fu.await()
 			if err != nil {
 				return err
 			}
@@ -94,27 +125,40 @@ func Table2(cfg Config) error {
 	w := cfg.out()
 	header(w, fmt.Sprintf("Table 2 — execution time with one thread, scale=%s", cfg.Scale),
 		"Virtual milliseconds and (ratio to serial), one worker.")
-	fmt.Fprintf(w, "\n%-18s%12s", "benchmark", "serial")
 	engines := []adaptivetc.Engine{
 		adaptivetc.NewTascell(), adaptivetc.NewCilk(),
 		adaptivetc.NewCilkSynched(), adaptivetc.NewAdaptiveTC(),
 	}
+	wls := Figure4Workloads(cfg.Scale)
+	bases := make([]*future, len(wls))
+	cells := make([][]*future, len(wls)) // nil entry = engine skipped
+	for i, wl := range wls {
+		bases[i] = cfg.submitSerial(wl.Prog)
+		for _, e := range engines {
+			if e.Name() == "cilk-synched" && !wl.Taskprivate {
+				cells[i] = append(cells[i], nil)
+				continue
+			}
+			cells[i] = append(cells[i], cfg.submit(e, wl.Prog, adaptivetc.Options{Workers: 1, Seed: cfg.seed()}))
+		}
+	}
+	fmt.Fprintf(w, "\n%-18s%12s", "benchmark", "serial")
 	for _, e := range engines {
 		fmt.Fprintf(w, "%20s", e.Name())
 	}
 	fmt.Fprintln(w)
-	for _, wl := range Figure4Workloads(cfg.Scale) {
-		base, err := serial(wl.Prog, cfg.seed())
+	for i, wl := range wls {
+		base, err := awaitBaseline(bases[i])
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "%-18s%10.1fms", wl.Name, float64(base.makespan)/1e6)
-		for _, e := range engines {
-			if e.Name() == "cilk-synched" && !wl.Taskprivate {
+		for _, fu := range cells[i] {
+			if fu == nil {
 				fmt.Fprintf(w, "%20s", "—")
 				continue
 			}
-			res, err := mustRun(e, wl.Prog, adaptivetc.Options{Workers: 1, Seed: cfg.seed()})
+			res, err := fu.await()
 			if err != nil {
 				return err
 			}
@@ -162,17 +206,26 @@ func Figure6(cfg Config) error {
 		adaptivetc.NewTascell(), adaptivetc.NewCilk(),
 		adaptivetc.NewCilkSynched(), adaptivetc.NewAdaptiveTC(),
 	}
-	for i, wl := range figure67Workloads(cfg.Scale) {
-		fmt.Fprintf(w, "\nFigure 6(%c): %s\n", 'a'+i, wl.Name)
+	wls := figure67Workloads(cfg.Scale)
+	cells := make([][]*future, len(wls))
+	names := make([][]string, len(wls))
+	for i, wl := range wls {
 		for _, e := range engines {
 			if e.Name() == "cilk-synched" && !wl.Taskprivate {
 				continue
 			}
-			res, err := mustRun(e, wl.Prog, adaptivetc.Options{Workers: 1, Profile: true, Seed: cfg.seed()})
+			cells[i] = append(cells[i], cfg.submit(e, wl.Prog, adaptivetc.Options{Workers: 1, Profile: true, Seed: cfg.seed()}))
+			names[i] = append(names[i], e.Name())
+		}
+	}
+	for i, wl := range wls {
+		fmt.Fprintf(w, "\nFigure 6(%c): %s\n", 'a'+i, wl.Name)
+		for j, fu := range cells[i] {
+			res, err := fu.await()
 			if err != nil {
 				return err
 			}
-			breakdownRow(w, e.Name(), res.Stats)
+			breakdownRow(w, names[i][j], res.Stats)
 		}
 	}
 	return nil
@@ -190,11 +243,19 @@ func Figure7(cfg Config) error {
 	w := cfg.out()
 	header(w, fmt.Sprintf("Figure 7 — Tascell overhead breakdown with multiple threads, scale=%s", cfg.Scale),
 		"Aggregated over all workers; wait_children is the non-suspendable join cost the paper highlights.")
-	for i, wl := range figure67Workloads(cfg.Scale) {
+	counts := []int{2, 4, 8}
+	wls := figure67Workloads(cfg.Scale)
+	cells := make([][]*future, len(wls))
+	for i, wl := range wls {
+		for _, n := range counts {
+			cells[i] = append(cells[i], cfg.submit(adaptivetc.NewTascell(), wl.Prog,
+				adaptivetc.Options{Workers: n, Profile: true, Seed: cfg.seed()}))
+		}
+	}
+	for i, wl := range wls {
 		fmt.Fprintf(w, "\nFigure 7(%c): %s\n", 'a'+i, wl.Name)
-		for _, n := range []int{2, 4, 8} {
-			res, err := mustRun(adaptivetc.NewTascell(), wl.Prog,
-				adaptivetc.Options{Workers: n, Profile: true, Seed: cfg.seed()})
+		for j, n := range counts {
+			res, err := cells[i][j].await()
 			if err != nil {
 				return err
 			}
@@ -210,7 +271,8 @@ func Figure7(cfg Config) error {
 }
 
 // Figure8 reports the shape of the unbalanced Sudoku input1 tree along its
-// heavy path (paper Figure 8).
+// heavy path (paper Figure 8). Pure tree analysis, no engine cells — it
+// stays sequential regardless of Config.Parallel.
 func Figure8(cfg Config) error {
 	w := cfg.out()
 	_, input1, _ := SudokuInputs(cfg.Scale)
@@ -243,12 +305,8 @@ func Figure9(cfg Config) error {
 	}
 	header(w, fmt.Sprintf("Figure 9 — Sudoku input1: AdaptiveTC vs cut-off strategies, scale=%s", cfg.Scale),
 		fmt.Sprintf("Cutoff-programmer uses depth %d; Cutoff-library uses ⌈log2 N⌉. The paper reports both starving past 4 threads.", cutP))
-	base, err := serial(input1, cfg.seed())
-	if err != nil {
-		return err
-	}
-	threads := cfg.threads()
-	var rows []series
+	baseFu := cfg.submitSerial(input1)
+	var sweeps []*sweep
 	for _, e := range []adaptivetc.Engine{
 		adaptivetc.NewCilk(), adaptivetc.NewTascell(), adaptivetc.NewAdaptiveTC(),
 		adaptivetc.NewCutoffProgrammer(), adaptivetc.NewCutoffLibrary(),
@@ -257,11 +315,20 @@ func Figure9(cfg Config) error {
 		if e.Name() == "cutoff-programmer" {
 			mutate = func(o *adaptivetc.Options) { o.Cutoff = cutP }
 		}
-		s, err := sweepSpeedups(e, input1, base, &cfg, "fig9", mutate)
+		sweeps = append(sweeps, cfg.submitSweep(e, input1, mutate))
+	}
+	base, err := awaitBaseline(baseFu)
+	if err != nil {
+		return err
+	}
+	threads := cfg.threads()
+	var rows []series
+	for _, s := range sweeps {
+		row, err := cfg.collectSweep(s, base, "fig9")
 		if err != nil {
 			return err
 		}
-		rows = append(rows, s)
+		rows = append(rows, row)
 	}
 	printSpeedupTable(w, fmt.Sprintf("Sudoku input1 [%s, serial %.1fms]", input1.Name(), float64(base.makespan)/1e6), threads, rows)
 	return nil
@@ -277,47 +344,55 @@ func Figure10(cfg Config) error {
 	threads := cfg.threads()
 	engines := []adaptivetc.Engine{adaptivetc.NewCilkSynched(), adaptivetc.NewTascell(), adaptivetc.NewAdaptiveTC()}
 
+	// The Sudoku inputs share panel (a); each Table 3 tree pair shares the
+	// next letter. Flatten into one submit list so every program's cells are
+	// in flight before the first panel is formatted.
+	type panel struct {
+		label  string // panel title minus the serial time, filled at collect
+		base   *future
+		sweeps []*sweep
+	}
+	var panels []panel
+	submit := func(label string, p adaptivetc.Program) {
+		pl := panel{label: label, base: cfg.submitSerial(p)}
+		for _, e := range engines {
+			pl.sweeps = append(pl.sweeps, cfg.submitSweep(e, p, nil))
+		}
+		panels = append(panels, pl)
+	}
 	_, input1, input2 := SudokuInputs(cfg.Scale)
 	for _, p := range []adaptivetc.Program{input1, input2} {
-		base, err := serial(p, cfg.seed())
-		if err != nil {
-			return err
-		}
-		var rows []series
-		for _, e := range engines {
-			s, err := sweepSpeedups(e, p, base, &cfg, "fig10", nil)
-			if err != nil {
-				return err
-			}
-			rows = append(rows, s)
-		}
-		printSpeedupTable(w, fmt.Sprintf("Figure 10(a): %s [serial %.1fms]", p.Name(), float64(base.makespan)/1e6), threads, rows)
+		submit(fmt.Sprintf("Figure 10(a): %s", p.Name()), p)
 	}
-
 	specs := Table3Specs(cfg.Scale)
 	for i := 0; i < len(specs); i += 2 {
 		for _, spec := range specs[i : i+2] {
 			p := newTree(spec)
-			base, err := serial(p, cfg.seed())
+			submit(fmt.Sprintf("Figure 10(%c): %s", 'b'+i/2, p.Name()), p)
+		}
+	}
+
+	for _, pl := range panels {
+		base, err := awaitBaseline(pl.base)
+		if err != nil {
+			return err
+		}
+		var rows []series
+		for _, s := range pl.sweeps {
+			row, err := cfg.collectSweep(s, base, "fig10")
 			if err != nil {
 				return err
 			}
-			var rows []series
-			for _, e := range engines {
-				s, err := sweepSpeedups(e, p, base, &cfg, "fig10", nil)
-				if err != nil {
-					return err
-				}
-				rows = append(rows, s)
-			}
-			printSpeedupTable(w, fmt.Sprintf("Figure 10(%c): %s [serial %.1fms]",
-				'b'+i/2, p.Name(), float64(base.makespan)/1e6), threads, rows)
+			rows = append(rows, row)
 		}
+		printSpeedupTable(w, fmt.Sprintf("%s [serial %.1fms]", pl.label, float64(base.makespan)/1e6), threads, rows)
 	}
 	return nil
 }
 
-// Table3 describes the six random unbalanced trees (paper Table 3).
+// Table3 describes the six random unbalanced trees (paper Table 3). Pure
+// tree analysis, no engine cells — it stays sequential regardless of
+// Config.Parallel.
 func Table3(cfg Config) error {
 	w := cfg.out()
 	header(w, fmt.Sprintf("Table 3 — randomly generated unbalanced trees, scale=%s", cfg.Scale),

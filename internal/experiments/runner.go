@@ -1,0 +1,163 @@
+// The parallel sweep driver. Every cell of the evaluation — one
+// (engine, program, workers, seed) run — is an independent, deterministic
+// Sim execution, so cells can run on any number of OS threads without
+// changing a single byte of output: results are collected by cell index in
+// submission order, never by completion order, and each cell derives its
+// seed from the configuration alone. The figure generators submit all of
+// their cells up front and then format; with Config.Parallel > 1 the cells
+// overlap on a bounded goroutine pool, with Parallel <= 1 submission runs
+// each cell inline, which reproduces the historical strictly-sequential
+// execution order exactly.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptivetc"
+)
+
+// future is the pending result of one submitted experiment cell.
+type future struct {
+	done     chan struct{}
+	res      adaptivetc.Result
+	err      error
+	panicked any
+}
+
+// parallel returns the effective worker-pool size; anything below 2 means
+// sequential inline execution.
+func (c *Config) parallel() int {
+	if c.Parallel < 2 {
+		return 1
+	}
+	return c.Parallel
+}
+
+func (c *Config) ensureSem() {
+	if c.sem == nil {
+		c.sem = make(chan struct{}, c.parallel())
+	}
+}
+
+// submit schedules one cell. Sequential configs run it inline (preserving
+// the historical execution order); parallel configs hand it to the pool.
+// Either way output order is decided solely by the order of await calls.
+func (c *Config) submit(e adaptivetc.Engine, p adaptivetc.Program, opt adaptivetc.Options) *future {
+	f := &future{done: make(chan struct{})}
+	if c.parallel() <= 1 {
+		f.res, f.err = mustRun(e, p, opt)
+		close(f.done)
+		return f
+	}
+	c.ensureSem()
+	go func() {
+		defer close(f.done)
+		defer func() {
+			if r := recover(); r != nil {
+				f.panicked = r
+			}
+		}()
+		c.sem <- struct{}{}
+		defer func() { <-c.sem }()
+		f.res, f.err = mustRun(e, p, opt)
+	}()
+	return f
+}
+
+// await blocks until the cell has run. A panic inside a pooled cell (e.g.
+// the Sim livelock guard) is re-raised here, on the collecting goroutine,
+// matching the sequential behaviour.
+func (f *future) await() (adaptivetc.Result, error) {
+	<-f.done
+	if f.panicked != nil {
+		panic(f.panicked)
+	}
+	return f.res, f.err
+}
+
+// submitSerial schedules the serial-baseline cell for p.
+func (c *Config) submitSerial(p adaptivetc.Program) *future {
+	return c.submit(adaptivetc.NewSerial(), p, adaptivetc.Options{Seed: c.seed()})
+}
+
+// awaitBaseline resolves a submitSerial future into the baseline every
+// speedup is computed against.
+func awaitBaseline(f *future) (baseline, error) {
+	res, err := f.await()
+	if err != nil {
+		return baseline{}, err
+	}
+	return baseline{value: res.Value, makespan: res.Makespan}, nil
+}
+
+// sweep is one engine's submitted thread sweep: cells[i][r] is the run at
+// threads(i) under repeat seed r.
+type sweep struct {
+	engine  string
+	program string
+	cells   [][]*future
+}
+
+// submitSweep schedules every (thread count × repeat) cell of one engine's
+// sweep. Per-cell seeds derive from the configuration and the repeat index
+// only, so the results are independent of execution order.
+func (c *Config) submitSweep(e adaptivetc.Engine, p adaptivetc.Program, mutate func(*adaptivetc.Options)) *sweep {
+	s := &sweep{engine: e.Name(), program: p.Name()}
+	for _, n := range c.threads() {
+		row := make([]*future, 0, c.repeats())
+		for r := 0; r < c.repeats(); r++ {
+			opt := adaptivetc.Options{Workers: n, Seed: c.seed() + int64(r)*1009}
+			if mutate != nil {
+				mutate(&opt)
+			}
+			row = append(row, c.submit(e, p, opt))
+		}
+		s.cells = append(s.cells, row)
+	}
+	return s
+}
+
+// collectSweep resolves a sweep in cell order: per thread count the median
+// makespan over the repeats becomes one speedup sample (checked against the
+// serial baseline), appended to the returned series and the CSV sink.
+func (c *Config) collectSweep(s *sweep, base baseline, experiment string) (series, error) {
+	out := series{name: s.engine}
+	threads := c.threads()
+	for i, row := range s.cells {
+		spans := make([]int64, 0, len(row))
+		for _, fu := range row {
+			res, err := fu.await()
+			if err != nil {
+				return out, err
+			}
+			if err := base.check(res); err != nil {
+				return out, err
+			}
+			spans = append(spans, res.Makespan)
+		}
+		sort.Slice(spans, func(a, b int) bool { return spans[a] < spans[b] })
+		median := spans[len(spans)/2]
+		speedup := float64(base.makespan) / float64(median)
+		out.values = append(out.values, speedup)
+		c.csvRow(experiment, s.program, s.engine, threads[i], speedup)
+	}
+	return out, nil
+}
+
+// sweepSpeedups submits and immediately collects one engine's sweep — the
+// sequential convenience used by tests and one-off callers. The figure
+// generators submit all sweeps first and collect afterwards so that cells
+// overlap under a parallel Config.
+func sweepSpeedups(e adaptivetc.Engine, p adaptivetc.Program, base baseline, cfg *Config, experiment string, mutate func(*adaptivetc.Options)) (series, error) {
+	return cfg.collectSweep(cfg.submitSweep(e, p, mutate), base, experiment)
+}
+
+// mustRun executes one configuration or returns the first error.
+func mustRun(e adaptivetc.Engine, p adaptivetc.Program, opt adaptivetc.Options) (adaptivetc.Result, error) {
+	res, err := e.Run(p, opt)
+	if err != nil {
+		return res, fmt.Errorf("%s/%s P=%d: %w", e.Name(), p.Name(), opt.Workers, err)
+	}
+	return res, nil
+}

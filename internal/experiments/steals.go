@@ -35,15 +35,23 @@ func StealCounts(cfg Config) error {
 		adaptivetc.NewTascell(),
 		adaptivetc.NewAdaptiveTC(),
 	}
+	bases := make([]*future, len(programs))
+	cells := make([][]*future, len(programs))
+	for i, p := range programs {
+		bases[i] = cfg.submitSerial(p)
+		for _, e := range engines {
+			cells[i] = append(cells[i], cfg.submit(e, p, adaptivetc.Options{Workers: n, Seed: cfg.seed(), Profile: true}))
+		}
+	}
 	fmt.Fprintf(w, "\n%-22s%-14s%12s%12s%10s%8s%8s%10s\n",
 		"workload", "engine", "migrations", "failed", "specials", "wait%", "idle%", "speedup")
-	for _, p := range programs {
-		base, err := serial(p, cfg.seed())
+	for i, p := range programs {
+		base, err := awaitBaseline(bases[i])
 		if err != nil {
 			return err
 		}
-		for _, e := range engines {
-			res, err := mustRun(e, p, adaptivetc.Options{Workers: n, Seed: cfg.seed(), Profile: true})
+		for j, e := range engines {
+			res, err := cells[i][j].await()
 			if err != nil {
 				return err
 			}

@@ -109,7 +109,11 @@ func (x *exec) node(w *wsrt.Worker, parent *wsrt.Frame, ws sched.Workspace, dept
 		return v, true
 	}
 	f := w.NewFrame(parent, ws, depth, depth, wsrt.KindFast)
-	return x.loop(w, f, 0, 0)
+	v, completed := x.loop(w, f, 0, 0)
+	if completed {
+		w.FreeFrame(f) // completed inline: the frame is dead and solely ours
+	}
+	return v, completed
 }
 
 // nodeFrame runs an unstarted child frame. Its task-creation cost was
@@ -186,6 +190,8 @@ func (x *exec) loop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64, bo
 		if completed {
 			f.CancelExpected()
 			sum += v
+			// The child ran to completion on our stack: dead, solely ours.
+			w.FreeFrame(child)
 			continue
 		}
 		// The child suspended (or detached): its total arrives by deposit.

@@ -1,0 +1,45 @@
+package vtime
+
+import "testing"
+
+// BenchmarkSimYieldHandoff measures the scheduler's worker-to-worker
+// handoff: two procs leapfrog each other, so every Yield crosses the
+// quantum horizon and transfers control through one channel send.
+func BenchmarkSimYieldHandoff(b *testing.B) {
+	b.ReportAllocs()
+	sim := &Sim{Seed: 1, Quantum: 1}
+	sim.Run(2, func(p Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(2)
+			p.Yield()
+		}
+	})
+}
+
+// BenchmarkSimYieldSolo measures the serial fast path: with one proc the
+// horizon is unbounded, so Yield is a single branch and no channel is ever
+// touched.
+func BenchmarkSimYieldSolo(b *testing.B) {
+	b.ReportAllocs()
+	sim := &Sim{Seed: 1, Quantum: 1}
+	sim.Run(1, func(p Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(2)
+			p.Yield()
+		}
+	})
+}
+
+// BenchmarkSimYieldWide exercises the heap: eight procs with staggered
+// advances, so handoffs constantly reorder the pending set.
+func BenchmarkSimYieldWide(b *testing.B) {
+	b.ReportAllocs()
+	sim := &Sim{Seed: 1, Quantum: 1}
+	sim.Run(8, func(p Proc) {
+		step := int64(p.ID()%3 + 1)
+		for i := 0; i < b.N; i++ {
+			p.Advance(step)
+			p.Yield()
+		}
+	})
+}

@@ -143,11 +143,21 @@ func (p *realProc) Sleep(d int64) {
 // Sim platform
 
 // Sim is a deterministic virtual-time platform. At any instant exactly one
-// worker executes; the core always resumes the runnable worker with the
+// worker executes; control always passes to the runnable worker with the
 // smallest virtual clock (ties broken by worker ID). To keep the
-// channel-handoff overhead low the core grants each worker a slice: the
-// worker may keep running without a handoff until its clock passes the
-// second-smallest clock plus Quantum.
+// channel-handoff overhead low each worker is granted a slice: it may keep
+// running without a handoff until its clock passes the second-smallest
+// clock plus Quantum.
+//
+// Handoffs are direct: the yielding worker itself consults the min-heap of
+// paused workers and resumes the next one over its channel — one channel
+// transfer per scheduling event instead of the two a central scheduler
+// goroutine would cost. When the yielding worker is still the earliest
+// runnable worker (always the case for the last live worker, and for every
+// single-worker run) it just extends its own horizon and continues with no
+// channel transfer at all. The heap is only ever touched by the one running
+// worker, so it needs no lock; determinism is untouched because the
+// (worker, horizon) grant sequence is identical to a central scheduler's.
 type Sim struct {
 	// Seed for per-worker random sources. Zero means 1.
 	Seed int64
@@ -170,11 +180,11 @@ type simProc struct {
 	horizon int64
 	rng     *rand.Rand
 	limit   int64
+	core    *simCore
 
-	// resume carries the new horizon from the core; yield signals the core
-	// that the worker paused (false) or finished (true).
+	// resume carries this worker's next horizon grant. Exactly one worker
+	// runs at a time; everyone else blocks here (or has finished).
 	resume chan int64
-	yield  chan bool
 }
 
 func (p *simProc) ID() int          { return p.id }
@@ -194,13 +204,115 @@ func (p *simProc) Yield() {
 	if p.clock < p.horizon {
 		return
 	}
-	p.yield <- false
-	p.horizon = <-p.resume
+	p.core.handoff(p)
 }
 
 func (p *simProc) Sleep(d int64) {
 	p.Advance(d)
 	p.Yield()
+}
+
+// simCore is the shared scheduling state of one Sim run. Only the single
+// running worker ever touches it (the caller of Run touches it only before
+// the first grant and after the last worker finished), so it is lock-free
+// by construction.
+type simCore struct {
+	quantum  int64
+	heap     []*simProc // paused runnable workers, min-ordered by (clock, id)
+	running  int        // workers that have not finished
+	makespan int64
+	done     chan int64 // receives the makespan from the last finisher
+}
+
+// less orders the heap by clock, ties broken by worker ID — the same total
+// order a linear minimum scan over worker slices would produce.
+func simLess(a, b *simProc) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
+}
+
+func (c *simCore) heapPush(p *simProc) {
+	c.heap = append(c.heap, p)
+	i := len(c.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !simLess(c.heap[i], c.heap[parent]) {
+			break
+		}
+		c.heap[i], c.heap[parent] = c.heap[parent], c.heap[i]
+		i = parent
+	}
+}
+
+func (c *simCore) heapPop() *simProc {
+	h := c.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	c.heap = h[:last]
+	// Sift down.
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && simLess(h[l], h[min]) {
+			min = l
+		}
+		if r < n && simLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
+// grant computes the horizon for next, which has just been popped off the
+// heap: the smallest paused clock plus the quantum (conservative ordering —
+// next cannot run past any paused worker by more than the quantum). With no
+// paused workers left nothing constrains the order, so the horizon is
+// unbounded and the worker never hands off again.
+func (c *simCore) grant(next *simProc) int64 {
+	if len(c.heap) == 0 {
+		return 1<<63 - 1
+	}
+	h := next.clock + c.quantum
+	if s := c.heap[0].clock + c.quantum; s > h {
+		h = s
+	}
+	return h
+}
+
+// handoff parks p and resumes the earliest runnable worker — possibly p
+// itself, in which case no channel transfer happens.
+func (c *simCore) handoff(p *simProc) {
+	c.heapPush(p)
+	next := c.heapPop()
+	h := c.grant(next)
+	if next == p {
+		p.horizon = h
+		return
+	}
+	next.resume <- h
+	p.horizon = <-p.resume
+}
+
+// finish retires p and passes control to the next runnable worker; the last
+// finisher reports the makespan to Run.
+func (c *simCore) finish(p *simProc) {
+	if p.clock > c.makespan {
+		c.makespan = p.clock
+	}
+	c.running--
+	if c.running == 0 {
+		c.done <- c.makespan
+		return
+	}
+	next := c.heapPop()
+	next.resume <- c.grant(next)
 }
 
 // Run implements Platform.
@@ -217,72 +329,40 @@ func (s *Sim) Run(n int, body func(Proc)) int64 {
 		quantum = 500
 	}
 
-	procs := make([]*simProc, n)
-	done := make([]bool, n)
-	for i := 0; i < n; i++ {
-		procs[i] = &simProc{
-			id:     i,
-			rng:    rand.New(rand.NewSource(seed + int64(i)*7919)),
-			limit:  s.Limit,
-			resume: make(chan int64),
-			yield:  make(chan bool),
-		}
+	core := &simCore{
+		quantum: quantum,
+		heap:    make([]*simProc, 0, n),
+		running: n,
+		done:    make(chan int64, 1),
 	}
 	var panicked atomic.Pointer[panicBox]
 	for i := 0; i < n; i++ {
-		p := procs[i]
+		p := &simProc{
+			id:     i,
+			rng:    rand.New(rand.NewSource(seed + int64(i)*7919)),
+			limit:  s.Limit,
+			core:   core,
+			resume: make(chan int64),
+		}
+		core.heapPush(p)
 		go func() {
 			p.horizon = <-p.resume
 			defer func() {
 				if r := recover(); r != nil {
 					// Capture the panic and surface it from Run on the
-					// caller's goroutine; mark the worker finished first so
-					// the core is not left waiting.
+					// caller's goroutine; retire the worker first so the
+					// remaining workers keep being scheduled.
 					panicked.CompareAndSwap(nil, &panicBox{val: r})
 				}
-				p.yield <- true
+				core.finish(p)
 			}()
 			body(p)
 		}()
 	}
 
-	var makespan int64
-	remaining := n
-	for remaining > 0 {
-		// Pick the runnable worker with the smallest clock.
-		best := -1
-		for i, p := range procs {
-			if done[i] {
-				continue
-			}
-			if best == -1 || p.clock < procs[best].clock {
-				best = i
-			}
-		}
-		// Its horizon is the next runnable worker's clock plus the quantum.
-		second := int64(-1)
-		for i, p := range procs {
-			if done[i] || i == best {
-				continue
-			}
-			if second == -1 || p.clock < second {
-				second = p.clock
-			}
-		}
-		p := procs[best]
-		horizon := p.clock + quantum
-		if second >= 0 && second+quantum > horizon {
-			horizon = second + quantum
-		}
-		p.resume <- horizon
-		if <-p.yield {
-			done[best] = true
-			remaining--
-			if p.clock > makespan {
-				makespan = p.clock
-			}
-		}
-	}
+	first := core.heapPop()
+	first.resume <- core.grant(first)
+	makespan := <-core.done
 	if pb := panicked.Load(); pb != nil {
 		panic(pb.val) // re-raise on the caller's goroutine
 	}

@@ -1,0 +1,80 @@
+package wsrt
+
+import "testing"
+
+// TestFrameReuseZeroAllocs pins the frame free-list guarantee: once a frame
+// has been recycled, the NewFrame/FreeFrame cycle of an inline-completing
+// task allocates nothing.
+func TestFrameReuseZeroAllocs(t *testing.T) {
+	w := &Worker{}
+	w.FreeFrame(w.NewFrame(nil, nil, 0, 0, KindFast)) // seed the free-list
+	allocs := testing.AllocsPerRun(1000, func() {
+		f := w.NewFrame(nil, nil, 3, 3, KindFast)
+		w.FreeFrame(f)
+	})
+	if allocs != 0 {
+		t.Errorf("recycled NewFrame+FreeFrame allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestFreeFrameBounded checks the free-list respects workerPoolCap rather
+// than growing with the number of frames a run finalises.
+func TestFreeFrameBounded(t *testing.T) {
+	w := &Worker{}
+	for i := 0; i < 10*workerPoolCap; i++ {
+		w.FreeFrame(&Frame{})
+	}
+	if len(w.frames) != workerPoolCap {
+		t.Errorf("free-list holds %d frames, want the cap of %d", len(w.frames), workerPoolCap)
+	}
+}
+
+// TestFrameResetClearsState checks a recycled frame carries nothing over
+// from its previous life — stale pending counts or suspension flags would
+// corrupt the deposit protocol.
+func TestFrameResetClearsState(t *testing.T) {
+	w := &Worker{}
+	f := w.NewFrame(nil, nil, 1, 1, KindFast)
+	f.PC, f.Sum = 7, 99
+	f.OnStolen() // pending=1
+	if _, out := f.Sync(0); out != SyncSuspended {
+		t.Fatal("frame with a pending deposit should suspend")
+	}
+	if _, finalise := f.deposit(5); !finalise {
+		t.Fatal("last deposit should finalise")
+	}
+	w.FreeFrame(f)
+	g := w.NewFrame(nil, nil, 2, 2, KindFast2)
+	if g != f {
+		t.Fatal("free-list did not hand the frame back")
+	}
+	if g.PC != 0 || g.Sum != 0 || g.Depth != 2 || g.Kind != KindFast2 {
+		t.Errorf("recycled frame kept stale state: %+v", g)
+	}
+	if total, out := g.Sync(11); out != SyncComplete || total != 11 {
+		t.Errorf("recycled frame Sync = (%d,%v), want (11,complete) — stale pending/suspended state", total, out)
+	}
+}
+
+// BenchmarkFrameRecycle measures the NewFrame/FreeFrame cycle every
+// inline-completed task performs.
+func BenchmarkFrameRecycle(b *testing.B) {
+	w := &Worker{}
+	w.FreeFrame(w.NewFrame(nil, nil, 0, 0, KindFast))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := w.NewFrame(nil, nil, 3, 3, KindFast)
+		w.FreeFrame(f)
+	}
+}
+
+// BenchmarkFrameFresh is the pre-free-list behaviour for comparison: every
+// task pays a heap allocation.
+func BenchmarkFrameFresh(b *testing.B) {
+	b.ReportAllocs()
+	var sink *Frame
+	for i := 0; i < b.N; i++ {
+		sink = &Frame{Depth: 3, Rel: 3, Kind: KindFast}
+	}
+	_ = sink
+}

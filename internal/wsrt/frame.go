@@ -89,6 +89,25 @@ type Frame struct {
 // Special implements deque.Entry.
 func (f *Frame) Special() bool { return f.Kind == KindSpecial }
 
+// reset re-initialises a recycled frame for a new task. Fields are assigned
+// individually (rather than by struct literal) so the mutex is not copied.
+// The previous owner's last access was under mu (the finalising deposit or
+// the completing Sync), which happens-before the recycler's acquisition of
+// the frame, so the plain writes here are ordered after all old accesses.
+func (f *Frame) reset(parent *Frame, ws sched.Workspace, depth, rel int, kind Kind) {
+	f.Parent = parent
+	f.Depth = depth
+	f.Rel = rel
+	f.Kind = kind
+	f.WS = ws
+	f.PC = 0
+	f.Sum = 0
+	f.extra = 0
+	f.pending = 0
+	f.suspended = false
+	f.waited = false
+}
+
 // OnStolen implements deque.StealAware; the deque calls it under the
 // victim's lock when the frame is successfully stolen. A stolen
 // continuation owes a deposit to itself (the victim's in-flight child); a

@@ -50,6 +50,16 @@ type abortError struct{ err error }
 
 func (e abortError) Error() string { return e.err.Error() }
 
+// workerPoolCap bounds each worker's workspace pool and frame free-list.
+// Both recycle per-spawn allocations, and both must stay bounded: a run can
+// finalise many more frames (and release many more workspaces) than it will
+// ever need live again at once — an unbalanced subtree can complete millions
+// of tasks whose memory would otherwise sit in the lists until the run ends.
+// The live demand at any instant is on the order of the deque depth, so a
+// small cap keeps the recycle hit-rate near 100% while letting the excess
+// go back to the garbage collector.
+const workerPoolCap = 64
+
 // Worker is one scheduler thread.
 type Worker struct {
 	ID    int
@@ -57,8 +67,9 @@ type Worker struct {
 	Deque deque.WorkDeque
 	Stats sched.Stats
 
-	rt   *Runtime
-	pool []sched.Workspace
+	rt     *Runtime
+	pool   []sched.Workspace
+	frames []*Frame
 }
 
 // Rt returns the worker's runtime.
@@ -93,14 +104,36 @@ func (w *Worker) ChargeTask() {
 }
 
 // NewFrame builds a frame for the node at tree depth `depth` with
-// cutoff-relative depth `rel`. Cost is accounted separately via ChargeTask.
+// cutoff-relative depth `rel`, reusing a recycled frame when the free-list
+// has one. Cost is accounted separately via ChargeTask.
 func (w *Worker) NewFrame(parent *Frame, ws sched.Workspace, depth, rel int, kind Kind) *Frame {
-	f := &Frame{Parent: parent, Depth: depth, Rel: rel, Kind: kind, WS: ws}
+	var f *Frame
+	if n := len(w.frames); n > 0 {
+		f = w.frames[n-1]
+		w.frames[n-1] = nil
+		w.frames = w.frames[:n-1]
+		f.reset(parent, ws, depth, rel, kind)
+	} else {
+		f = &Frame{Parent: parent, Depth: depth, Rel: rel, Kind: kind, WS: ws}
+	}
 	if kind == KindSpecial {
 		f.waited = true
 		w.Stats.SpecialTasks++
 	}
 	return f
+}
+
+// FreeFrame returns a dead frame to the worker's free-list for reuse by a
+// later NewFrame. The caller must be the frame's sole owner: its executor
+// after a SyncComplete (nothing pending, nothing in a deque), or the
+// depositor that just finalised it — the two points where the deposit
+// protocol guarantees no other reference survives. Frames freed by one
+// worker may have been allocated by another; free-lists are per-worker, so
+// no synchronisation is needed.
+func (w *Worker) FreeFrame(f *Frame) {
+	if len(w.frames) < workerPoolCap {
+		w.frames = append(w.frames, f)
+	}
 }
 
 // Push pushes f on the worker's own deque, accounting the cost. It aborts
@@ -184,13 +217,17 @@ func (w *Worker) ClonePooled(ws sched.Workspace) sched.Workspace {
 // Release returns a workspace to the worker's pool once its child subtree
 // has completed inline.
 func (w *Worker) Release(ws sched.Workspace) {
-	if len(w.pool) < 64 {
+	if len(w.pool) < workerPoolCap {
 		w.pool = append(w.pool, ws)
 	}
 }
 
 // Deposit delivers v to parent, finalising and cascading when a suspended
 // frame's last expected deposit arrives. A nil parent completes the run.
+// Each finalised frame is recycled: the finalising depositor owns it
+// outright (its executor abandoned it at suspension and this was the last
+// expected deposit), so after reading the total and the parent link it goes
+// to the worker's free-list.
 func (w *Worker) Deposit(parent *Frame, v int64) {
 	for {
 		if parent == nil {
@@ -201,7 +238,9 @@ func (w *Worker) Deposit(parent *Frame, v int64) {
 		if !finalise {
 			return
 		}
-		v, parent = total, parent.Parent
+		next := parent.Parent
+		w.FreeFrame(parent)
+		v, parent = total, next
 	}
 }
 
@@ -260,7 +299,12 @@ func (w *Worker) thiefLoop() {
 			f := e.(*Frame)
 			v, completed := rt.Eng.Resume(w, f)
 			if completed {
-				w.Deposit(f.Parent, v)
+				// f's subtree is done and its sync saw no pending deposits,
+				// so the thief is its last owner: recycle it, then deliver
+				// its value (the parent link must be read first).
+				parent := f.Parent
+				w.FreeFrame(f)
+				w.Deposit(parent, v)
 			}
 		} else {
 			w.Stats.StealFails++
