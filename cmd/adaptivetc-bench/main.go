@@ -5,6 +5,7 @@
 //	adaptivetc-bench [-exp all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table2|table3]
 //	                 [-scale quick|default|full] [-threads 8] [-seed 1]
 //	                 [-cutoff 5] [-parallel 0] [-repeats 1] [-csv out.csv]
+//	                 [-trace run.json]
 //	                 [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Output is plain text, one table per figure, with speedups measured in
@@ -14,6 +15,12 @@
 // -parallel runs that many experiment cells concurrently (0 means one per
 // CPU, 1 forces sequential). Output is byte-identical at any setting; only
 // wall-clock time changes.
+//
+// -trace skips the experiment suite: it runs one AdaptiveTC n-queens(8)
+// execution with the scheduler event tracer attached (-threads workers,
+// -seed victim selection), replays the trace against the scheduler's
+// conservation-law invariants, and writes it as Chrome trace_event JSON to
+// the given file — load it in chrome://tracing or Perfetto.
 package main
 
 import (
@@ -36,6 +43,7 @@ func main() {
 	repeats := flag.Int("repeats", 1, "runs per configuration; the median makespan is plotted")
 	csvPath := flag.String("csv", "", "also write sweep samples as CSV to this file")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently; 0 = GOMAXPROCS, 1 = sequential")
+	tracePath := flag.String("trace", "", "write one invariant-checked AdaptiveTC run as Chrome trace JSON to this file and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -56,6 +64,13 @@ func main() {
 		CutoffProgrammer: *cutoff,
 		Repeats:          *repeats,
 		Parallel:         *parallel,
+	}
+	if *tracePath != "" {
+		if err := experiments.TraceRun(cfg, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "adaptivetc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -1,11 +1,13 @@
 package adaptivetc_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
 	"adaptivetc"
 	"adaptivetc/internal/sched"
+	"adaptivetc/problems/nqueens"
 )
 
 // singleton is a one-node tree: the root is terminal.
@@ -82,6 +84,29 @@ func TestEdgePrograms(t *testing.T) {
 					t.Errorf("%s/%s P=%d: value %d, want %d", e.Name(), c.p.Name(), workers, res.Value, c.want)
 				}
 			}
+		}
+	}
+}
+
+// TestOverflowAbortSticky forces a deque overflow on real goroutines while
+// thieves hold stolen frames. The aborting worker records the failure; a
+// thief mid-Resume on a stolen frame can still finish its subtree and run
+// its deposit cascade all the way to a nil parent — that late completion
+// must not flip the run back to "done, here is a value": the reported
+// error must remain the overflow, every time.
+func TestOverflowAbortSticky(t *testing.T) {
+	p := nqueens.NewArray(8) // depth 8 >> effective capacity, overflow certain
+	for seed := int64(1); seed <= 20; seed++ {
+		res, err := adaptivetc.NewCilk().Run(p, adaptivetc.Options{
+			Workers:       2,
+			DequeCapacity: 6, // two slots are claim slack: 4 usable
+			Platform:      adaptivetc.NewRealPlatform(seed),
+		})
+		if err == nil {
+			t.Fatalf("seed %d: run with capacity 4 succeeded (value %d), want overflow", seed, res.Value)
+		}
+		if !errors.Is(err, sched.ErrDequeOverflow) {
+			t.Fatalf("seed %d: error %v, want ErrDequeOverflow", seed, err)
 		}
 	}
 }

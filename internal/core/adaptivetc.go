@@ -128,7 +128,7 @@ func (x *exec) fastLoop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64
 	}
 	total, out := f.Sync(sum)
 	if out == wsrt.SyncSuspended {
-		w.Stats.Suspends++
+		w.Suspend(f)
 		return 0, false
 	}
 	return total, true
@@ -191,14 +191,14 @@ func (x *exec) specialNode(w *wsrt.Worker, ws sched.Workspace, depth int) int64 
 		// The child's cutoff-relative depth restarts at 0 so its subtree
 		// re-opens for task creation; its tree depth keeps counting.
 		v, completed := x.fast2Node(w, s, childWS, depth+1, 0)
-		stolen := w.PopSpecial()
+		stolen := w.PopSpecial(s)
 		switch {
 		case completed && !stolen:
 			sum += v
 		case !completed && stolen:
 			// The child's task chain was taken over a thief; its total will
 			// be deposited into the special frame by the chain's finaliser.
-			s.ExpectDeposit()
+			w.ExpectDeposit(s)
 			anyStolen = true
 		case completed && stolen:
 			panic("adaptivetc: special child completed inline but marked stolen")
@@ -273,7 +273,7 @@ func (x *exec) fast2Loop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int6
 	}
 	total, out := f.Sync(sum)
 	if out == wsrt.SyncSuspended {
-		w.Stats.Suspends++
+		w.Suspend(f)
 		return 0, false
 	}
 	return total, true

@@ -117,7 +117,7 @@ func (x *exec) loop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64, bo
 	}
 	total, out := f.Sync(sum)
 	if out == wsrt.SyncSuspended {
-		w.Stats.Suspends++
+		w.Suspend(f)
 		return 0, false
 	}
 	return total, true

@@ -47,6 +47,9 @@ type WorkDeque interface {
 	SetNeedTask(bool)
 	// StolenNum returns the failed-steal counter.
 	StolenNum() int64
+	// SetTrace installs fn as the thief-side transition observer (nil
+	// disables tracing; the default).
+	SetTrace(fn TraceFn)
 	// MaxDepth returns the owner-observed size high-water mark.
 	MaxDepth() int64
 	// Cap returns the (current) capacity.
@@ -54,6 +57,43 @@ type WorkDeque interface {
 	// Size returns the owner-visible entry count.
 	Size() int
 }
+
+// TraceOp labels a thief-side deque transition for the optional trace
+// hook.
+type TraceOp uint8
+
+const (
+	// TraceStealOK: a plain head steal succeeded; the failed-steal counter
+	// and the need_task flag were cleared (Figure 3(d)).
+	TraceStealOK TraceOp = iota
+	// TraceStealSpecial: the head was a special marker, so the thief
+	// skipped over it and took the marker's child instead (Figure 3(e)).
+	TraceStealSpecial
+	// TraceStealFail: a steal attempt failed; the counter was bumped and
+	// need_task possibly raised.
+	TraceStealFail
+)
+
+// String names the transition for reports.
+func (op TraceOp) String() string {
+	switch op {
+	case TraceStealOK:
+		return "steal-ok"
+	case TraceStealSpecial:
+		return "steal-special"
+	case TraceStealFail:
+		return "steal-fail"
+	}
+	return "steal-?"
+}
+
+// TraceFn observes thief-side transitions of the steal/need_task FSM. It is
+// called while the thief holds the owner lock, so for one deque the calls
+// are totally ordered — the order the FSM actually serialised its
+// transitions in. stolenNum and needTask are the post-transition counter
+// and flag. The function must be fast and must not call back into the
+// deque.
+type TraceFn func(op TraceOp, stolenNum int64, needTask bool)
 
 // StealAware entries are notified of a successful steal while the thief
 // still holds the victim's lock. The work-stealing runtime uses this to
@@ -88,6 +128,10 @@ type Deque struct {
 	// by thieves leave through the steal and are never recycled, so the
 	// list's length is bounded by the deque's own high-water mark.
 	free []*entryBox
+
+	// trace, when non-nil, observes thief-side FSM transitions under the
+	// owner lock. The owner's Push/Pop fast path never consults it.
+	trace TraceFn
 }
 
 type entryBox struct{ e Entry }
@@ -136,6 +180,11 @@ func (d *Deque) SetNeedTask(v bool) { d.needTask.Store(v) }
 // StolenNum returns the current failed-steal counter.
 func (d *Deque) StolenNum() int64 { return d.stolenNum.Load() }
 
+// SetTrace installs fn as the thief-side transition observer (nil
+// disables). Install before workers start; the steal path reads it without
+// synchronisation beyond the owner lock.
+func (d *Deque) SetTrace(fn TraceFn) { d.trace = fn }
+
 // Push appends e at the tail. Only the owner may call it. It reports false
 // on overflow (the deque is a fixed-size array, as in Cilk; the paper calls
 // out overflow-proneness explicitly, so we surface it rather than grow).
@@ -150,6 +199,9 @@ func (d *Deque) Push(e Entry) bool {
 	if t-h >= d.cap-2 {
 		return false
 	}
+	if testMidPush != nil {
+		testMidPush(d)
+	}
 	var box *entryBox
 	if n := len(d.free); n > 0 {
 		box = d.free[n-1]
@@ -161,11 +213,26 @@ func (d *Deque) Push(e Entry) bool {
 	}
 	d.buf[t%d.cap].Store(box)
 	d.t.Store(t + 1) // release: publishes the buffer write to thieves
-	if depth := t + 1 - h; depth > d.maxDepth {
-		d.maxDepth = depth
+	// maxDepth: the h loaded at entry is stale by the time the entry is
+	// published — thieves may have advanced H in between, so t+1-h would
+	// over-count the high-water mark. The stale depth is an upper bound on
+	// the fresh one (H only grows), so it serves as a cheap pre-filter and
+	// H is reloaded only when the mark could actually rise; the fresh value
+	// can at worst under-count by steals racing the reload, which keeps the
+	// recorded mark within what the owner ever truly co-held.
+	if t+1-h > d.maxDepth {
+		if depth := t + 1 - d.h.Load(); depth > d.maxDepth {
+			d.maxDepth = depth
+		}
 	}
 	return true
 }
+
+// testMidPush, when non-nil, is called by Push between its entry loads of
+// H/T and the buffer store. Tests use it to interleave a concurrent steal
+// deterministically inside the push window; it must stay nil outside tests
+// (the hot path pays one predicted branch for it).
+var testMidPush func(*Deque)
 
 // Pop removes and returns the tail entry. Only the owner may call it.
 // It returns (nil, false) when the deque is empty or the tail entry has
@@ -197,11 +264,14 @@ func (d *Deque) Pop() (Entry, bool) {
 }
 
 // PopSpecial removes the special task the owner pushed at the tail and
-// reports whether any of its child tasks were stolen in the meantime
-// (Figure 3(b)). stolen is meaningful only on the failure path: success
-// (found==true, stolen==false) means no child was taken; found==true,
-// stolen==true means a thief skipped over the marker and H has been reset
-// to T. In both cases the special entry is removed.
+// reports whether any of the special task's children were stolen in the
+// meantime (Figure 3(b)). It returns false in the common case — the marker
+// was still the only claim at the tail, so no thief skipped over it — and
+// true when a thief's steal_specialtask carried H past the marker; in that
+// case H is re-normalised to T so the never-stealable marker stays
+// logically owned by the victim. The special entry is removed either way;
+// there is no separate "found" result, because the owner only calls
+// PopSpecial while its marker is the tail entry.
 func (d *Deque) PopSpecial() (stolen bool) {
 	d.mu.Lock()
 	t := d.t.Load() - 1
@@ -244,6 +314,9 @@ func (d *Deque) Steal() (Entry, bool) {
 		}
 		d.stolenNum.Store(0)
 		d.needTask.Store(false)
+		if d.trace != nil {
+			d.trace(TraceStealOK, 0, false)
+		}
 		d.mu.Unlock()
 		return box.e, true
 	}
@@ -266,6 +339,9 @@ func (d *Deque) Steal() (Entry, bool) {
 	}
 	d.stolenNum.Store(0)
 	d.needTask.Store(false)
+	if d.trace != nil {
+		d.trace(TraceStealSpecial, 0, false)
+	}
 	d.mu.Unlock()
 	return child.e, true
 }
@@ -274,5 +350,8 @@ func (d *Deque) failLocked() {
 	n := d.stolenNum.Add(1)
 	if n > d.maxStolenNum {
 		d.needTask.Store(true)
+	}
+	if d.trace != nil {
+		d.trace(TraceStealFail, n, d.needTask.Load())
 	}
 }

@@ -164,6 +164,128 @@ func TestPopSpecialClean(t *testing.T) {
 	}
 }
 
+// TestPopSpecialReturn pins the documented single-return contract of
+// PopSpecial: false when the marker sat undisturbed at the tail, true when
+// a thief's steal_specialtask carried H past it; the marker entry is
+// removed either way (there is no separate "found" result).
+func TestPopSpecialReturn(t *testing.T) {
+	cases := []struct {
+		name       string
+		setup      func(t *testing.T, d *Deque)
+		wantStolen bool
+	}{
+		{
+			name:       "lone marker, untouched",
+			setup:      func(t *testing.T, d *Deque) { d.Push(specialItem(0)) },
+			wantStolen: false,
+		},
+		{
+			name: "child popped by owner",
+			setup: func(t *testing.T, d *Deque) {
+				d.Push(specialItem(0))
+				d.Push(item(1))
+				if _, ok := d.Pop(); !ok {
+					t.Fatal("pop of child failed")
+				}
+			},
+			wantStolen: false,
+		},
+		{
+			name: "child taken by steal_specialtask",
+			setup: func(t *testing.T, d *Deque) {
+				d.Push(specialItem(0))
+				d.Push(item(1))
+				if _, ok := d.Steal(); !ok {
+					t.Fatal("steal_specialtask failed")
+				}
+			},
+			wantStolen: true,
+		},
+		{
+			name: "one of two children stolen, other popped",
+			setup: func(t *testing.T, d *Deque) {
+				d.Push(specialItem(0))
+				d.Push(item(1))
+				d.Push(item(2))
+				if e, ok := d.Steal(); !ok || e.(*entry).id != 1 {
+					t.Fatal("steal_specialtask did not take the first child")
+				}
+				if e, ok := d.Pop(); !ok || e.(*entry).id != 2 {
+					t.Fatal("pop did not return the second child")
+				}
+			},
+			wantStolen: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := New(16, 20)
+			c.setup(t, d)
+			if stolen := d.PopSpecial(); stolen != c.wantStolen {
+				t.Fatalf("PopSpecial() = %v, want %v", stolen, c.wantStolen)
+			}
+			// The marker is gone regardless of the result, and the deque is
+			// immediately reusable for the next special-task cycle.
+			if d.Size() != 0 {
+				t.Fatalf("size = %d after PopSpecial, want 0", d.Size())
+			}
+			if _, ok := d.Pop(); ok {
+				t.Fatal("pop after PopSpecial returned an entry from an empty deque")
+			}
+			d.Push(specialItem(3))
+			d.Push(item(4))
+			if e, ok := d.Pop(); !ok || e.(*entry).id != 4 {
+				t.Fatal("deque not reusable after PopSpecial")
+			}
+			if d.PopSpecial() {
+				t.Fatal("fresh cycle reported a stale theft")
+			}
+		})
+	}
+}
+
+// TestMaxDepthMidPushSteal reproduces the maxDepth over-count: Push loads H
+// before publishing the entry, and thieves advancing H inside that window
+// used to make the owner record a depth it never co-held. The hook steals
+// six entries between the loads and the store of the ninth push; the fresh
+// depth at publication is 3, so the high-water mark must stay at 8.
+func TestMaxDepthMidPushSteal(t *testing.T) {
+	d := New(32, 20)
+	for i := 0; i < 8; i++ {
+		if !d.Push(item(i)) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if got := d.MaxDepth(); got != 8 {
+		t.Fatalf("maxDepth = %d after 8 pushes, want 8", got)
+	}
+	fired := false
+	testMidPush = func(dd *Deque) {
+		fired = true
+		testMidPush = nil // only the next push interleaves
+		for i := 0; i < 6; i++ {
+			if _, ok := dd.Steal(); !ok {
+				t.Errorf("mid-push steal %d failed", i)
+			}
+		}
+	}
+	defer func() { testMidPush = nil }()
+	if !d.Push(item(8)) {
+		t.Fatal("ninth push failed")
+	}
+	if !fired {
+		t.Fatal("mid-push hook never ran")
+	}
+	// Stale arithmetic would record t+1-h = 9; the true depth at the moment
+	// of publication was 9-6 = 3.
+	if got := d.MaxDepth(); got != 8 {
+		t.Fatalf("maxDepth = %d after mid-push steals, want 8 (stale-H over-count)", got)
+	}
+	if got := d.Size(); got != 3 {
+		t.Fatalf("size = %d, want 3", got)
+	}
+}
+
 // TestConcurrentStealPop hammers one owner against many thieves and checks
 // that every pushed entry is consumed exactly once — the THE-protocol
 // linearizability property. Run with -race.

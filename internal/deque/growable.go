@@ -41,6 +41,9 @@ func (g *Growable) SetNeedTask(v bool) { g.d.SetNeedTask(v) }
 // StolenNum returns the failed-steal counter.
 func (g *Growable) StolenNum() int64 { return g.d.StolenNum() }
 
+// SetTrace installs the thief-side transition observer.
+func (g *Growable) SetTrace(fn TraceFn) { g.d.SetTrace(fn) }
+
 // Push appends e, doubling the buffer when full. It never reports
 // overflow.
 func (g *Growable) Push(e Entry) bool {

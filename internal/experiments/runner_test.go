@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"adaptivetc"
@@ -74,4 +75,49 @@ func TestFutureRepanics(t *testing.T) {
 		}
 	}()
 	fu.await()
+}
+
+// TestRunnerPanicPropagation drives a real panic — the Sim livelock guard,
+// fired deterministically by VirtualLimit: 1 — through both execution
+// modes. Sequentially the cell runs inline, so submit itself panics;
+// pooled, the panic must travel through the future and re-raise at await,
+// not kill the process from a pool goroutine.
+func TestRunnerPanicPropagation(t *testing.T) {
+	prog, err := BuildProgram("nqueens-array", 6, 0, false)
+	if err != nil {
+		t.Fatalf("BuildProgram: %v", err)
+	}
+	opt := adaptivetc.Options{Workers: 2, VirtualLimit: 1}
+	catch := func(f func()) (recovered any) {
+		defer func() { recovered = recover() }()
+		f()
+		return nil
+	}
+	check := func(mode string, r any) {
+		t.Helper()
+		if r == nil {
+			t.Fatalf("%s: the VirtualLimit=1 livelock guard did not fire", mode)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "virtual time limit") {
+			t.Fatalf("%s: recovered %v, want the Sim limit panic", mode, r)
+		}
+	}
+
+	seq := Config{Parallel: 1}
+	check("sequential submit", catch(func() { seq.submit(adaptivetc.NewCilk(), prog, opt) }))
+
+	pool := Config{Parallel: 4}
+	fu := pool.submit(adaptivetc.NewCilk(), prog, opt)
+	check("pooled await", catch(func() { fu.await() }))
+
+	// The pool survives its cell's panic: the semaphore slot was released,
+	// so later cells still run to completion.
+	res, err := pool.submit(adaptivetc.NewCilk(), prog, adaptivetc.Options{Workers: 2}).await()
+	if err != nil {
+		t.Fatalf("cell after panic: %v", err)
+	}
+	if res.Value == 0 {
+		t.Fatal("cell after panic returned no solutions")
+	}
 }

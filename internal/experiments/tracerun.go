@@ -1,0 +1,57 @@
+// The -trace entry point: one fully traced AdaptiveTC run, invariant-checked
+// and exported as Chrome trace_event JSON for chrome://tracing / Perfetto.
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"adaptivetc"
+	"adaptivetc/internal/trace"
+	"adaptivetc/problems/nqueens"
+)
+
+// TraceRun executes one AdaptiveTC n-queens(8) run with the event tracer
+// attached, replays the trace against the scheduler invariants, and writes
+// it as Chrome trace_event JSON to path. The run uses the Config's seed and
+// thread count on the deterministic Sim platform, so the exported trace is
+// reproducible byte-for-byte.
+func TraceRun(cfg Config, path string) error {
+	p := nqueens.NewArray(8)
+	serial, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{Seed: cfg.seed()})
+	if err != nil {
+		return fmt.Errorf("trace: serial oracle: %w", err)
+	}
+
+	rec := trace.NewRecorder()
+	defer rec.Release()
+	workers := cfg.MaxThreads
+	if workers <= 0 {
+		workers = 8
+	}
+	res, err := adaptivetc.NewAdaptiveTC().Run(p, adaptivetc.Options{
+		Workers: workers,
+		Seed:    cfg.seed(),
+		Tracer:  rec,
+	})
+	if err != nil {
+		return fmt.Errorf("trace: traced run: %w", err)
+	}
+	if err := rec.Check(res.Value, serial.Value); err != nil {
+		return fmt.Errorf("trace: invariant check: %w", err)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := rec.WriteChrome(f); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if cfg.Out != nil {
+		fmt.Fprintf(cfg.Out, "traced %s P=%d: value=%d events=%d, invariants ok, wrote %s\n",
+			res.Engine, workers, res.Value, rec.EventCount(), path)
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"math/bits"
 	"time"
 
+	"adaptivetc/internal/trace"
 	"adaptivetc/internal/vtime"
 )
 
@@ -158,6 +159,14 @@ type Options struct {
 	// VirtualLimit aborts a Sim run whose virtual clock passes this bound
 	// (livelock guard). Zero means 5 minutes of virtual time.
 	VirtualLimit int64
+	// Tracer, when non-nil, records every scheduler event of the run
+	// (spawns, deque traffic, steals, deposits, need_task transitions) into
+	// per-worker buffers for invariant checking or Chrome trace export.
+	// The runtime re-Inits it at the start of the run, so one Recorder can
+	// be reused across runs but never shared by concurrent ones. Nil (the
+	// default) keeps the zero-allocation hot path: every recording site is
+	// behind a single nil check.
+	Tracer *trace.Recorder
 }
 
 // WorkersOrDefault returns the worker count, defaulting to 1.

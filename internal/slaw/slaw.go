@@ -185,10 +185,10 @@ func (x *exec) loop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64, bo
 		// Register the possible deposit *before* running the child: if it
 		// suspends, its finaliser may deposit into f immediately, racing a
 		// post-hoc registration.
-		f.ExpectDeposit()
+		w.ExpectDeposit(f)
 		v, completed := x.nodeFrame(w, child)
 		if completed {
-			f.CancelExpected()
+			w.CancelExpected(f)
 			sum += v
 			// The child ran to completion on our stack: dead, solely ours.
 			w.FreeFrame(child)
@@ -198,7 +198,7 @@ func (x *exec) loop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64, bo
 	}
 	total, out := f.Sync(sum)
 	if out == wsrt.SyncSuspended {
-		w.Stats.Suspends++
+		w.Suspend(f)
 		return 0, false
 	}
 	return total, true

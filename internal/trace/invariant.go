@@ -1,0 +1,216 @@
+// The invariant checker: replays one run's trace against the conservation
+// laws that the THE-protocol deque and the deposit protocol promise, so a
+// run that produced the right answer by accident (a duplicated steal and a
+// lost pop cancelling out, a deposit landing in the wrong frame) still
+// fails loudly.
+//
+// The catalogue (each violation names the law it breaks):
+//
+//	spawn-unique      every task seq is spawned exactly once.
+//	conservation      every push of an ordinary task is consumed by exactly
+//	                  one pop XOR one steal; nothing is consumed that was
+//	                  not pushed; nothing is left in a deque at the end.
+//	special-pinned    a special marker is never stolen and never popped by
+//	                  the ordinary path; every push of it is matched by one
+//	                  PopSpecial. Conversely only special markers go
+//	                  through PopSpecial.
+//	deposit-owed      per frame, deposits == steals crediting the frame
+//	                  + ExpectDeposit registrations - cancellations: every
+//	                  deposit was owed, and every debt was paid.
+//	suspend-once      a frame suspends at most once, is finalised at most
+//	                  once, and only a suspended frame is finalised.
+//	                  Special markers do neither.
+//	steal-symmetry    thief-side success/failure counts equal the deque
+//	                  logs' success/failure counts.
+//	need-task-fsm     per deque, in lock order: the failed-steal counter
+//	                  increments on failure and resets on success, and
+//	                  need_task is raised exactly when the counter passes
+//	                  max_stolen_num and cleared exactly on success.
+//	single-completion the run records exactly one root completion, its
+//	                  value matches the reported result, and the result
+//	                  matches the serial oracle.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"adaptivetc/internal/deque"
+)
+
+// KindSpecial mirrors wsrt.KindSpecial without importing wsrt (which
+// imports this package). Pinned by a cross-package test in wsrt.
+const KindSpecial = 2
+
+// taskState accumulates one task seq's event counts.
+type taskState struct {
+	kind        int64
+	spawns      int
+	pushes      int
+	pops        int
+	popSpecials int
+	steals      int
+	credits     int // steals that registered a deposit on this frame
+	expects     int
+	cancels     int
+	deposits    int
+	suspends    int
+	finalizes   int
+}
+
+// maxViolations bounds the error report; a systemically broken run would
+// otherwise produce one violation per task.
+const maxViolations = 20
+
+// Check replays the recorded run and returns an error describing every
+// violated invariant (capped), or nil if the run upheld all of them.
+// finalValue is the run's reported result; wantValue is the serial oracle.
+func (r *Recorder) Check(finalValue, wantValue int64) error {
+	var violations []error
+	addf := func(format string, args ...any) {
+		if len(violations) < maxViolations {
+			violations = append(violations, fmt.Errorf(format, args...))
+		}
+	}
+
+	if finalValue != wantValue {
+		addf("single-completion: run value %d != serial value %d", finalValue, wantValue)
+	}
+
+	tasks := make(map[uint64]*taskState)
+	task := func(seq uint64) *taskState {
+		t := tasks[seq]
+		if t == nil {
+			t = &taskState{kind: -1}
+			tasks[seq] = t
+		}
+		return t
+	}
+
+	completions, rootDeposits := 0, 0
+	stealOKs, stealFails := 0, 0
+	for _, w := range r.workers {
+		for i := range w.evs {
+			ev := &w.evs[i]
+			switch ev.Op {
+			case OpSpawn:
+				t := task(ev.Task)
+				t.spawns++
+				t.kind = ev.B
+			case OpPush:
+				task(ev.Task).pushes++
+			case OpPop:
+				task(ev.Task).pops++
+			case OpPopEmpty:
+				// No conservation effect: a failed pop consumes nothing.
+			case OpPopSpecial:
+				task(ev.Task).popSpecials++
+			case OpSteal:
+				task(ev.Task).steals++
+				task(uint64(ev.B)).credits++
+				stealOKs++
+			case OpStealFail:
+				stealFails++
+			case OpExpect:
+				task(ev.Task).expects++
+			case OpCancel:
+				task(ev.Task).cancels++
+			case OpDeposit:
+				if ev.Task == 0 {
+					rootDeposits++
+				} else {
+					task(ev.Task).deposits++
+				}
+			case OpFinalize:
+				task(ev.Task).finalizes++
+			case OpSuspend:
+				task(ev.Task).suspends++
+			case OpComplete:
+				completions++
+				if ev.A != finalValue {
+					addf("single-completion: completion event carries %d, run reported %d", ev.A, finalValue)
+				}
+			}
+		}
+	}
+
+	if completions != 1 {
+		addf("single-completion: %d root completions recorded, want exactly 1", completions)
+	}
+	if rootDeposits > 1 {
+		addf("single-completion: %d deposits to the run root, want at most 1", rootDeposits)
+	}
+
+	for seq, t := range tasks {
+		name := FormatSeq(seq)
+		if t.spawns != 1 {
+			addf("spawn-unique: task %s spawned %d times", name, t.spawns)
+			continue // counts below are meaningless without a unique identity
+		}
+		if t.kind == KindSpecial {
+			if t.steals != 0 {
+				addf("special-pinned: special marker %s was stolen %d times", name, t.steals)
+			}
+			if t.pops != 0 {
+				addf("special-pinned: special marker %s left through the ordinary pop %d times", name, t.pops)
+			}
+			if t.pushes != t.popSpecials {
+				addf("special-pinned: special marker %s pushed %d times but removed by PopSpecial %d times", name, t.pushes, t.popSpecials)
+			}
+			if t.suspends != 0 || t.finalizes != 0 {
+				addf("suspend-once: special marker %s suspends=%d finalizes=%d, want 0/0", name, t.suspends, t.finalizes)
+			}
+		} else {
+			if t.popSpecials != 0 {
+				addf("special-pinned: ordinary task %s removed via PopSpecial %d times", name, t.popSpecials)
+			}
+			if t.pushes != t.pops+t.steals {
+				addf("conservation: task %s pushed %d times, consumed %d times (%d pops + %d steals)",
+					name, t.pushes, t.pops+t.steals, t.pops, t.steals)
+			}
+			if t.suspends > 1 {
+				addf("suspend-once: task %s suspended %d times", name, t.suspends)
+			}
+			if t.finalizes > t.suspends {
+				addf("suspend-once: task %s finalised %d times but suspended %d times", name, t.finalizes, t.suspends)
+			}
+		}
+		if owed := t.credits + t.expects - t.cancels; t.deposits != owed {
+			addf("deposit-owed: task %s received %d deposits but was owed %d (%d steal credits + %d expects - %d cancels)",
+				name, t.deposits, owed, t.credits, t.expects, t.cancels)
+		}
+	}
+
+	dqOKs, dqFails := 0, 0
+	for i, dl := range r.deques {
+		counter, need := int64(0), false
+		for j, ev := range dl.evs {
+			switch ev.Op {
+			case deque.TraceStealFail:
+				dqFails++
+				counter++
+				if counter > r.maxStolenNum {
+					need = true
+				}
+			case deque.TraceStealOK, deque.TraceStealSpecial:
+				dqOKs++
+				counter, need = 0, false
+			}
+			if ev.StolenNum != counter || ev.NeedTask != need {
+				addf("need-task-fsm: deque %d event %d (%v): counter/flag = %d/%v, lock-order replay expects %d/%v (max_stolen_num=%d)",
+					i, j, ev.Op, ev.StolenNum, ev.NeedTask, counter, need, r.maxStolenNum)
+			}
+		}
+	}
+	if stealOKs != dqOKs {
+		addf("steal-symmetry: workers recorded %d successful steals, deques recorded %d", stealOKs, dqOKs)
+	}
+	if stealFails != dqFails {
+		addf("steal-symmetry: workers recorded %d failed steals, deques recorded %d", stealFails, dqFails)
+	}
+
+	if len(violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("trace: %d invariant violation(s):\n%w", len(violations), errors.Join(violations...))
+}

@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"adaptivetc/internal/deque"
+)
+
+func TestSeqPacking(t *testing.T) {
+	r := NewRecorder()
+	r.Init(3, 20)
+	defer r.Release()
+	s0 := r.WorkerLog(0).NextSeq()
+	s2a := r.WorkerLog(2).NextSeq()
+	s2b := r.WorkerLog(2).NextSeq()
+	if SeqWorker(s0) != 0 || SeqIndex(s0) != 1 {
+		t.Fatalf("seq %x decodes to worker %d index %d, want 0/1", s0, SeqWorker(s0), SeqIndex(s0))
+	}
+	if SeqWorker(s2b) != 2 || SeqIndex(s2b) != 2 {
+		t.Fatalf("seq %x decodes to worker %d index %d, want 2/2", s2b, SeqWorker(s2b), SeqIndex(s2b))
+	}
+	if s2a == s2b || s0 == s2a {
+		t.Fatal("seqs not unique")
+	}
+	if got := FormatSeq(s2a); got != "w2#1" {
+		t.Fatalf("FormatSeq = %q, want w2#1", got)
+	}
+	if got := FormatSeq(0); got != "root" {
+		t.Fatalf("FormatSeq(0) = %q, want root", got)
+	}
+}
+
+// cleanRun builds a minimal consistent 2-worker trace: worker 0 spawns and
+// pushes one task, worker 1 steals and suspends it, worker 0's deposit
+// finalises it and cascades the total into the root. One failed steal on
+// deque 1 exercises the FSM log. Returns the recorder and the task seq.
+func cleanRun(maxStolenNum int64) (*Recorder, uint64) {
+	r := NewRecorder()
+	r.Init(2, maxStolenNum)
+	w0, w1 := r.WorkerLog(0), r.WorkerLog(1)
+	t1 := w0.NextSeq()
+
+	w0.Add(10, OpSpawn, t1, 1, 0)
+	w0.Add(20, OpPush, t1, 0, 0)
+	r.DequeHook(0)(deque.TraceStealOK, 0, false) // w1's steal below, lock order
+	w1.Add(25, OpSteal, t1, 0, int64(t1))
+	w0.Add(30, OpPopEmpty, 0, 0, 0)
+	w1.Add(35, OpSuspend, t1, 0, 0)
+	w0.Add(40, OpStealFail, 0, 1, 0)
+	r.DequeHook(1)(deque.TraceStealFail, 1, false)
+	w0.Add(50, OpDeposit, t1, 3, 0)
+	w0.Add(51, OpFinalize, t1, 10, 0)
+	w0.Add(52, OpDeposit, 0, 10, 0)
+	w0.Add(53, OpComplete, 0, 10, 0)
+	return r, t1
+}
+
+func TestCheckCleanRun(t *testing.T) {
+	r, _ := cleanRun(2)
+	defer r.Release()
+	if err := r.Check(10, 10); err != nil {
+		t.Fatalf("clean run violates invariants: %v", err)
+	}
+}
+
+// TestCheckCatchesViolations seeds one defect per invariant into the clean
+// run and asserts the checker names the broken law.
+func TestCheckCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		seed  func(r *Recorder, t1 uint64)
+		final int64 // value passed as the run result; 10 is correct
+		want  string
+	}{
+		{
+			name:  "wrong final value",
+			seed:  func(*Recorder, uint64) {},
+			final: 11,
+			want:  "single-completion",
+		},
+		{
+			name: "double spawn",
+			seed: func(r *Recorder, t1 uint64) {
+				r.WorkerLog(1).Add(60, OpSpawn, t1, 1, 0)
+			},
+			final: 10,
+			want:  "spawn-unique",
+		},
+		{
+			name: "push never consumed",
+			seed: func(r *Recorder, t1 uint64) {
+				r.WorkerLog(0).Add(60, OpPush, t1, 0, 0)
+			},
+			final: 10,
+			want:  "conservation",
+		},
+		{
+			name: "special marker stolen",
+			seed: func(r *Recorder, _ uint64) {
+				w0, w1 := r.WorkerLog(0), r.WorkerLog(1)
+				s := w0.NextSeq()
+				w0.Add(60, OpSpawn, s, 2, KindSpecial)
+				w0.Add(61, OpPush, s, 0, 0)
+				w1.Add(62, OpSteal, s, 0, int64(s))
+				r.DequeHook(0)(deque.TraceStealOK, 0, false)
+				// Balance the deposit the steal registered so only the
+				// special-pinned law trips.
+				w1.Add(63, OpDeposit, s, 0, 0)
+				w0.Add(64, OpPopSpecial, s, 1, 0)
+			},
+			final: 10,
+			want:  "special-pinned",
+		},
+		{
+			name: "deposit nobody owed",
+			seed: func(r *Recorder, t1 uint64) {
+				r.WorkerLog(1).Add(60, OpDeposit, t1, 4, 0)
+			},
+			final: 10,
+			want:  "deposit-owed",
+		},
+		{
+			name: "finalize without suspend",
+			seed: func(r *Recorder, t1 uint64) {
+				r.WorkerLog(0).Add(60, OpFinalize, t1, 10, 0)
+			},
+			final: 10,
+			want:  "suspend-once",
+		},
+		{
+			name: "deque counter diverges from replay",
+			seed: func(r *Recorder, _ uint64) {
+				r.WorkerLog(0).Add(60, OpStealFail, 0, 1, 0)
+				r.DequeHook(1)(deque.TraceStealFail, 7, false) // replay expects 2
+			},
+			final: 10,
+			want:  "need-task-fsm",
+		},
+		{
+			name: "need_task raised late",
+			seed: func(r *Recorder, _ uint64) {
+				w0 := r.WorkerLog(0)
+				hook := r.DequeHook(1)
+				// maxStolenNum is 2: the third consecutive failure must
+				// raise the flag; recording it still false is the bug the
+				// paper's Figure 3(d) forbids.
+				w0.Add(60, OpStealFail, 0, 1, 0)
+				hook(deque.TraceStealFail, 2, false)
+				w0.Add(61, OpStealFail, 0, 1, 0)
+				hook(deque.TraceStealFail, 3, false)
+			},
+			final: 10,
+			want:  "need-task-fsm",
+		},
+		{
+			name: "worker steal without deque record",
+			seed: func(r *Recorder, t1 uint64) {
+				r.WorkerLog(1).Add(60, OpStealFail, 0, 0, 0)
+			},
+			final: 10,
+			want:  "steal-symmetry",
+		},
+		{
+			name: "double completion",
+			seed: func(r *Recorder, _ uint64) {
+				r.WorkerLog(1).Add(60, OpComplete, 0, 10, 0)
+			},
+			final: 10,
+			want:  "single-completion",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r, t1 := cleanRun(2)
+			defer r.Release()
+			c.seed(r, t1)
+			err := r.Check(c.final, 10)
+			if err == nil {
+				t.Fatalf("checker accepted a run violating %s", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("violation report does not name %s:\n%v", c.want, err)
+			}
+		})
+	}
+}
+
+// chromeDoc mirrors the trace_event JSON object format.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string          `json:"name"`
+		Ph   string          `json:"ph"`
+		Tid  int             `json:"tid"`
+		TS   float64         `json:"ts"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	r, _ := cleanRun(2)
+	defer r.Release()
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 thread_name metadata events + the recorded worker events.
+	want := 2 + r.EventCount()
+	if len(doc.TraceEvents) != want {
+		t.Fatalf("%d traceEvents, want %d", len(doc.TraceEvents), want)
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+	}
+	if phases["M"] != 2 || phases["i"] != r.EventCount() {
+		t.Fatalf("phase mix %v, want 2 M + %d i", phases, r.EventCount())
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+}
+
+func TestRecorderReuse(t *testing.T) {
+	r, _ := cleanRun(2)
+	if r.EventCount() == 0 {
+		t.Fatal("no events recorded")
+	}
+	// A new Init discards the previous run entirely.
+	r.Init(1, 20)
+	if r.EventCount() != 0 {
+		t.Fatalf("EventCount = %d after re-Init, want 0", r.EventCount())
+	}
+	if r.Workers() != 1 {
+		t.Fatalf("Workers = %d after re-Init, want 1", r.Workers())
+	}
+	if err := r.Check(0, 1); err == nil {
+		t.Fatal("empty run with a wrong value passed the checker")
+	}
+	r.Release()
+	if r.Workers() != 0 {
+		t.Fatalf("Workers = %d after Release, want 0", r.Workers())
+	}
+}

@@ -109,6 +109,48 @@ func TestSimLimitPanics(t *testing.T) {
 	})
 }
 
+// TestNowMonotonic pins the clock property the trace recorder leans on:
+// within one worker, Now never goes backwards across Advance, Yield and
+// Sleep — per-worker trace timestamps are therefore already sorted.
+func TestNowMonotonic(t *testing.T) {
+	check := func(t *testing.T, p Proc, last *int64) {
+		t.Helper()
+		if now := p.Now(); now < *last {
+			t.Errorf("worker %d: Now went backwards: %d after %d", p.ID(), now, *last)
+		} else {
+			*last = now
+		}
+	}
+	t.Run("sim", func(t *testing.T) {
+		sim := &Sim{Seed: 11, Quantum: 3}
+		sim.Run(4, func(p Proc) {
+			var last int64
+			for i := 0; i < 200; i++ {
+				p.Advance(int64(p.Rand().Intn(50)))
+				check(t, p, &last)
+				p.Yield()
+				check(t, p, &last)
+				if i%17 == 0 {
+					p.Sleep(25)
+					check(t, p, &last)
+				}
+			}
+		})
+	})
+	t.Run("real", func(t *testing.T) {
+		r := &Real{Seed: 11}
+		r.Run(4, func(p Proc) {
+			var last int64
+			for i := 0; i < 200; i++ {
+				p.Advance(5)
+				check(t, p, &last)
+				p.Yield()
+				check(t, p, &last)
+			}
+		})
+	})
+}
+
 func TestRealPlatformRuns(t *testing.T) {
 	var count atomic.Int64
 	r := &Real{Seed: 5}

@@ -78,6 +78,11 @@ type Frame struct {
 	PC  int
 	Sum int64
 
+	// seq is the frame's trace identity, assigned by NewFrame only when the
+	// run is traced (recycled frames get a fresh seq per task, so a seq
+	// names one task, not one allocation). Zero when tracing is off.
+	seq uint64
+
 	// Join state, guarded by mu.
 	mu        sync.Mutex
 	extra     int64 // deposited child values

@@ -6,6 +6,7 @@ import (
 
 	"adaptivetc/internal/deque"
 	"adaptivetc/internal/sched"
+	"adaptivetc/internal/trace"
 	"adaptivetc/internal/vtime"
 )
 
@@ -28,6 +29,7 @@ type Runtime struct {
 	Eng    Engine
 
 	profile bool
+	tracer  *trace.Recorder // nil unless Options.Tracer was set
 	done    atomic.Bool
 	value   atomic.Int64
 	failure atomic.Pointer[runError]
@@ -38,7 +40,15 @@ type runError struct{ err error }
 // Done reports whether the run has completed (or failed).
 func (rt *Runtime) Done() bool { return rt.done.Load() }
 
+// complete records the run's root value. A recorded failure is final: a
+// worker can be mid-Resume on a stolen frame when another worker aborts
+// (deque overflow), and its deposit cascade may still reach a nil parent —
+// that late completion must not overwrite the failure's done/value state
+// and dress the run up as successful.
 func (rt *Runtime) complete(v int64) {
+	if rt.failure.Load() != nil {
+		return
+	}
 	rt.value.Store(v)
 	rt.done.Store(true)
 }
@@ -70,6 +80,11 @@ type Worker struct {
 	rt     *Runtime
 	pool   []sched.Workspace
 	frames []*Frame
+
+	// tr is this worker's trace log; nil unless the run is traced. Every
+	// recording site below is a single nil check when tracing is off, so
+	// the zero-alloc hot path is untouched.
+	tr *trace.WorkerLog
 }
 
 // Rt returns the worker's runtime.
@@ -110,7 +125,11 @@ func (w *Worker) NewFrame(parent *Frame, ws sched.Workspace, depth, rel int, kin
 	var f *Frame
 	if n := len(w.frames); n > 0 {
 		f = w.frames[n-1]
-		w.frames[n-1] = nil
+		// The slot is not nilled: the stale pointer beyond len duplicates a
+		// frame that is live anyway (it is being handed out right now), and
+		// can over-retain at most workerPoolCap dead frames per worker until
+		// the slot is overwritten. Skipping the store skips its write
+		// barrier, which pays for the tracing nil-check this path gained.
 		w.frames = w.frames[:n-1]
 		f.reset(parent, ws, depth, rel, kind)
 	} else {
@@ -120,7 +139,21 @@ func (w *Worker) NewFrame(parent *Frame, ws sched.Workspace, depth, rel int, kin
 		f.waited = true
 		w.Stats.SpecialTasks++
 	}
+	if w.tr != nil {
+		w.traceSpawn(f, depth, kind)
+	}
 	return f
+}
+
+// traceSpawn assigns f its trace identity and records the spawn. Kept out
+// of NewFrame's body so the untraced hot path pays only the nil test — the
+// inlined event construction otherwise costs NewFrame ~25% (see
+// BenchmarkFrameRecycle against BENCH_hotpath.json).
+//
+//go:noinline
+func (w *Worker) traceSpawn(f *Frame, depth int, kind Kind) {
+	f.seq = w.tr.NextSeq()
+	w.tr.Add(w.Proc.Now(), trace.OpSpawn, f.seq, int64(depth), int64(kind))
 }
 
 // FreeFrame returns a dead frame to the worker's free-list for reuse by a
@@ -145,6 +178,9 @@ func (w *Worker) Push(f *Frame) {
 		panic(abortError{fmt.Errorf("%w: worker %d, capacity %d, program %s",
 			sched.ErrDequeOverflow, w.ID, w.Deque.Cap(), w.rt.Prog.Name())})
 	}
+	if w.tr != nil {
+		w.tr.Add(w.Proc.Now(), trace.OpPush, f.seq, 0, 0)
+	}
 	w.addDeque(t0)
 }
 
@@ -153,16 +189,30 @@ func (w *Worker) Pop() (deque.Entry, bool) {
 	t0 := w.now()
 	w.Proc.Advance(w.rt.Costs.Pop)
 	e, ok := w.Deque.Pop()
+	if w.tr != nil {
+		if ok {
+			w.tr.Add(w.Proc.Now(), trace.OpPop, e.(*Frame).seq, 0, 0)
+		} else {
+			w.tr.Add(w.Proc.Now(), trace.OpPopEmpty, 0, 0, 0)
+		}
+	}
 	w.addDeque(t0)
 	return e, ok
 }
 
-// PopSpecial pops the special task the worker pushed and reports whether
-// its child was stolen.
-func (w *Worker) PopSpecial() (stolen bool) {
+// PopSpecial pops the special task f the worker pushed and reports whether
+// any of f's children were stolen over the marker in the meantime.
+func (w *Worker) PopSpecial(f *Frame) (stolen bool) {
 	t0 := w.now()
 	w.Proc.Advance(w.rt.Costs.Pop)
 	stolen = w.Deque.PopSpecial()
+	if w.tr != nil {
+		a := int64(0)
+		if stolen {
+			a = 1
+		}
+		w.tr.Add(w.Proc.Now(), trace.OpPopSpecial, f.seq, a, 0)
+	}
 	w.addDeque(t0)
 	return stolen
 }
@@ -231,16 +281,56 @@ func (w *Worker) Release(ws sched.Workspace) {
 func (w *Worker) Deposit(parent *Frame, v int64) {
 	for {
 		if parent == nil {
+			if w.tr != nil {
+				ts := w.Proc.Now()
+				w.tr.Add(ts, trace.OpDeposit, 0, v, 0)
+				w.tr.Add(ts, trace.OpComplete, 0, v, 0)
+			}
 			w.rt.complete(v)
 			return
+		}
+		if w.tr != nil {
+			w.tr.Add(w.Proc.Now(), trace.OpDeposit, parent.seq, v, 0)
 		}
 		total, finalise := parent.deposit(v)
 		if !finalise {
 			return
 		}
+		if w.tr != nil {
+			w.tr.Add(w.Proc.Now(), trace.OpFinalize, parent.seq, total, 0)
+		}
 		next := parent.Parent
 		w.FreeFrame(parent)
 		v, parent = total, next
+	}
+}
+
+// ExpectDeposit registers one future deposit on f outside the steal path
+// (see Frame.ExpectDeposit), recording it in the trace. Engines must use
+// this wrapper rather than the Frame method so the invariant checker sees
+// every registered debt.
+func (w *Worker) ExpectDeposit(f *Frame) {
+	if w.tr != nil {
+		w.tr.Add(w.Proc.Now(), trace.OpExpect, f.seq, 0, 0)
+	}
+	f.ExpectDeposit()
+}
+
+// CancelExpected withdraws one ExpectDeposit registration on f (see
+// Frame.CancelExpected), recording it in the trace.
+func (w *Worker) CancelExpected(f *Frame) {
+	if w.tr != nil {
+		w.tr.Add(w.Proc.Now(), trace.OpCancel, f.seq, 0, 0)
+	}
+	f.CancelExpected()
+}
+
+// Suspend accounts the final executor abandoning f at its sync point with
+// deposits outstanding (Frame.Sync returned SyncSuspended).
+func (w *Worker) Suspend(f *Frame) {
+	w.Stats.Suspends++
+	if w.tr != nil {
+		w.tr.Add(w.Proc.Now(), trace.OpSuspend, f.seq, 0, 0)
 	}
 }
 
@@ -297,6 +387,15 @@ func (w *Worker) thiefLoop() {
 		if ok {
 			w.Stats.Steals++
 			f := e.(*Frame)
+			if w.tr != nil {
+				// The theft registered one deposit: on f itself for a stolen
+				// continuation, on its parent for a help-first child.
+				credit := f
+				if f.Kind == KindChild && f.Parent != nil {
+					credit = f.Parent
+				}
+				w.tr.Add(w.Proc.Now(), trace.OpSteal, f.seq, int64(victim), int64(credit.seq))
+			}
 			v, completed := rt.Eng.Resume(w, f)
 			if completed {
 				// f's subtree is done and its sync saw no pending deposits,
@@ -308,6 +407,9 @@ func (w *Worker) thiefLoop() {
 			}
 		} else {
 			w.Stats.StealFails++
+			if w.tr != nil {
+				w.tr.Add(w.Proc.Now(), trace.OpStealFail, 0, int64(victim), 0)
+			}
 		}
 		w.Proc.Yield()
 	}
@@ -322,6 +424,10 @@ func Run(prog sched.Program, opt sched.Options, mk func(rt *Runtime) Engine, nam
 		N:       n,
 		Deques:  make([]deque.WorkDeque, n),
 		profile: opt.Profile,
+		tracer:  opt.Tracer,
+	}
+	if rt.tracer != nil {
+		rt.tracer.Init(n, int64(opt.MaxStolenNumOrDefault()))
 	}
 	for i := range rt.Deques {
 		if opt.GrowableDeque {
@@ -329,12 +435,18 @@ func Run(prog sched.Program, opt sched.Options, mk func(rt *Runtime) Engine, nam
 		} else {
 			rt.Deques[i] = deque.New(opt.DequeCapacityOrDefault(), opt.MaxStolenNumOrDefault())
 		}
+		if rt.tracer != nil {
+			rt.Deques[i].SetTrace(rt.tracer.DequeHook(i))
+		}
 	}
 	rt.Eng = mk(rt)
 
 	workers := make([]*Worker, n)
 	makespan := opt.PlatformOrDefault().Run(n, func(proc vtime.Proc) {
 		w := &Worker{ID: proc.ID(), Proc: proc, Deque: rt.Deques[proc.ID()], rt: rt}
+		if rt.tracer != nil {
+			w.tr = rt.tracer.WorkerLog(w.ID)
+		}
 		workers[w.ID] = w
 		start := proc.Now()
 		defer func() {
@@ -351,6 +463,9 @@ func Run(prog sched.Program, opt sched.Options, mk func(rt *Runtime) Engine, nam
 		if w.ID == 0 {
 			v, completed := rt.Eng.Root(w)
 			if completed {
+				if w.tr != nil {
+					w.tr.Add(w.Proc.Now(), trace.OpComplete, 0, v, 0)
+				}
 				rt.complete(v)
 			}
 		}
@@ -368,9 +483,7 @@ func Run(prog sched.Program, opt sched.Options, mk func(rt *Runtime) Engine, nam
 			st.MaxDequeDepth = d.MaxDepth()
 		}
 	}
-	if opt.Profile {
-		st.WorkTime = st.WorkerTime - st.CopyTime - st.DequeTime - st.PollTime - st.WaitTime - st.StealTime
-	}
+	finalizeStats(&st, opt.Profile)
 	res := sched.Result{
 		Value:    rt.value.Load(),
 		Makespan: makespan,
@@ -383,4 +496,20 @@ func Run(prog sched.Program, opt sched.Options, mk func(rt *Runtime) Engine, nam
 		return res, f.err
 	}
 	return res, nil
+}
+
+// finalizeStats derives WorkTime as the worker time left over after the
+// profiled overhead components. The components are accounted independently
+// of WorkerTime, and nested charge windows (a poll interval inside a deque
+// operation, say) can overlap, so on tiny runs the subtraction can dip
+// below zero; clamp it — a negative "useful work" figure is never
+// meaningful and poisons downstream overhead-percentage reports.
+func finalizeStats(st *sched.Stats, profile bool) {
+	if !profile {
+		return
+	}
+	st.WorkTime = st.WorkerTime - st.CopyTime - st.DequeTime - st.PollTime - st.WaitTime - st.StealTime
+	if st.WorkTime < 0 {
+		st.WorkTime = 0
+	}
 }
