@@ -44,6 +44,7 @@ func main() {
 	csvPath := flag.String("csv", "", "also write sweep samples as CSV to this file")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently; 0 = GOMAXPROCS, 1 = sequential")
 	tracePath := flag.String("trace", "", "write one invariant-checked AdaptiveTC run as Chrome trace JSON to this file and exit")
+	traceInject := flag.Bool("trace-inject-violation", false, "corrupt the trace before the invariant check (CI failure-path test)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -66,6 +67,7 @@ func main() {
 		Parallel:         *parallel,
 	}
 	if *tracePath != "" {
+		cfg.InjectTraceViolation = *traceInject
 		if err := experiments.TraceRun(cfg, *tracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "adaptivetc-bench: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,156 @@
+// Command adaptivetc-loadgen drives an adaptivetc-serve instance with a
+// closed-loop workload: C submitter goroutines each submit one job, poll it
+// to completion, and immediately submit the next, for a fixed duration.
+// Backpressure (HTTP 429) is counted and retried after a short pause, so
+// the report separates the server's useful throughput from its admission
+// rejections.
+//
+// Usage:
+//
+//	adaptivetc-loadgen -addr http://localhost:8080 -concurrency 8 -duration 10s
+//	adaptivetc-loadgen -programs nqueens-array,fib,knight -engines adaptivetc,cilk,slaw
+//
+// The report prints completed/cancelled/failed/rejected counts, throughput,
+// and the p50/p90/p99 submit→complete latency observed by the clients.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+type counters struct {
+	completed atomic.Int64
+	cancelled atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	httpErrs  atomic.Int64
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "serve base URL")
+	concurrency := flag.Int("concurrency", 4, "closed-loop submitter count")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	programs := flag.String("programs", "nqueens-array,fib,knight", "comma-separated program mix")
+	engines := flag.String("engines", "adaptivetc,cilk,slaw", "comma-separated engine mix")
+	n := flag.Int("n", 0, "problem size override (0 = per-family default)")
+	timeoutMS := flag.Int64("job-timeout-ms", 30000, "per-job deadline sent with each submission")
+	flag.Parse()
+
+	// Accept the same bare host:port that adaptivetc-serve -addr takes.
+	if !strings.Contains(*addr, "://") {
+		*addr = "http://" + *addr
+	}
+	progMix := strings.Split(*programs, ",")
+	engMix := strings.Split(*engines, ",")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var (
+		cnt       counters
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				prog := progMix[(c+i)%len(progMix)]
+				eng := engMix[(c*7+i)%len(engMix)]
+				d, outcome := runOne(client, *addr, prog, eng, *n, *timeoutMS, &cnt)
+				if outcome == "done" {
+					mu.Lock()
+					latencies = append(latencies, d)
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	completed := cnt.completed.Load()
+	fmt.Printf("loadgen: %v at concurrency %d against %s\n", *duration, *concurrency, *addr)
+	fmt.Printf("completed=%d cancelled=%d failed=%d rejected=%d http-errors=%d\n",
+		completed, cnt.cancelled.Load(), cnt.failed.Load(), cnt.rejected.Load(), cnt.httpErrs.Load())
+	fmt.Printf("throughput=%.1f jobs/s\n", float64(completed)/duration.Seconds())
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration { return latencies[int(p*float64(len(latencies)-1))] }
+		fmt.Printf("latency p50=%v p90=%v p99=%v\n", pct(0.50), pct(0.90), pct(0.99))
+	}
+	if completed == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no job completed")
+		os.Exit(1)
+	}
+}
+
+// runOne submits one job and polls it to a terminal state, returning the
+// submit→terminal latency and the final state.
+func runOne(client *http.Client, addr, prog, eng string, n int, timeoutMS int64, cnt *counters) (time.Duration, string) {
+	body, _ := json.Marshal(map[string]any{
+		"program": prog, "engine": eng, "n": n, "timeout_ms": timeoutMS,
+	})
+	start := time.Now()
+	resp, err := client.Post(addr+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		cnt.httpErrs.Add(1)
+		time.Sleep(100 * time.Millisecond)
+		return 0, "error"
+	}
+	var st jobStatus
+	decErr := json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		cnt.rejected.Add(1)
+		time.Sleep(50 * time.Millisecond) // back off as Retry-After suggests
+		return 0, "rejected"
+	case resp.StatusCode != http.StatusAccepted || decErr != nil || st.ID == "":
+		cnt.httpErrs.Add(1)
+		time.Sleep(100 * time.Millisecond)
+		return 0, "error"
+	}
+
+	for {
+		resp, err := client.Get(addr + "/jobs/" + st.ID)
+		if err != nil {
+			cnt.httpErrs.Add(1)
+			return 0, "error"
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if decErr != nil {
+			cnt.httpErrs.Add(1)
+			return 0, "error"
+		}
+		switch st.State {
+		case "done":
+			cnt.completed.Add(1)
+			return time.Since(start), "done"
+		case "cancelled":
+			cnt.cancelled.Add(1)
+			return time.Since(start), "cancelled"
+		case "failed":
+			cnt.failed.Add(1)
+			return time.Since(start), "failed"
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,7 @@ func main() {
 	cutoff := flag.Int("cutoff", 0, "cut-off depth (cutoff-programmer, or with -force-cutoff)")
 	forceCutoff := flag.Bool("force-cutoff", false, "pin AdaptiveTC's cutoff to -cutoff instead of ⌈log2 N⌉")
 	analyze := flag.Bool("analyze", false, "print the search-tree shape instead of running")
+	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none; tascell does not observe it)")
 	flag.Parse()
 
 	if *list {
@@ -69,8 +72,17 @@ func main() {
 	if *real {
 		opt.Platform = adaptivetc.NewRealPlatform(*seed)
 	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opt.Ctx = ctx
+	}
 	res, err := engine.Run(prog, opt)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "adaptivetc-run: run aborted: exceeded -timeout %v (raise it, shrink the problem, or add workers)\n", *timeout)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "adaptivetc-run: %v\n", err)
 		os.Exit(1)
 	}

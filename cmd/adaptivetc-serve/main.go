@@ -1,0 +1,91 @@
+// Command adaptivetc-serve runs the resident scheduler service: one
+// long-lived work-stealing worker pool serving a stream of jobs over an
+// HTTP JSON API.
+//
+// Usage:
+//
+//	adaptivetc-serve -addr :8080 -workers 4 -queue 256
+//	adaptivetc-serve -addr :8080 -check        # audit scheduler invariants per job
+//
+// API:
+//
+//	POST   /jobs       {"program":"nqueens-array","n":9,"engine":"adaptivetc","timeout_ms":5000}
+//	GET    /jobs/{id}  job status; value, stats and latency once terminal
+//	DELETE /jobs/{id}  cooperative cancellation
+//	GET    /metrics    throughput, in-flight, queue depth, p50/p99 latency
+//	GET    /catalog    available programs and engines
+//
+// A full admission queue answers 429 with Retry-After — the backpressure
+// contract adaptivetc-loadgen exercises.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "resident pool worker count")
+	queue := flag.Int("queue", 256, "admission queue capacity")
+	check := flag.Bool("check", false, "verify scheduler invariants on every job's trace")
+	seed := flag.Int64("seed", 1, "victim-selection seed")
+	growable := flag.Bool("growable-deque", true, "use growable deques (fixed deques can overflow on deep jobs)")
+	flag.Parse()
+
+	svc := serve.New(serve.Config{
+		Workers:       *workers,
+		QueueCapacity: *queue,
+		Check:         *check,
+		Options: sched.Options{
+			Seed:          *seed,
+			GrowableDeque: *growable,
+		},
+	})
+
+	server := &http.Server{Addr: *addr, Handler: serve.NewMux(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+
+	fmt.Printf("adaptivetc-serve: listening on %s (workers=%d queue=%d check=%v)\n",
+		*addr, *workers, *queue, *check)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("adaptivetc-serve: %v, shutting down\n", sig)
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "adaptivetc-serve: %v\n", err)
+			svc.Close()
+			os.Exit(1)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = server.Shutdown(ctx)
+	svc.Close()
+
+	m := svc.Snapshot()
+	fmt.Printf("adaptivetc-serve: served %d jobs (%d completed, %d cancelled, %d failed, %d rejected)\n",
+		m.Submitted, m.Completed, m.Cancelled, m.Failed, m.Rejected)
+	if m.InvariantChecked > 0 {
+		fmt.Printf("adaptivetc-serve: invariant checks: %d run, %d violations\n",
+			m.InvariantChecked, m.InvariantViolations)
+		if m.InvariantViolations > 0 {
+			os.Exit(1)
+		}
+	}
+}

@@ -43,9 +43,12 @@ func (e *Engine) Name() string {
 
 // Run implements sched.Engine.
 func (e *Engine) Run(p sched.Program, opt sched.Options) (sched.Result, error) {
-	return wsrt.Run(p, opt, func(rt *wsrt.Runtime) wsrt.Engine {
-		return &exec{synched: e.synched}
-	}, e.Name())
+	return wsrt.Run(p, opt, e.NewExec(opt.WorkersOrDefault(), opt), e.Name())
+}
+
+// NewExec implements wsrt.PoolEngine.
+func (e *Engine) NewExec(n int, opt sched.Options) wsrt.Engine {
+	return &exec{synched: e.synched}
 }
 
 type exec struct {

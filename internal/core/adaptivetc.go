@@ -48,15 +48,17 @@ func (*Engine) Name() string { return "adaptivetc" }
 
 // Run implements sched.Engine.
 func (e *Engine) Run(p sched.Program, opt sched.Options) (sched.Result, error) {
-	n := opt.WorkersOrDefault()
+	return wsrt.Run(p, opt, e.NewExec(opt.WorkersOrDefault(), opt), e.Name())
+}
+
+// NewExec implements wsrt.PoolEngine.
+func (e *Engine) NewExec(n int, opt sched.Options) wsrt.Engine {
 	cut := opt.CutoffFor(n)
 	cut2 := cut * opt.Fast2MultiplierOrDefault()
 	if cut2 < cut {
 		cut2 = cut
 	}
-	return wsrt.Run(p, opt, func(rt *wsrt.Runtime) wsrt.Engine {
-		return &exec{cutoff: cut, cutoff2: cut2}
-	}, e.Name())
+	return &exec{cutoff: cut, cutoff2: cut2}
 }
 
 type exec struct {
@@ -217,6 +219,9 @@ func (x *exec) specialNode(w *wsrt.Worker, ws sched.Workspace, depth int) int64 
 				sum = total
 				break
 			}
+			// A cancelled job's outstanding deposits may never arrive; poll
+			// the stop flag so the wait cannot spin forever.
+			w.CheckCancel()
 			w.Proc.Sleep(w.Costs().WaitTick)
 		}
 		w.AddWait(w.Proc.Now() - t0)
@@ -284,7 +289,7 @@ func (x *exec) fast2Loop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int6
 
 func (x *exec) sequenceNode(w *wsrt.Worker, ws sched.Workspace, depth int) int64 {
 	before := w.Stats.Nodes
-	v := sched.EvalSequential(w.Prog(), ws, depth, w.Costs(), w.Proc, &w.Stats)
+	v := sched.EvalSequentialStop(w.Prog(), ws, depth, w.Costs(), w.Proc, &w.Stats, w.Rt().Stop())
 	w.Stats.FakeTasks += w.Stats.Nodes - before
 	return v
 }

@@ -51,13 +51,16 @@ func (e *Engine) Name() string {
 
 // Run implements sched.Engine.
 func (e *Engine) Run(p sched.Program, opt sched.Options) (sched.Result, error) {
+	return wsrt.Run(p, opt, e.NewExec(opt.WorkersOrDefault(), opt), e.Name())
+}
+
+// NewExec implements wsrt.PoolEngine.
+func (e *Engine) NewExec(n int, opt sched.Options) wsrt.Engine {
 	cut := opt.Cutoff
 	if e.variant == Library || cut <= 0 {
-		cut = sched.LogCutoff(opt.WorkersOrDefault())
+		cut = sched.LogCutoff(n)
 	}
-	return wsrt.Run(p, opt, func(rt *wsrt.Runtime) wsrt.Engine {
-		return &exec{variant: e.variant, cutoff: cut}
-	}, e.Name())
+	return &exec{variant: e.variant, cutoff: cut}
 }
 
 type exec struct {
@@ -128,7 +131,7 @@ func (x *exec) loop(w *wsrt.Worker, f *wsrt.Frame, pc int, sum int64) (int64, bo
 // starvation Figure 9 demonstrates.
 func (x *exec) sequential(w *wsrt.Worker, ws sched.Workspace, depth int) int64 {
 	if x.variant == Programmer {
-		return sched.EvalSequential(w.Prog(), ws, depth, w.Costs(), w.Proc, &w.Stats)
+		return sched.EvalSequentialStop(w.Prog(), ws, depth, w.Costs(), w.Proc, &w.Stats, w.Rt().Stop())
 	}
 	return x.seqCopy(w, ws, depth)
 }

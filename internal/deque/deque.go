@@ -50,6 +50,10 @@ type WorkDeque interface {
 	// SetTrace installs fn as the thief-side transition observer (nil
 	// disables tracing; the default).
 	SetTrace(fn TraceFn)
+	// Reset empties the deque and clears the starvation signal and the
+	// high-water mark, readying it for the next job of a resident pool.
+	// The caller must guarantee quiescence: no concurrent owner or thief.
+	Reset()
 	// MaxDepth returns the owner-observed size high-water mark.
 	MaxDepth() int64
 	// Cap returns the (current) capacity.
@@ -344,6 +348,28 @@ func (d *Deque) Steal() (Entry, bool) {
 	}
 	d.mu.Unlock()
 	return child.e, true
+}
+
+// Reset discards whatever a finished (or aborted) job left behind — entries
+// a cancelled run never consumed, a raised need_task flag, the failed-steal
+// counter, the depth high-water mark — so the next job of a resident pool
+// starts from the same state a fresh deque would. It must only be called in
+// quiescence (between jobs, with no worker running); the lock is taken for
+// the memory ordering, not for mutual exclusion.
+func (d *Deque) Reset() {
+	d.mu.Lock()
+	h, t := d.h.Load(), d.t.Load()
+	for i := h; i < t; i++ {
+		if box := d.buf[i%d.cap].Load(); box != nil {
+			box.e = nil // drop the abandoned entry for the GC
+		}
+	}
+	d.h.Store(0)
+	d.t.Store(0)
+	d.stolenNum.Store(0)
+	d.needTask.Store(false)
+	d.maxDepth = 0
+	d.mu.Unlock()
 }
 
 func (d *Deque) failLocked() {

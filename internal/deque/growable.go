@@ -74,6 +74,10 @@ func (g *Growable) grow() {
 	d.mu.Unlock()
 }
 
+// Reset empties the deque and clears the starvation signal and high-water
+// mark (see Deque.Reset). The grown buffer is kept.
+func (g *Growable) Reset() { g.d.Reset() }
+
 // Pop removes the tail entry (owner only).
 func (g *Growable) Pop() (Entry, bool) { return g.d.Pop() }
 

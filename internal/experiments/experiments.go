@@ -39,6 +39,12 @@ type Config struct {
 	// seed derives from the Config, not from scheduling (see runner.go).
 	Parallel int
 
+	// InjectTraceViolation corrupts the recorded trace before TraceRun's
+	// invariant check — a deliberately broken run for verifying that the
+	// checker's failure path reaches the exit code (CI asserts both
+	// directions). Never set outside tests and CI.
+	InjectTraceViolation bool
+
 	// sem is the lazily-created pool gate for Parallel > 1; see ensureSem.
 	// Config is passed by value between figures, so each figure gets its
 	// own gate — the bound applies per running figure, which is all the

@@ -1,74 +1,18 @@
 package experiments
 
 import (
-	"fmt"
-
 	"adaptivetc"
-	"adaptivetc/internal/lang"
-	"adaptivetc/problems/comp"
-	"adaptivetc/problems/fib"
-	"adaptivetc/problems/knight"
-	"adaptivetc/problems/nqueens"
-	"adaptivetc/problems/pentomino"
-	"adaptivetc/problems/strimko"
-	"adaptivetc/problems/sudoku"
-	"adaptivetc/problems/synthtree"
+	"adaptivetc/problems/registry"
 )
 
 // BuildProgram constructs a benchmark instance by name — the vocabulary of
-// cmd/adaptivetc-run. n is the family-specific size parameter (board side,
+// cmd/adaptivetc-run, delegating to problems/registry (shared with the
+// serving API). n is the family-specific size parameter (board side,
 // removals, givens, …); size is the synthetic-tree leaf count; reverse
-// mirrors a synthetic tree.
+// mirrors a synthetic tree. Zero n or size selects the family default.
 func BuildProgram(name string, n int, size int64, reverse bool) (adaptivetc.Program, error) {
-	tree := func(spec synthtree.Spec) adaptivetc.Program {
-		spec.Seed = 20100424
-		if reverse {
-			spec = spec.Reverse()
-		}
-		return synthtree.New(spec)
-	}
-	switch name {
-	case "nqueens-array":
-		return nqueens.NewArray(n), nil
-	case "nqueens-compute":
-		return nqueens.NewCompute(n), nil
-	case "sudoku-balanced":
-		return sudoku.Balanced(3, n), nil
-	case "sudoku-input1":
-		return sudoku.Input1(3, n), nil
-	case "sudoku-input2":
-		return sudoku.Input2(3, n), nil
-	case "sudoku-empty4":
-		return sudoku.Empty(2), nil
-	case "strimko":
-		return strimko.Diagonal(7, n), nil
-	case "knight":
-		return knight.New(n), nil
-	case "pentomino":
-		return pentomino.New(n), nil
-	case "fib":
-		return fib.New(n), nil
-	case "comp":
-		return comp.New(n), nil
-	case "tree1":
-		return tree(synthtree.Tree1(size)), nil
-	case "tree2":
-		return tree(synthtree.Tree2(size)), nil
-	case "tree3":
-		return tree(synthtree.Tree3(size)), nil
-	case "atc-nqueens", "atc-fib", "atc-latin", "atc-knight":
-		src := lang.Sources()[name[len("atc-"):]]
-		return lang.CompileProgram(name[len("atc-"):], src, map[string]int64{"n": int64(n)})
-	}
-	return nil, fmt.Errorf("unknown program %q", name)
+	return registry.Build(name, registry.Params{N: n, Size: size, Reverse: reverse})
 }
 
 // ProgramNames lists the names BuildProgram accepts.
-func ProgramNames() []string {
-	return []string{
-		"nqueens-array", "nqueens-compute", "sudoku-balanced", "sudoku-input1",
-		"sudoku-input2", "sudoku-empty4", "strimko", "knight", "pentomino",
-		"fib", "comp", "tree1", "tree2", "tree3",
-		"atc-nqueens", "atc-fib", "atc-latin", "atc-knight",
-	}
-}
+func ProgramNames() []string { return registry.Names() }

@@ -37,6 +37,11 @@ func TraceRun(cfg Config, path string) error {
 	if err != nil {
 		return fmt.Errorf("trace: traced run: %w", err)
 	}
+	if cfg.InjectTraceViolation {
+		// A thief-side steal failure no deque recorded: breaks
+		// steal-symmetry, so Check below must report a violation.
+		rec.WorkerLog(0).Add(0, trace.OpStealFail, 0, 0, 0)
+	}
 	if err := rec.Check(res.Value, serial.Value); err != nil {
 		return fmt.Errorf("trace: invariant check: %w", err)
 	}

@@ -15,6 +15,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -125,6 +126,13 @@ func DefaultCosts() Costs {
 type Options struct {
 	// Workers is the number of threads N. Zero means 1.
 	Workers int
+	// Ctx, when non-nil, cancels the run cooperatively: workers observe
+	// cancellation (or deadline expiry) at their poll points — the thief
+	// loop, node entry, sequential recursion, the special-task join wait —
+	// and the run aborts with the context's cause as its error. Nil means
+	// the run cannot be cancelled from outside. Cancellation is observed by
+	// the wsrt-based engines and the serial engine; Tascell ignores it.
+	Ctx context.Context
 	// Platform executes the workers. Nil means a deterministic Sim.
 	Platform vtime.Platform
 	// Costs is the virtual cost model. The zero value means DefaultCosts.
@@ -270,6 +278,10 @@ type Stats struct {
 	StealTime   int64 // thief time spent attempting steals
 	RespondTime int64 // Tascell victim time packaging tasks for thieves
 	WorkerTime  int64 // Σ over workers of total time from start to exit
+
+	// QueueWait is the wall-clock time a resident-pool job spent in the
+	// admission queue before its workers started (zero for batch runs).
+	QueueWait int64
 }
 
 // Add accumulates other into s.
@@ -296,6 +308,7 @@ func (s *Stats) Add(other Stats) {
 	s.StealTime += other.StealTime
 	s.RespondTime += other.RespondTime
 	s.WorkerTime += other.WorkerTime
+	s.QueueWait += other.QueueWait
 }
 
 // Result is the outcome of one run.

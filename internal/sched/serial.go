@@ -16,6 +16,16 @@ func ChargeNode(p Program, ws Workspace, depth int, c *Costs, proc vtime.Proc) {
 // "sequence version" that every parallel engine falls back to. Counters are
 // accumulated into st; proc's clock advances by the modelled work.
 func EvalSequential(p Program, ws Workspace, depth int, c *Costs, proc vtime.Proc, st *Stats) int64 {
+	return EvalSequentialStop(p, ws, depth, c, proc, st, nil)
+}
+
+// EvalSequentialStop is EvalSequential with a cancellation poll at every
+// node: when stop fires it panics with Abort, unwinding to the caller's
+// top-level recover. A nil stop costs one predicted branch per node, and
+// the poll charges no virtual cost, so traces and makespans of un-cancelled
+// runs are unchanged.
+func EvalSequentialStop(p Program, ws Workspace, depth int, c *Costs, proc vtime.Proc, st *Stats, stop *Stop) int64 {
+	stop.Check()
 	st.Nodes++
 	ChargeNode(p, ws, depth, c, proc)
 	proc.Yield()
@@ -29,7 +39,7 @@ func EvalSequential(p Program, ws Workspace, depth int, c *Costs, proc vtime.Pro
 		if !p.Apply(ws, depth, m) {
 			continue
 		}
-		sum += EvalSequential(p, ws, depth+1, c, proc, st)
+		sum += EvalSequentialStop(p, ws, depth+1, c, proc, st, stop)
 		p.Undo(ws, depth, m)
 	}
 	return sum
@@ -43,15 +53,29 @@ type Serial struct{}
 // Name implements Engine.
 func (Serial) Name() string { return "serial" }
 
-// Run implements Engine.
-func (Serial) Run(p Program, opt Options) (Result, error) {
+// Run implements Engine. Options.Ctx is honoured: cancellation aborts the
+// recursion at the next node visit and is reported as the run's error.
+func (Serial) Run(p Program, opt Options) (res Result, err error) {
 	costs := opt.CostsOrDefault()
 	var st Stats
 	var value int64
+	stop := &Stop{}
+	release := WatchContext(opt.Ctx, stop)
+	defer release()
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(Abort)
+			if !ok {
+				panic(r)
+			}
+			res = Result{Workers: 1, Engine: "serial", Program: p.Name(), Stats: st}
+			err = ab.Err
+		}
+	}()
 	plat := opt.PlatformOrDefault()
 	makespan := plat.Run(1, func(proc vtime.Proc) {
 		start := proc.Now()
-		value = EvalSequential(p, p.Root(), 0, &costs, proc, &st)
+		value = EvalSequentialStop(p, p.Root(), 0, &costs, proc, &st, stop)
 		st.WorkerTime += proc.Now() - start
 	})
 	st.WorkTime = st.WorkerTime

@@ -1,0 +1,21 @@
+package serve
+
+import (
+	"adaptivetc/internal/cilk"
+	"adaptivetc/internal/core"
+	"adaptivetc/internal/cutoff"
+	"adaptivetc/internal/slaw"
+	"adaptivetc/internal/wsrt"
+)
+
+// The seven pool-capable engines. Tascell (own backtracking runtime) and
+// the serial reference (no workers) cannot be hosted on a wsrt pool.
+func init() {
+	RegisterEngine("adaptivetc", func() wsrt.PoolEngine { return core.New() })
+	RegisterEngine("cilk", func() wsrt.PoolEngine { return cilk.New() })
+	RegisterEngine("cilk-synched", func() wsrt.PoolEngine { return cilk.NewSynched() })
+	RegisterEngine("cutoff-programmer", func() wsrt.PoolEngine { return cutoff.NewProgrammer() })
+	RegisterEngine("cutoff-library", func() wsrt.PoolEngine { return cutoff.NewLibrary() })
+	RegisterEngine("helpfirst", func() wsrt.PoolEngine { return slaw.NewHelpFirst() })
+	RegisterEngine("slaw", func() wsrt.PoolEngine { return slaw.New() })
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/wsrt"
+	"adaptivetc/problems/registry"
+)
+
+// JobStatus is the JSON view of one job (POST /jobs and GET /jobs/{id}).
+type JobStatus struct {
+	ID      string    `json:"id"`
+	State   State     `json:"state"`
+	Program string    `json:"program"`
+	Engine  string    `json:"engine"`
+	Created time.Time `json:"created"`
+
+	// Terminal-state fields.
+	Value       *int64  `json:"value,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	MakespanMS  float64 `json:"makespan_ms,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	Violations  string  `json:"invariant_violations,omitempty"`
+
+	Stats *sched.Stats `json:"stats,omitempty"`
+}
+
+// status renders j for the API.
+func status(j *Job) JobStatus {
+	st, res, err := j.Snapshot()
+	eng := j.Req.Engine
+	if eng == "" {
+		eng = "adaptivetc"
+	}
+	out := JobStatus{
+		ID:      j.ID,
+		State:   st,
+		Program: j.Req.Program,
+		Engine:  eng,
+		Created: j.Created,
+	}
+	switch st {
+	case StateQueued, StateRunning:
+		return out
+	}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	if st == StateDone {
+		v := res.Value
+		out.Value = &v
+	}
+	out.MakespanMS = float64(res.Makespan) / 1e6
+	out.QueueWaitMS = float64(res.Stats.QueueWait) / 1e6
+	stats := res.Stats
+	out.Stats = &stats
+	if viol := j.Violations(); viol != nil {
+		out.Violations = viol.Error()
+	}
+	return out
+}
+
+// NewMux returns the service's HTTP API:
+//
+//	POST   /jobs       submit (Request body) → 202 JobStatus; 429 on full queue
+//	GET    /jobs/{id}  status and, once terminal, result → JobStatus
+//	DELETE /jobs/{id}  cancel → 202 JobStatus
+//	GET    /metrics    service counters → Metrics
+//	GET    /catalog    available programs and engines
+func NewMux(s *Service) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		job, err := s.Submit(req)
+		switch {
+		case errors.Is(err, wsrt.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, err)
+			return
+		case errors.Is(err, wsrt.ErrPoolClosed):
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, status(job))
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, errors.New("serve: no such job"))
+			return
+		}
+		writeJSON(w, http.StatusOK, status(job))
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Cancel(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, errors.New("serve: no such job"))
+			return
+		}
+		writeJSON(w, http.StatusAccepted, status(job))
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Snapshot())
+	})
+
+	mux.HandleFunc("GET /catalog", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{
+			"programs": registry.Names(),
+			"engines":  EngineNames(),
+		})
+	})
+
+	return mux
+}

@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/wsrt"
+)
+
+func newTestService(t *testing.T, workers, queue int, check bool) *Service {
+	t.Helper()
+	s := New(Config{
+		Workers:       workers,
+		QueueCapacity: queue,
+		Check:         check,
+		Options:       sched.Options{GrowableDeque: true},
+	})
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestServeConcurrentMixedJobs is the tentpole acceptance test: one
+// resident pool serves >= 100 concurrently submitted jobs mixing three
+// programs across three engines, and every result is correct. Run with
+// -race in CI.
+func TestServeConcurrentMixedJobs(t *testing.T) {
+	s := newTestService(t, 2, 128, false)
+
+	type kind struct {
+		req  Request
+		want int64
+	}
+	kinds := []kind{
+		{Request{Program: "nqueens-array", N: 6, Engine: "adaptivetc"}, 4},
+		{Request{Program: "fib", N: 15, Engine: "cilk"}, 610},
+		{Request{Program: "knight", N: 5, Engine: "slaw"}, 304},
+		{Request{Program: "nqueens-array", N: 7, Engine: "cilk-synched"}, 40},
+		{Request{Program: "fib", N: 12, Engine: "helpfirst"}, 144},
+		{Request{Program: "knight", N: 4, Engine: "cutoff-library"}, 0},
+		{Request{Program: "fib", N: 10, Engine: "cutoff-programmer"}, 55},
+	}
+
+	const jobs = 105
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		k := kinds[i%len(kinds)]
+		wg.Add(1)
+		go func(i int, k kind) {
+			defer wg.Done()
+			// The queue (128) can momentarily fill against 105 concurrent
+			// submitters; back off and retry — the client contract.
+			var job *Job
+			for {
+				var err error
+				job, err = s.Submit(k.req)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, wsrt.ErrQueueFull) {
+					errs <- fmt.Errorf("job %d: submit: %v", i, err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			<-job.Done()
+			state, res, err := job.Snapshot()
+			if err != nil || state != StateDone {
+				errs <- fmt.Errorf("job %d (%s/%s): state=%s err=%v", i, k.req.Program, k.req.Engine, state, err)
+				return
+			}
+			if res.Value != k.want {
+				errs <- fmt.Errorf("job %d (%s/%s): value=%d want %d", i, k.req.Program, k.req.Engine, res.Value, k.want)
+			}
+		}(i, k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := s.Snapshot()
+	if m.Completed != jobs {
+		t.Fatalf("completed=%d, want %d", m.Completed, jobs)
+	}
+	if m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Fatalf("in-flight=%d queue=%d after drain, want 0/0", m.InFlight, m.QueueDepth)
+	}
+}
+
+// TestServeBackpressure fills the queue behind a blocked job and checks the
+// overflow submission is rejected with wsrt.ErrQueueFull and counted.
+func TestServeBackpressure(t *testing.T) {
+	s := newTestService(t, 1, 2, false)
+
+	blocker, err := s.Submit(Request{Program: "nqueens-array", N: 12, Engine: "adaptivetc", TimeoutMS: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the blocker to leave the queue and occupy the workers, so
+	// the two fills below take the queue's whole capacity.
+	for {
+		if state, _, _ := blocker.Snapshot(); state == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(Request{Program: "fib", N: 5}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(Request{Program: "fib", N: 5}); !errors.Is(err, wsrt.ErrQueueFull) {
+		t.Fatalf("overflow: err=%v, want ErrQueueFull", err)
+	}
+	if got := s.Snapshot().Rejected; got != 1 {
+		t.Fatalf("rejected=%d, want 1", got)
+	}
+	blocker.Cancel(ErrCancelled)
+	<-blocker.Done()
+}
+
+// TestServeCancellation cancels a running job and checks the state, the
+// cause, and that the pool serves the next job correctly.
+func TestServeCancellation(t *testing.T) {
+	s := newTestService(t, 2, 8, true)
+
+	job, err := s.Submit(Request{Program: "nqueens-array", N: 13, Engine: "adaptivetc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := s.Cancel(job.ID); !ok {
+		t.Fatal("Cancel: job not found")
+	}
+	<-job.Done()
+	state, _, jerr := job.Snapshot()
+	if state != StateCancelled || !errors.Is(jerr, ErrCancelled) {
+		t.Fatalf("state=%s err=%v, want cancelled/ErrCancelled", state, jerr)
+	}
+	if v := job.Violations(); v != nil {
+		t.Fatalf("truncated trace violated invariants: %v", v)
+	}
+
+	next, err := s.Submit(Request{Program: "fib", N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-next.Done()
+	if state, res, err := next.Snapshot(); err != nil || state != StateDone || res.Value != 55 {
+		t.Fatalf("job after cancel: state=%s value=%d err=%v", state, res.Value, err)
+	}
+	if v := next.Violations(); v != nil {
+		t.Fatalf("post-cancel job violated invariants: %v", v)
+	}
+
+	m := s.Snapshot()
+	if m.Cancelled != 1 || m.Completed != 1 {
+		t.Fatalf("cancelled=%d completed=%d, want 1/1", m.Cancelled, m.Completed)
+	}
+	if m.InvariantChecked != 2 || m.InvariantViolations != 0 {
+		t.Fatalf("checked=%d violations=%d, want 2/0", m.InvariantChecked, m.InvariantViolations)
+	}
+}
+
+// TestServeDeadline lets a job expire via its own timeout_ms.
+func TestServeDeadline(t *testing.T) {
+	s := newTestService(t, 1, 4, false)
+
+	job, err := s.Submit(Request{Program: "nqueens-array", N: 13, Engine: "adaptivetc", TimeoutMS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	state, _, jerr := job.Snapshot()
+	if state != StateCancelled {
+		t.Fatalf("state=%s err=%v, want cancelled via deadline", state, jerr)
+	}
+}
+
+// TestServeRejectsUnknowns validates program and engine names at submit.
+func TestServeRejectsUnknowns(t *testing.T) {
+	s := newTestService(t, 1, 4, false)
+	if _, err := s.Submit(Request{Program: "no-such"}); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+	if _, err := s.Submit(Request{Program: "fib", Engine: "tascell"}); err == nil {
+		t.Fatal("non-pool engine accepted")
+	}
+	if _, err := s.Submit(Request{Program: "fib", Engine: "serial"}); err == nil {
+		t.Fatal("serial engine accepted")
+	}
+}
+
+// TestHTTPAPI exercises the JSON API end to end over httptest.
+func TestHTTPAPI(t *testing.T) {
+	s := newTestService(t, 2, 16, false)
+	srv := httptest.NewServer(NewMux(s))
+	defer srv.Close()
+
+	// Submit.
+	body, _ := json.Marshal(Request{Program: "fib", N: 10, Engine: "adaptivetc"})
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.ID == "" {
+		t.Fatal("no job id")
+	}
+
+	// Poll to done.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == StateDone {
+			break
+		}
+		if st.State == StateFailed || st.State == StateCancelled {
+			t.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.Value == nil || *st.Value != 55 {
+		t.Fatalf("value = %v, want 55", st.Value)
+	}
+	if st.Stats == nil || st.Stats.Nodes == 0 {
+		t.Fatal("terminal status is missing stats")
+	}
+
+	// Unknown id.
+	resp, _ = http.Get(srv.URL + "/jobs/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Bad request.
+	resp, _ = http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader([]byte(`{"program":"no-such"}`)))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST unknown program: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Cancel via DELETE on a fresh long job.
+	body, _ = json.Marshal(Request{Program: "nqueens-array", N: 13, Engine: "adaptivetc"})
+	resp, err = http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var longSt JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&longSt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+longSt.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	job, ok := s.Get(longSt.ID)
+	if !ok {
+		t.Fatal("cancelled job vanished")
+	}
+	<-job.Done()
+	if state, _, _ := job.Snapshot(); state != StateCancelled && state != StateDone {
+		t.Fatalf("after DELETE: state=%s", state)
+	}
+
+	// Metrics.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Completed < 1 || m.Workers != 2 {
+		t.Fatalf("metrics: completed=%d workers=%d", m.Completed, m.Workers)
+	}
+
+	// Catalog.
+	resp, err = http.Get(srv.URL + "/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cat map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(cat["programs"]) == 0 || len(cat["engines"]) != 7 {
+		t.Fatalf("catalog: %d programs, %d engines (want 7)", len(cat["programs"]), len(cat["engines"]))
+	}
+}
+
+// TestJobRetention evicts the oldest terminal records past the bound.
+func TestJobRetention(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCapacity: 8, RetainJobs: 2, Options: sched.Options{GrowableDeque: true}})
+	defer s.Close()
+
+	ids := make([]string, 3)
+	for i := range ids {
+		job, err := s.Submit(Request{Program: "fib", N: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-job.Done()
+		ids[i] = job.ID
+	}
+	if _, ok := s.Get(ids[0]); ok {
+		t.Fatal("oldest record not evicted")
+	}
+	if _, ok := s.Get(ids[2]); !ok {
+		t.Fatal("newest record evicted")
+	}
+}

@@ -1,0 +1,453 @@
+// Package serve is the resident job service: the layer between the
+// long-lived scheduler pool (internal/wsrt.Pool) and the HTTP front end
+// (cmd/adaptivetc-serve). It owns job identity and lifecycle (queued →
+// running → done/failed/cancelled), per-job cancellation and deadlines,
+// service metrics (throughput, latency percentiles, rejections), and — in
+// check mode — a per-job trace recorder whose invariant verdict is folded
+// into the metrics, so a serving deployment continuously audits the
+// scheduler it runs on.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/trace"
+	"adaptivetc/internal/wsrt"
+	"adaptivetc/problems/registry"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for the pool.
+	StateQueued State = "queued"
+	// StateRunning: executing on the pool workers.
+	StateRunning State = "running"
+	// StateDone: completed with a value.
+	StateDone State = "done"
+	// StateFailed: aborted with an error (overflow, panic, pool shutdown).
+	StateFailed State = "failed"
+	// StateCancelled: cancelled by the submitter or its deadline.
+	StateCancelled State = "cancelled"
+)
+
+// Request describes one job submission.
+type Request struct {
+	// Program is a problems/registry name.
+	Program string `json:"program"`
+	// N and Size are the registry size parameters (zero → family default).
+	N    int   `json:"n,omitempty"`
+	Size int64 `json:"size,omitempty"`
+	// Reverse mirrors a synthetic tree.
+	Reverse bool `json:"reverse,omitempty"`
+	// Engine is a pool-capable engine name ("adaptivetc", "cilk",
+	// "cilk-synched", "cutoff-programmer", "cutoff-library", "helpfirst",
+	// "slaw"). Empty means "adaptivetc".
+	Engine string `json:"engine,omitempty"`
+	// TimeoutMS is the job deadline in milliseconds; zero means none.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Job is one submission's record.
+type Job struct {
+	ID      string
+	Req     Request
+	Created time.Time
+
+	cancel context.CancelCauseFunc
+	handle *wsrt.JobHandle
+	done   chan struct{}
+
+	mu         sync.Mutex
+	state      State
+	res        sched.Result
+	err        error
+	violations error // invariant verdict from check mode, nil if clean
+}
+
+// Done is closed when the job has reached a terminal state and its record
+// (state, result, metrics, invariant verdict) is final.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns the job's current state and, once terminal, its outcome.
+func (j *Job) Snapshot() (State, sched.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.res, j.err
+}
+
+// Violations returns the invariant-checker verdict (check mode only; nil
+// when clean, not checked, or not yet terminal).
+func (j *Job) Violations() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.violations
+}
+
+// Cancel requests cooperative cancellation of the job.
+func (j *Job) Cancel(cause error) { j.cancel(cause) }
+
+// ErrCancelled is the cause recorded when a job is cancelled through the
+// service (DELETE /jobs/{id}) rather than by its own deadline.
+var ErrCancelled = errors.New("serve: job cancelled by request")
+
+// Config configures a Service.
+type Config struct {
+	// Workers is the pool size; zero means 1.
+	Workers int
+	// QueueCapacity bounds the admission queue; zero means 64.
+	QueueCapacity int
+	// Options supplies pool-wide scheduling parameters (costs, deque
+	// capacity, seed). Platform/Ctx/Tracer are per-job or pool-fixed and
+	// ignored here.
+	Options sched.Options
+	// Check attaches a trace recorder to every job and verifies the
+	// scheduler invariants on completion (Check for completed jobs,
+	// CheckTruncated for cancelled/failed ones). Costs memory and time per
+	// job; meant for smoke tests and canary deployments.
+	Check bool
+	// RetainJobs bounds how many terminal job records are kept for
+	// GET /jobs/{id}; zero means 1024. Oldest terminal records are evicted
+	// first; live jobs are never evicted.
+	RetainJobs int
+}
+
+// latencyRing keeps the last N job latencies for percentile estimates.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  []int64
+	next int
+	full bool
+}
+
+func newLatencyRing(n int) *latencyRing { return &latencyRing{buf: make([]int64, n)} }
+
+func (l *latencyRing) add(d int64) {
+	l.mu.Lock()
+	l.buf[l.next] = d
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// percentiles returns the p50 and p99 of the retained window (0, 0 when
+// empty).
+func (l *latencyRing) percentiles() (p50, p99 int64) {
+	l.mu.Lock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	s := make([]int64, n)
+	copy(s, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := func(p float64) int64 {
+		i := int(p * float64(n-1))
+		return s[i]
+	}
+	return idx(0.50), idx(0.99)
+}
+
+// Metrics is the service counter snapshot returned by GET /metrics.
+type Metrics struct {
+	Started             time.Time `json:"started"`
+	UptimeSeconds       float64   `json:"uptime_seconds"`
+	Workers             int       `json:"workers"`
+	QueueCapacity       int       `json:"queue_capacity"`
+	QueueDepth          int       `json:"queue_depth"`
+	InFlight            int64     `json:"in_flight"`
+	Submitted           int64     `json:"submitted"`
+	Completed           int64     `json:"completed"`
+	Failed              int64     `json:"failed"`
+	Cancelled           int64     `json:"cancelled"`
+	Rejected            int64     `json:"rejected"`
+	ThroughputPerSecond float64   `json:"throughput_per_second"`
+	P50LatencyMS        float64   `json:"p50_latency_ms"`
+	P99LatencyMS        float64   `json:"p99_latency_ms"`
+	InvariantChecked    int64     `json:"invariant_checked"`
+	InvariantViolations int64     `json:"invariant_violations"`
+}
+
+// Service is the resident job service.
+type Service struct {
+	cfg  Config
+	pool *wsrt.Pool
+
+	started time.Time
+	nextID  atomic.Int64
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // terminal job ids in completion order, for eviction
+	closed bool
+
+	submitted  atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	cancelled  atomic.Int64
+	rejected   atomic.Int64
+	checked    atomic.Int64
+	violations atomic.Int64
+	latencies  *latencyRing
+
+	wg sync.WaitGroup // job watcher goroutines
+}
+
+// New builds the service and starts its pool.
+func New(cfg Config) *Service {
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 1024
+	}
+	return &Service{
+		cfg: cfg,
+		pool: wsrt.NewPool(wsrt.PoolConfig{
+			Workers:       cfg.Workers,
+			QueueCapacity: cfg.QueueCapacity,
+			Options:       cfg.Options,
+		}),
+		started:   time.Now(),
+		jobs:      make(map[string]*Job),
+		latencies: newLatencyRing(4096),
+	}
+}
+
+// Pool exposes the underlying pool (tests).
+func (s *Service) Pool() *wsrt.Pool { return s.pool }
+
+// resolveEngine maps an engine name to its pool-capable implementation.
+// Tascell and the serial reference are deliberately absent: their runtimes
+// are not built on the wsrt pool (Tascell's workers own their victims'
+// stacks; serial has no workers), so a resident pool cannot host them.
+var poolEngines = map[string]func() wsrt.PoolEngine{}
+
+// RegisterEngine adds a pool-capable engine constructor under name. The
+// seven wsrt engines register themselves via internal/serve/engines.go;
+// the hook is exported for tests injecting instrumented engines.
+func RegisterEngine(name string, mk func() wsrt.PoolEngine) { poolEngines[name] = mk }
+
+// EngineNames lists the registered pool-capable engine names, sorted.
+func EngineNames() []string {
+	names := make([]string, 0, len(poolEngines))
+	for n := range poolEngines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Submit validates req, builds its program, and enqueues it on the pool.
+// A full queue returns wsrt.ErrQueueFull (HTTP 429 upstream).
+func (s *Service) Submit(req Request) (*Job, error) {
+	prog, err := registry.Build(req.Program, registry.Params{N: req.N, Size: req.Size, Reverse: req.Reverse})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	engName := req.Engine
+	if engName == "" {
+		engName = "adaptivetc"
+	}
+	mk, ok := poolEngines[engName]
+	if !ok {
+		return nil, fmt.Errorf("serve: engine %q is not pool-capable (have %v)", engName, EngineNames())
+	}
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	if req.TimeoutMS > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeoutCause(ctx, time.Duration(req.TimeoutMS)*time.Millisecond,
+			fmt.Errorf("serve: job exceeded its %dms deadline: %w", req.TimeoutMS, context.DeadlineExceeded))
+		// Chain the timer's release into the job cancel func; the watcher
+		// calls it when the job ends, whatever the outcome.
+		orig := cancel
+		cancel = func(cause error) { orig(cause); cancelTimeout() }
+	}
+
+	job := &Job{
+		ID:      "j" + strconv.FormatInt(s.nextID.Add(1), 10),
+		Req:     req,
+		Created: time.Now(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+	}
+	var rec *trace.Recorder
+	if s.cfg.Check {
+		rec = trace.NewRecorder()
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel(wsrt.ErrPoolClosed)
+		return nil, wsrt.ErrPoolClosed
+	}
+	h, err := s.pool.Submit(wsrt.JobSpec{
+		Prog:   prog,
+		Engine: mk(),
+		Ctx:    ctx,
+		Tracer: rec,
+	})
+	if err != nil {
+		s.mu.Unlock()
+		cancel(err)
+		if errors.Is(err, wsrt.ErrQueueFull) {
+			s.rejected.Add(1)
+		}
+		return nil, err
+	}
+	job.handle = h
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+
+	s.submitted.Add(1)
+	s.wg.Add(1)
+	go s.watch(job, rec)
+	return job, nil
+}
+
+// Get returns the job record for id.
+func (s *Service) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels the job with the given id.
+func (s *Service) Cancel(id string) (*Job, bool) {
+	j, ok := s.Get(id)
+	if !ok {
+		return nil, false
+	}
+	j.Cancel(ErrCancelled)
+	return j, true
+}
+
+// watch follows one job to its terminal state, folding the outcome into
+// the service metrics and, in check mode, running the invariant checker.
+func (s *Service) watch(job *Job, rec *trace.Recorder) {
+	defer s.wg.Done()
+	go func() {
+		// Mark running as soon as the pool picks the job up. The goroutine
+		// exits with the watcher: Started is closed by the pool on job
+		// start, and a job drained by Close never starts but does finish.
+		select {
+		case <-job.handle.Started():
+			job.mu.Lock()
+			if job.state == StateQueued {
+				job.state = StateRunning
+			}
+			job.mu.Unlock()
+		case <-job.handle.Done():
+		}
+	}()
+	res, err := job.handle.Result()
+	job.cancel(nil) // release the context watcher and any deadline timer
+
+	state := StateDone
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrCancelled):
+		state = StateCancelled
+		s.cancelled.Add(1)
+	default:
+		state = StateFailed
+		s.failed.Add(1)
+	}
+	s.latencies.add(time.Since(job.Created).Nanoseconds())
+
+	var viol error
+	if rec != nil {
+		if state == StateDone {
+			// No external oracle at serve time: the run's value stands in
+			// for it, so this checks internal consistency (conservation,
+			// deposit accounting, completion uniqueness), not correctness
+			// against a serial run.
+			viol = rec.Check(res.Value, res.Value)
+		} else {
+			viol = rec.CheckTruncated()
+		}
+		s.checked.Add(1)
+		if viol != nil {
+			s.violations.Add(1)
+		}
+		rec.Release()
+	}
+
+	job.mu.Lock()
+	job.state, job.res, job.err, job.violations = state, res, err, viol
+	job.mu.Unlock()
+	close(job.done)
+	s.retire(job.ID)
+}
+
+// retire records id as terminal and evicts the oldest terminal records
+// beyond the retention bound.
+func (s *Service) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.order = append(s.order, id)
+	for len(s.order) > s.cfg.RetainJobs {
+		evict := s.order[0]
+		s.order = s.order[1:]
+		delete(s.jobs, evict)
+	}
+}
+
+// Snapshot returns the current service metrics.
+func (s *Service) Snapshot() Metrics {
+	up := time.Since(s.started)
+	p50, p99 := s.latencies.percentiles()
+	completed := s.completed.Load()
+	m := Metrics{
+		Started:             s.started,
+		UptimeSeconds:       up.Seconds(),
+		Workers:             s.pool.Workers(),
+		QueueCapacity:       s.pool.QueueCapacity(),
+		QueueDepth:          s.pool.QueueDepth(),
+		InFlight:            s.pool.InFlight(),
+		Submitted:           s.submitted.Load(),
+		Completed:           completed,
+		Failed:              s.failed.Load(),
+		Cancelled:           s.cancelled.Load(),
+		Rejected:            s.rejected.Load(),
+		P50LatencyMS:        float64(p50) / 1e6,
+		P99LatencyMS:        float64(p99) / 1e6,
+		InvariantChecked:    s.checked.Load(),
+		InvariantViolations: s.violations.Load(),
+	}
+	if up > 0 {
+		m.ThroughputPerSecond = float64(completed) / up.Seconds()
+	}
+	return m
+}
+
+// Close shuts the service down: in-flight work finishes or is drained by
+// the pool, every watcher completes, and further submissions fail.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.pool.Close()
+	s.wg.Wait()
+}

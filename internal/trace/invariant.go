@@ -62,33 +62,29 @@ type taskState struct {
 // otherwise produce one violation per task.
 const maxViolations = 20
 
-// Check replays the recorded run and returns an error describing every
-// violated invariant (capped), or nil if the run upheld all of them.
-// finalValue is the run's reported result; wantValue is the serial oracle.
-func (r *Recorder) Check(finalValue, wantValue int64) error {
-	var violations []error
-	addf := func(format string, args ...any) {
-		if len(violations) < maxViolations {
-			violations = append(violations, fmt.Errorf(format, args...))
-		}
-	}
+// replay is the accumulated event history of one run, shared by the
+// complete-run checker (Check) and the truncated-run checker
+// (CheckTruncated).
+type replay struct {
+	tasks        map[uint64]*taskState
+	completions  int
+	completed    []int64 // values carried by OpComplete events
+	rootDeposits int
+	stealOKs     int
+	stealFails   int
+}
 
-	if finalValue != wantValue {
-		addf("single-completion: run value %d != serial value %d", finalValue, wantValue)
-	}
-
-	tasks := make(map[uint64]*taskState)
+// replayWorkers folds every worker log into per-task counters.
+func (r *Recorder) replayWorkers() *replay {
+	rp := &replay{tasks: make(map[uint64]*taskState)}
 	task := func(seq uint64) *taskState {
-		t := tasks[seq]
+		t := rp.tasks[seq]
 		if t == nil {
 			t = &taskState{kind: -1}
-			tasks[seq] = t
+			rp.tasks[seq] = t
 		}
 		return t
 	}
-
-	completions, rootDeposits := 0, 0
-	stealOKs, stealFails := 0, 0
 	for _, w := range r.workers {
 		for i := range w.evs {
 			ev := &w.evs[i]
@@ -108,16 +104,16 @@ func (r *Recorder) Check(finalValue, wantValue int64) error {
 			case OpSteal:
 				task(ev.Task).steals++
 				task(uint64(ev.B)).credits++
-				stealOKs++
+				rp.stealOKs++
 			case OpStealFail:
-				stealFails++
+				rp.stealFails++
 			case OpExpect:
 				task(ev.Task).expects++
 			case OpCancel:
 				task(ev.Task).cancels++
 			case OpDeposit:
 				if ev.Task == 0 {
-					rootDeposits++
+					rp.rootDeposits++
 				} else {
 					task(ev.Task).deposits++
 				}
@@ -126,22 +122,87 @@ func (r *Recorder) Check(finalValue, wantValue int64) error {
 			case OpSuspend:
 				task(ev.Task).suspends++
 			case OpComplete:
-				completions++
-				if ev.A != finalValue {
-					addf("single-completion: completion event carries %d, run reported %d", ev.A, finalValue)
-				}
+				rp.completions++
+				rp.completed = append(rp.completed, ev.A)
 			}
 		}
 	}
+	return rp
+}
 
-	if completions != 1 {
-		addf("single-completion: %d root completions recorded, want exactly 1", completions)
+// checkDeques replays each deque's lock-ordered log against the
+// need_task/stolen_num finite state machine and the thief-side counts. These
+// laws hold for truncated runs too: the FSM replay is per-event, and an
+// abort cannot separate a deque transition from its worker-side record (no
+// poll point lies between the deque hook and the worker's event append).
+func (r *Recorder) checkDeques(rp *replay, addf func(string, ...any)) {
+	dqOKs, dqFails := 0, 0
+	for i, dl := range r.deques {
+		counter, need := int64(0), false
+		for j, ev := range dl.evs {
+			switch ev.Op {
+			case deque.TraceStealFail:
+				dqFails++
+				counter++
+				if counter > r.maxStolenNum {
+					need = true
+				}
+			case deque.TraceStealOK, deque.TraceStealSpecial:
+				dqOKs++
+				counter, need = 0, false
+			}
+			if ev.StolenNum != counter || ev.NeedTask != need {
+				addf("need-task-fsm: deque %d event %d (%v): counter/flag = %d/%v, lock-order replay expects %d/%v (max_stolen_num=%d)",
+					i, j, ev.Op, ev.StolenNum, ev.NeedTask, counter, need, r.maxStolenNum)
+			}
+		}
 	}
-	if rootDeposits > 1 {
-		addf("single-completion: %d deposits to the run root, want at most 1", rootDeposits)
+	if rp.stealOKs != dqOKs {
+		addf("steal-symmetry: workers recorded %d successful steals, deques recorded %d", rp.stealOKs, dqOKs)
+	}
+	if rp.stealFails != dqFails {
+		addf("steal-symmetry: workers recorded %d failed steals, deques recorded %d", rp.stealFails, dqFails)
+	}
+}
+
+// violationError joins the collected violations, or returns nil.
+func violationError(violations []error) error {
+	if len(violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("trace: %d invariant violation(s):\n%w", len(violations), errors.Join(violations...))
+}
+
+// Check replays the recorded run and returns an error describing every
+// violated invariant (capped), or nil if the run upheld all of them.
+// finalValue is the run's reported result; wantValue is the serial oracle.
+func (r *Recorder) Check(finalValue, wantValue int64) error {
+	var violations []error
+	addf := func(format string, args ...any) {
+		if len(violations) < maxViolations {
+			violations = append(violations, fmt.Errorf(format, args...))
+		}
 	}
 
-	for seq, t := range tasks {
+	if finalValue != wantValue {
+		addf("single-completion: run value %d != serial value %d", finalValue, wantValue)
+	}
+
+	rp := r.replayWorkers()
+
+	if rp.completions != 1 {
+		addf("single-completion: %d root completions recorded, want exactly 1", rp.completions)
+	}
+	for _, v := range rp.completed {
+		if v != finalValue {
+			addf("single-completion: completion event carries %d, run reported %d", v, finalValue)
+		}
+	}
+	if rp.rootDeposits > 1 {
+		addf("single-completion: %d deposits to the run root, want at most 1", rp.rootDeposits)
+	}
+
+	for seq, t := range rp.tasks {
 		name := FormatSeq(seq)
 		if t.spawns != 1 {
 			addf("spawn-unique: task %s spawned %d times", name, t.spawns)
@@ -181,36 +242,79 @@ func (r *Recorder) Check(finalValue, wantValue int64) error {
 		}
 	}
 
-	dqOKs, dqFails := 0, 0
-	for i, dl := range r.deques {
-		counter, need := int64(0), false
-		for j, ev := range dl.evs {
-			switch ev.Op {
-			case deque.TraceStealFail:
-				dqFails++
-				counter++
-				if counter > r.maxStolenNum {
-					need = true
-				}
-			case deque.TraceStealOK, deque.TraceStealSpecial:
-				dqOKs++
-				counter, need = 0, false
-			}
-			if ev.StolenNum != counter || ev.NeedTask != need {
-				addf("need-task-fsm: deque %d event %d (%v): counter/flag = %d/%v, lock-order replay expects %d/%v (max_stolen_num=%d)",
-					i, j, ev.Op, ev.StolenNum, ev.NeedTask, counter, need, r.maxStolenNum)
-			}
+	r.checkDeques(rp, addf)
+	return violationError(violations)
+}
+
+// CheckTruncated replays the trace of an aborted run — cancelled, timed
+// out, or failed — against the laws that survive truncation. An abort
+// unwinds workers at arbitrary poll points, so the equalities of Check
+// relax to inequalities: a pushed task may never be consumed (it was
+// drained by the pool's deque reset, which is untraced), an owed deposit
+// may never be paid, a suspended frame may never be finalised, and the run
+// root completes at most once. What must still hold exactly: task
+// identities are unique, nothing is consumed that was not pushed, nothing
+// is paid that was not owed, special markers never leave through the
+// ordinary path, and the steal/need_task bookkeeping stays consistent
+// event by event (aborts happen only at poll points, never between a deque
+// transition and its worker-side record).
+func (r *Recorder) CheckTruncated() error {
+	var violations []error
+	addf := func(format string, args ...any) {
+		if len(violations) < maxViolations {
+			violations = append(violations, fmt.Errorf(format, args...))
 		}
 	}
-	if stealOKs != dqOKs {
-		addf("steal-symmetry: workers recorded %d successful steals, deques recorded %d", stealOKs, dqOKs)
+
+	rp := r.replayWorkers()
+
+	if rp.completions > 1 {
+		addf("single-completion: %d root completions recorded, want at most 1", rp.completions)
 	}
-	if stealFails != dqFails {
-		addf("steal-symmetry: workers recorded %d failed steals, deques recorded %d", stealFails, dqFails)
+	if rp.rootDeposits > 1 {
+		addf("single-completion: %d deposits to the run root, want at most 1", rp.rootDeposits)
 	}
 
-	if len(violations) == 0 {
-		return nil
+	for seq, t := range rp.tasks {
+		name := FormatSeq(seq)
+		if t.spawns != 1 {
+			addf("spawn-unique: task %s spawned %d times", name, t.spawns)
+			continue
+		}
+		if t.kind == KindSpecial {
+			if t.steals != 0 {
+				addf("special-pinned: special marker %s was stolen %d times", name, t.steals)
+			}
+			if t.pops != 0 {
+				addf("special-pinned: special marker %s left through the ordinary pop %d times", name, t.pops)
+			}
+			if t.popSpecials > t.pushes {
+				addf("special-pinned: special marker %s pushed %d times but removed by PopSpecial %d times", name, t.pushes, t.popSpecials)
+			}
+			if t.suspends != 0 || t.finalizes != 0 {
+				addf("suspend-once: special marker %s suspends=%d finalizes=%d, want 0/0", name, t.suspends, t.finalizes)
+			}
+		} else {
+			if t.popSpecials != 0 {
+				addf("special-pinned: ordinary task %s removed via PopSpecial %d times", name, t.popSpecials)
+			}
+			if t.pops+t.steals > t.pushes {
+				addf("conservation: task %s pushed %d times but consumed %d times (%d pops + %d steals)",
+					name, t.pushes, t.pops+t.steals, t.pops, t.steals)
+			}
+			if t.suspends > 1 {
+				addf("suspend-once: task %s suspended %d times", name, t.suspends)
+			}
+			if t.finalizes > t.suspends {
+				addf("suspend-once: task %s finalised %d times but suspended %d times", name, t.finalizes, t.suspends)
+			}
+		}
+		if owed := t.credits + t.expects - t.cancels; t.deposits > owed {
+			addf("deposit-owed: task %s received %d deposits but was owed only %d (%d steal credits + %d expects - %d cancels)",
+				name, t.deposits, owed, t.credits, t.expects, t.cancels)
+		}
 	}
-	return fmt.Errorf("trace: %d invariant violation(s):\n%w", len(violations), errors.Join(violations...))
+
+	r.checkDeques(rp, addf)
+	return violationError(violations)
 }

@@ -110,6 +110,26 @@ func (r *Real) Run(n int, body func(Proc)) int64 {
 
 type panicBox struct{ val any }
 
+// NewRealProcs returns n wall-clock Procs sharing one epoch, for resident
+// worker pools that outlive any single run: each Proc is handed to one
+// long-lived worker goroutine, and Now stays comparable across all of them
+// for the life of the pool. seed follows the same per-worker derivation as
+// Real.Run (zero means 1).
+func NewRealProcs(n int, seed int64) []Proc {
+	if n <= 0 {
+		panic(fmt.Sprintf("vtime: NewRealProcs with n=%d workers", n))
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	start := time.Now()
+	procs := make([]Proc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &realProc{id: i, start: start, rng: rand.New(rand.NewSource(seed + int64(i)*7919))}
+	}
+	return procs
+}
+
 type realProc struct {
 	id    int
 	start time.Time

@@ -1,0 +1,383 @@
+// The resident scheduler pool: the pool-lifetime half of the pool/job
+// split. A Pool owns N long-lived worker goroutines (Real platform), their
+// deques and their frame free-lists, and executes a stream of jobs — root
+// tasks of any wsrt engine — against them. Between jobs the workers park on
+// a channel instead of exiting, so a job's cost is one wake/barrier cycle,
+// not deque construction, goroutine spawning and free-list warm-up.
+//
+// Admission is controlled by a bounded queue: Submit never blocks, and a
+// full queue is reported as ErrQueueFull (backpressure) rather than letting
+// callers pile up behind a busy pool. Jobs run one at a time across all N
+// workers — work-stealing parallelism is *within* a job; concurrency across
+// jobs is the queue's — which keeps every scheduler invariant of the batch
+// runtime intact per job, lets a per-job tracer observe a job in isolation,
+// and bounds the memory of a misbehaving job to one runtime's worth.
+//
+// Every job gets its own Runtime (value, failure, stats, tracer) and its
+// own cooperative stop flag wired to the submitter's context, checked at
+// the runtime's poll points; a cancelled or expired job unwinds through the
+// sched.Abort path, and the dispatcher then resets the deques so leftover
+// frames cannot poison the next job.
+package wsrt
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivetc/internal/deque"
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/trace"
+	"adaptivetc/internal/vtime"
+)
+
+// PoolEngine is implemented by scheduling engines whose jobs can run on a
+// resident Pool: everything built on this package (Cilk, Cilk-SYNCHED, the
+// cut-off baselines, AdaptiveTC, help-first, SLAW). Tascell and the serial
+// reference are not pool engines — they bring their own runtimes.
+type PoolEngine interface {
+	// Name identifies the engine in results.
+	Name() string
+	// NewExec builds the per-job execution strategy for a pool (or run)
+	// with n workers. opt supplies strategy parameters (cutoff overrides,
+	// fast_2 multiplier); it carries no pool state.
+	NewExec(n int, opt sched.Options) Engine
+}
+
+// Pool errors.
+var (
+	// ErrQueueFull reports that the admission queue is at capacity; the
+	// submitter should back off and retry (backpressure).
+	ErrQueueFull = errors.New("wsrt: job queue full")
+	// ErrPoolClosed reports a submission to (or a job drained by) a pool
+	// that has been closed.
+	ErrPoolClosed = errors.New("wsrt: pool closed")
+)
+
+// PoolConfig configures NewPool.
+type PoolConfig struct {
+	// Workers is the worker count; zero means 1.
+	Workers int
+	// QueueCapacity bounds the admission queue; zero means 64.
+	QueueCapacity int
+	// Options supplies the pool-wide scheduling parameters: cost model,
+	// deque capacity and growability, max_stolen_num, seed. Platform, Ctx
+	// and Tracer are ignored — the pool is always Real-platform, and
+	// context/tracer are per-job (see JobSpec).
+	Options sched.Options
+}
+
+// queueCapacityOrDefault returns the admission queue bound.
+func (c PoolConfig) queueCapacityOrDefault() int {
+	if c.QueueCapacity <= 0 {
+		return 64
+	}
+	return c.QueueCapacity
+}
+
+// JobSpec describes one job: a root task to execute on the pool.
+type JobSpec struct {
+	// Prog is the program whose root task the job runs.
+	Prog sched.Program
+	// Engine is the scheduling strategy for this job.
+	Engine PoolEngine
+	// Ctx, when non-nil, cancels the job cooperatively — while it is still
+	// queued (it then never starts) or mid-run (it aborts at the next poll
+	// point). Nil means the job cannot be cancelled.
+	Ctx context.Context
+	// Tracer, when non-nil, records the job's scheduler events. The pool
+	// Inits it at job start; the recorder must not be shared with another
+	// in-flight job.
+	Tracer *trace.Recorder
+	// Profile enables the per-phase time breakdown for this job.
+	Profile bool
+}
+
+// JobHandle is the submitter's view of an in-flight job.
+type JobHandle struct {
+	started chan struct{}
+	done    chan struct{}
+	res     sched.Result
+	err     error
+}
+
+// Started is closed when the job leaves the queue and its workers begin.
+func (h *JobHandle) Started() <-chan struct{} { return h.started }
+
+// Done is closed when the job has finished (completed, failed, cancelled,
+// or drained by Close).
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Result blocks until the job finishes and returns its outcome. The
+// result's Stats.QueueWait records the admission delay; Makespan is the
+// job's wall-clock run time.
+func (h *JobHandle) Result() (sched.Result, error) {
+	<-h.done
+	return h.res, h.err
+}
+
+// poolJob pairs a spec with its handle and job-scoped runtime.
+type poolJob struct {
+	spec      JobSpec
+	name      string
+	rt        *Runtime
+	submitted time.Time
+	wg        sync.WaitGroup // workers still running this job
+	h         *JobHandle
+}
+
+func (j *poolJob) finish(res sched.Result, err error) {
+	j.h.res, j.h.err = res, err
+	close(j.h.done)
+}
+
+// Pool is a resident scheduler: long-lived workers serving a stream of
+// jobs. Create with NewPool, submit with Submit, shut down with Close.
+type Pool struct {
+	n   int
+	opt sched.Options
+
+	deques  []deque.WorkDeque
+	workers []*Worker
+	wake    []chan *poolJob
+	queue   chan *poolJob
+	quit    chan struct{}
+	joined  sync.WaitGroup // dispatcher + workers
+
+	mu     sync.Mutex // guards Submit/Close handshake
+	closed bool
+
+	inflight atomic.Int64 // jobs submitted and not yet finished
+	running  atomic.Int64 // 1 while a job occupies the workers
+	served   atomic.Int64 // jobs finished (any outcome) since pool start
+}
+
+// NewPool builds a resident pool and starts its workers; they park until
+// the first job arrives.
+func NewPool(cfg PoolConfig) *Pool {
+	opt := cfg.Options
+	if cfg.Workers > 0 {
+		opt.Workers = cfg.Workers
+	}
+	n := opt.WorkersOrDefault()
+	p := &Pool{
+		n:       n,
+		opt:     opt,
+		deques:  make([]deque.WorkDeque, n),
+		workers: make([]*Worker, n),
+		wake:    make([]chan *poolJob, n),
+		queue:   make(chan *poolJob, cfg.queueCapacityOrDefault()),
+		quit:    make(chan struct{}),
+	}
+	procs := vtime.NewRealProcs(n, opt.Seed)
+	for i := 0; i < n; i++ {
+		p.deques[i] = newDeque(opt)
+		p.workers[i] = &Worker{ID: i, Proc: procs[i], Deque: p.deques[i]}
+		p.wake[i] = make(chan *poolJob)
+	}
+	p.joined.Add(n + 1)
+	for i := 0; i < n; i++ {
+		go p.workerLoop(i)
+	}
+	go p.dispatch()
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.n }
+
+// QueueDepth returns the number of jobs waiting for admission right now.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// QueueCapacity returns the admission queue bound.
+func (p *Pool) QueueCapacity() int { return cap(p.queue) }
+
+// InFlight returns the number of submitted jobs that have not finished
+// (queued + running).
+func (p *Pool) InFlight() int64 { return p.inflight.Load() }
+
+// Running reports whether a job currently occupies the workers.
+func (p *Pool) Running() bool { return p.running.Load() != 0 }
+
+// Served returns the number of jobs finished since the pool started.
+func (p *Pool) Served() int64 { return p.served.Load() }
+
+// Submit enqueues a job without blocking. It returns ErrQueueFull when the
+// admission queue is at capacity and ErrPoolClosed after Close.
+func (p *Pool) Submit(spec JobSpec) (*JobHandle, error) {
+	if spec.Prog == nil || spec.Engine == nil {
+		return nil, errors.New("wsrt: JobSpec needs Prog and Engine")
+	}
+	job := &poolJob{
+		spec:      spec,
+		name:      spec.Engine.Name(),
+		submitted: time.Now(),
+		h: &JobHandle{
+			started: make(chan struct{}),
+			done:    make(chan struct{}),
+		},
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	select {
+	case p.queue <- job:
+		p.inflight.Add(1)
+		return job.h, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Close shuts the pool down: the running job (if any) finishes, every job
+// still queued is failed with ErrPoolClosed, and the workers exit. Close
+// blocks until all goroutines have joined; it is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.joined.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.quit)
+	p.joined.Wait()
+}
+
+// dispatch is the pool's coordinator goroutine: it admits one job at a
+// time, runs it across all workers, and finalises it.
+func (p *Pool) dispatch() {
+	defer func() {
+		for _, c := range p.wake {
+			close(c)
+		}
+		p.joined.Done()
+	}()
+	for {
+		// Prefer shutdown over further admissions once quit is closed.
+		select {
+		case <-p.quit:
+			p.drain()
+			return
+		default:
+		}
+		select {
+		case <-p.quit:
+			p.drain()
+			return
+		case job := <-p.queue:
+			p.runOne(job)
+			p.inflight.Add(-1)
+			p.served.Add(1)
+		}
+	}
+}
+
+// drain fails every job still queued at shutdown.
+func (p *Pool) drain() {
+	for {
+		select {
+		case job := <-p.queue:
+			job.finish(sched.Result{Engine: job.name, Program: job.spec.Prog.Name(), Workers: p.n}, ErrPoolClosed)
+			p.inflight.Add(-1)
+			p.served.Add(1)
+		default:
+			return
+		}
+	}
+}
+
+// runOne executes one admitted job across all workers.
+func (p *Pool) runOne(job *poolJob) {
+	start := time.Now()
+	queueWait := start.Sub(job.submitted)
+	baseRes := sched.Result{
+		Workers: p.n,
+		Engine:  job.name,
+		Program: job.spec.Prog.Name(),
+	}
+	baseRes.Stats.QueueWait = queueWait.Nanoseconds()
+	if ctx := job.spec.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			// Cancelled while queued: never starts, costs the pool nothing.
+			job.finish(baseRes, context.Cause(ctx))
+			return
+		}
+	}
+
+	rt := &Runtime{
+		Prog:    job.spec.Prog,
+		Costs:   p.opt.CostsOrDefault(),
+		N:       p.n,
+		Deques:  p.deques,
+		Eng:     job.spec.Engine.NewExec(p.n, p.opt),
+		profile: job.spec.Profile,
+		tracer:  job.spec.Tracer,
+		stop:    &sched.Stop{},
+	}
+	if rt.tracer != nil {
+		rt.tracer.Init(p.n, int64(p.opt.MaxStolenNumOrDefault()))
+		for i, d := range p.deques {
+			d.SetTrace(rt.tracer.DequeHook(i))
+		}
+	}
+	release := sched.WatchContext(job.spec.Ctx, rt.stop)
+
+	job.rt = rt
+	job.wg.Add(p.n)
+	p.running.Store(1)
+	close(job.h.started)
+	for _, c := range p.wake {
+		c <- job
+	}
+	job.wg.Wait()
+	p.running.Store(0)
+	release()
+
+	st := collectStats(p.workers, p.deques, job.spec.Profile)
+	st.QueueWait = queueWait.Nanoseconds()
+	// Reset the deques for the next job: an aborted job leaves unconsumed
+	// frames behind, and need_task/stolen_num must not leak across jobs.
+	if rt.tracer != nil {
+		for _, d := range p.deques {
+			d.SetTrace(nil)
+		}
+	}
+	for _, d := range p.deques {
+		d.Reset()
+	}
+
+	res := baseRes
+	res.Value = rt.value.Load()
+	res.Makespan = time.Since(start).Nanoseconds()
+	res.Stats = st
+	var err error
+	if f := rt.failure.Load(); f != nil {
+		err = f.err
+	}
+	job.finish(res, err)
+}
+
+// workerLoop is one resident worker: park on the wake channel, run the
+// job, hit the barrier, park again. This is the thief loop's "park between
+// jobs instead of exiting".
+func (p *Pool) workerLoop(i int) {
+	defer p.joined.Done()
+	w := p.workers[i]
+	for job := range p.wake[i] {
+		w.rt = job.rt
+		w.Stats = sched.Stats{}
+		w.tr = nil
+		if job.rt.tracer != nil {
+			w.tr = job.rt.tracer.WorkerLog(w.ID)
+		}
+		w.runJob(true)
+		w.rt = nil
+		job.wg.Done()
+	}
+}

@@ -1,0 +1,51 @@
+package wsrt_test
+
+import (
+	"testing"
+
+	"adaptivetc/internal/core"
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/vtime"
+	"adaptivetc/internal/wsrt"
+	"adaptivetc/problems/fib"
+)
+
+// BenchmarkPoolRoundTrip measures the submit→complete round-trip of a
+// trivial job on a resident pool: the serving fast path, paying one
+// wake/barrier cycle and a handful of allocations per job while deques,
+// workers, Procs and frame free-lists persist.
+func BenchmarkPoolRoundTrip(b *testing.B) {
+	p := wsrt.NewPool(wsrt.PoolConfig{Workers: 2, QueueCapacity: 8, Options: sched.Options{GrowableDeque: true}})
+	defer p.Close()
+	prog := fib.New(5)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := p.Submit(wsrt.JobSpec{Prog: prog, Engine: core.New()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := h.Result()
+		if err != nil || res.Value != 5 {
+			b.Fatalf("value=%d err=%v", res.Value, err)
+		}
+	}
+}
+
+// BenchmarkBatchRoundTrip is the same trivial job through the batch path —
+// per-run deque construction, worker goroutine spawning, cold free-lists —
+// the cost the resident pool amortises away.
+func BenchmarkBatchRoundTrip(b *testing.B) {
+	prog := fib.New(5)
+	opt := sched.Options{Workers: 2, GrowableDeque: true, Platform: &vtime.Real{Seed: 1}}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.New().Run(prog, opt)
+		if err != nil || res.Value != 5 {
+			b.Fatalf("value=%d err=%v", res.Value, err)
+		}
+	}
+}

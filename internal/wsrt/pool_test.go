@@ -1,0 +1,214 @@
+package wsrt_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"adaptivetc/internal/cilk"
+	"adaptivetc/internal/core"
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/wsrt"
+	"adaptivetc/problems/fib"
+	"adaptivetc/problems/nqueens"
+)
+
+// poolEngine adapts an engine constructor for JobSpec.
+func atc() wsrt.PoolEngine { return core.New() }
+
+// TestPoolRunsJobs submits a stream of jobs with known answers through one
+// resident pool and checks every result.
+func TestPoolRunsJobs(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{Workers: 2, QueueCapacity: 16, Options: sched.Options{GrowableDeque: true}})
+	defer p.Close()
+
+	want := map[string]int64{"fib": 55, "nqueens": 724}
+	for i := 0; i < 8; i++ {
+		h, err := p.Submit(wsrt.JobSpec{Prog: fib.New(10), Engine: atc()})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		res, err := h.Result()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if res.Value != want["fib"] {
+			t.Fatalf("job %d: value %d, want %d", i, res.Value, want["fib"])
+		}
+		if res.Stats.QueueWait < 0 {
+			t.Fatalf("job %d: negative queue wait", i)
+		}
+	}
+	h, err := p.Submit(wsrt.JobSpec{Prog: nqueens.NewArray(10), Engine: cilk.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want["nqueens"] {
+		t.Fatalf("nqueens: value %d, want %d", res.Value, want["nqueens"])
+	}
+	if got := p.Served(); got != 9 {
+		t.Fatalf("served %d jobs, want 9", got)
+	}
+}
+
+// TestPoolQueueFull fills the admission queue while the pool is blocked on
+// a long job and checks the overflow submission is rejected, not queued.
+func TestPoolQueueFull(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{Workers: 1, QueueCapacity: 2, Options: sched.Options{GrowableDeque: true}})
+	defer p.Close()
+
+	// Occupy the workers with a job that waits for our signal.
+	ctx, cancel := context.WithCancel(context.Background())
+	blocker, err := p.Submit(wsrt.JobSpec{Prog: nqueens.NewArray(12), Engine: atc(), Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.Started()
+
+	// Fill the queue behind it.
+	handles := make([]*wsrt.JobHandle, 0, 2)
+	for i := 0; i < 2; i++ {
+		h, err := p.Submit(wsrt.JobSpec{Prog: fib.New(5), Engine: atc()})
+		if err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+	if _, err := p.Submit(wsrt.JobSpec{Prog: fib.New(5), Engine: atc()}); !errors.Is(err, wsrt.ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+
+	// Unblock; everything queued must still complete.
+	cancel()
+	if _, err := blocker.Result(); err == nil {
+		t.Fatal("cancelled blocker reported success")
+	}
+	for i, h := range handles {
+		if res, err := h.Result(); err != nil || res.Value != 5 {
+			t.Fatalf("queued job %d after cancel: value=%d err=%v", i, res.Value, err)
+		}
+	}
+}
+
+// TestPoolUsableAfterAbort cancels a job mid-run and checks the next job on
+// the same pool still computes the right answer — the deque reset between
+// jobs must drop the aborted job's leftover frames.
+func TestPoolUsableAfterAbort(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{Workers: 2, QueueCapacity: 4, Options: sched.Options{GrowableDeque: true}})
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	h, err := p.Submit(wsrt.JobSpec{Prog: nqueens.NewArray(13), Engine: atc(), Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h.Started()
+	time.Sleep(5 * time.Millisecond) // let frames pile up in the deques
+	cancel()
+	if _, err := h.Result(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled job: err = %v, want context.Canceled", err)
+	}
+
+	h2, err := p.Submit(wsrt.JobSpec{Prog: fib.New(12), Engine: atc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := h2.Result(); err != nil || res.Value != 144 {
+		t.Fatalf("job after abort: value=%d err=%v, want 144", res.Value, err)
+	}
+}
+
+// TestPoolJobPanicIsContained converts a program panic into that job's
+// failure without taking the pool down.
+func TestPoolJobPanicIsContained(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{Workers: 2, QueueCapacity: 4, Options: sched.Options{GrowableDeque: true}})
+	defer p.Close()
+
+	h, err := p.Submit(wsrt.JobSpec{Prog: panicProg{}, Engine: atc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Result(); err == nil {
+		t.Fatal("panicking job reported success")
+	}
+
+	h2, err := p.Submit(wsrt.JobSpec{Prog: fib.New(10), Engine: atc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := h2.Result(); err != nil || res.Value != 55 {
+		t.Fatalf("job after panic: value=%d err=%v, want 55", res.Value, err)
+	}
+}
+
+// panicProg is a binary tree whose nodes panic at depth 3 — a buggy user
+// program the pool must contain.
+type panicProg struct{}
+
+type panicWS struct{}
+
+func (panicWS) Clone() sched.Workspace { return panicWS{} }
+func (panicWS) Bytes() int             { return 0 }
+
+func (panicProg) Name() string          { return "panicker" }
+func (panicProg) Root() sched.Workspace { return panicWS{} }
+
+func (panicProg) Terminal(ws sched.Workspace, depth int) (int64, bool) {
+	if depth >= 3 {
+		panic("panicProg: boom")
+	}
+	return 0, false
+}
+
+func (panicProg) Moves(ws sched.Workspace, depth int) int       { return 2 }
+func (panicProg) Apply(ws sched.Workspace, depth, m int) bool   { return true }
+func (panicProg) Undo(ws sched.Workspace, depth, m int)         {}
+
+// TestPoolCloseDrainsQueue fails queued jobs with ErrPoolClosed at
+// shutdown instead of leaving their handles hanging.
+func TestPoolCloseDrainsQueue(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{Workers: 1, QueueCapacity: 8, Options: sched.Options{GrowableDeque: true}})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	blocker, err := p.Submit(wsrt.JobSpec{Prog: nqueens.NewArray(12), Engine: atc(), Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.Started()
+
+	queued := make([]*wsrt.JobHandle, 0, 4)
+	for i := 0; i < 4; i++ {
+		h, err := p.Submit(wsrt.JobSpec{Prog: fib.New(5), Engine: atc()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, h)
+	}
+
+	// Start Close first so the shutdown signal is raised before the running
+	// job is released — the dispatcher must then drain the queue instead of
+	// running it.
+	closeDone := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closeDone)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel() // release the running job so Close can finish
+	<-closeDone
+
+	if _, err := p.Submit(wsrt.JobSpec{Prog: fib.New(5), Engine: atc()}); !errors.Is(err, wsrt.ErrPoolClosed) {
+		t.Fatalf("submit after close: err = %v, want ErrPoolClosed", err)
+	}
+	for i, h := range queued {
+		if _, err := h.Result(); !errors.Is(err, wsrt.ErrPoolClosed) {
+			t.Fatalf("queued job %d: err = %v, want ErrPoolClosed", i, err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package wsrt
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"adaptivetc/internal/deque"
@@ -20,7 +21,12 @@ type Engine interface {
 	Resume(w *Worker, f *Frame) (int64, bool)
 }
 
-// Runtime ties N workers, their deques and an Engine together for one run.
+// Runtime ties N workers, their deques and an Engine together for one job:
+// either a whole batch Run, or one root task executed on a resident Pool.
+// The runtime is the job-scoped half of the pool/job split — it carries the
+// program, the result, the failure and the tracer, while the workers, their
+// Procs and their deques belong to whoever is hosting the job (Run builds
+// them per call; a Pool keeps them for its lifetime).
 type Runtime struct {
 	Prog   sched.Program
 	Costs  sched.Costs
@@ -30,6 +36,7 @@ type Runtime struct {
 
 	profile bool
 	tracer  *trace.Recorder // nil unless Options.Tracer was set
+	stop    *sched.Stop     // cooperative cancellation; may be nil (never stopped)
 	done    atomic.Bool
 	value   atomic.Int64
 	failure atomic.Pointer[runError]
@@ -39,6 +46,18 @@ type runError struct{ err error }
 
 // Done reports whether the run has completed (or failed).
 func (rt *Runtime) Done() bool { return rt.done.Load() }
+
+// Stop returns the job's cooperative stop flag (possibly nil). Engines pass
+// it into sched.EvalSequentialStop so that long sequential tails observe
+// cancellation too.
+func (rt *Runtime) Stop() *sched.Stop { return rt.stop }
+
+// fail records err as the run's failure (first error wins) and releases
+// every worker's thief loop.
+func (rt *Runtime) fail(err error) {
+	rt.failure.CompareAndSwap(nil, &runError{err: err})
+	rt.done.Store(true)
+}
 
 // complete records the run's root value. A recorded failure is final: a
 // worker can be mid-Resume on a stolen frame when another worker aborts
@@ -53,12 +72,9 @@ func (rt *Runtime) complete(v int64) {
 	rt.done.Store(true)
 }
 
-// Abort stops the run with an error (e.g. deque overflow). Engines call it
-// via panic(abortError{...}) so that deep recursion unwinds; the worker's
-// top level recovers.
-type abortError struct{ err error }
-
-func (e abortError) Error() string { return e.err.Error() }
+// Aborts — deque overflow, cooperative cancellation — travel as
+// panic(sched.Abort{...}) so that deep recursion unwinds; the worker's top
+// level recovers and records the error as the run's failure.
 
 // workerPoolCap bounds each worker's workspace pool and frame free-list.
 // Both recycle per-spawn allocations, and both must stay bounded: a run can
@@ -96,12 +112,22 @@ func (w *Worker) Prog() sched.Program { return w.rt.Prog }
 // Costs returns the run's cost model.
 func (w *Worker) Costs() *sched.Costs { return &w.rt.Costs }
 
-// BeginNode accounts one node visit.
+// BeginNode accounts one node visit. It is also a cancellation poll point:
+// a stopped job unwinds here via sched.Abort, so even a worker deep inside
+// a task's recursion observes cancellation within one node. The poll is a
+// nil check plus one atomic load and charges no virtual cost, keeping
+// un-cancelled Sim runs byte-identical.
 func (w *Worker) BeginNode(ws sched.Workspace, depth int) {
+	w.rt.stop.Check()
 	w.Stats.Nodes++
 	sched.ChargeNode(w.rt.Prog, ws, depth, &w.rt.Costs, w.Proc)
 	w.Proc.Yield()
 }
+
+// CheckCancel is the explicit cancellation poll point for engine wait loops
+// (the AdaptiveTC special-task join, which otherwise sleeps-and-polls until
+// deposits arrive that a cancelled job will never send).
+func (w *Worker) CheckCancel() { w.rt.stop.Check() }
 
 // ChargeMove accounts one candidate move.
 func (w *Worker) ChargeMove() { w.Proc.Advance(w.rt.Costs.Move) }
@@ -175,7 +201,7 @@ func (w *Worker) Push(f *Frame) {
 	t0 := w.now()
 	w.Proc.Advance(w.rt.Costs.Push)
 	if !w.Deque.Push(f) {
-		panic(abortError{fmt.Errorf("%w: worker %d, capacity %d, program %s",
+		panic(sched.Abort{Err: fmt.Errorf("%w: worker %d, capacity %d, program %s",
 			sched.ErrDequeOverflow, w.ID, w.Deque.Cap(), w.rt.Prog.Name())})
 	}
 	if w.tr != nil {
@@ -367,10 +393,13 @@ func (w *Worker) AddPoll(d int64) {
 	}
 }
 
-// thiefLoop steals until the run completes.
+// thiefLoop steals until the run completes. Each iteration polls the job's
+// stop flag, so an idle thief observes cancellation without waiting for a
+// task to abort under it.
 func (w *Worker) thiefLoop() {
 	rt := w.rt
 	for !rt.done.Load() {
+		rt.stop.Check()
 		victim := w.ID
 		if rt.N > 1 {
 			victim = w.Proc.Rand().Intn(rt.N - 1)
@@ -410,36 +439,106 @@ func (w *Worker) thiefLoop() {
 			if w.tr != nil {
 				w.tr.Add(w.Proc.Now(), trace.OpStealFail, 0, int64(victim), 0)
 			}
+			// Yield the OS thread after a failed steal: an idle thief
+			// spinning on a Real platform with fewer cores than workers
+			// otherwise hogs its core until async preemption (~10ms),
+			// serialising everyone behind it. Virtual time is untouched, so
+			// Sim runs are unaffected beyond a few ns of wall time.
+			runtime.Gosched()
 		}
 		w.Proc.Yield()
 	}
 }
 
-// Run executes prog under eng with the given options and engine name.
-func Run(prog sched.Program, opt sched.Options, mk func(rt *Runtime) Engine, name string) (sched.Result, error) {
+// runJob is one worker's whole share of a job: run the root (worker 0),
+// then steal until the job completes. A sched.Abort panic — overflow,
+// cancellation — is recovered here and recorded as the job's failure.
+// swallowPanics selects what happens to any *other* panic (a bug in a
+// Program or an engine): batch runs propagate it to the caller, a resident
+// pool converts it into a job failure so one bad program cannot take the
+// service down with it.
+func (w *Worker) runJob(swallowPanics bool) {
+	rt := w.rt
+	start := w.Proc.Now()
+	defer func() {
+		w.Stats.WorkerTime += w.Proc.Now() - start
+		if r := recover(); r != nil {
+			if ae, ok := r.(sched.Abort); ok {
+				rt.fail(ae.Err)
+				return
+			}
+			if swallowPanics {
+				rt.fail(fmt.Errorf("wsrt: job panicked: %v", r))
+				return
+			}
+			panic(r)
+		}
+	}()
+	if w.ID == 0 {
+		v, completed := rt.Eng.Root(w)
+		if completed {
+			if w.tr != nil {
+				w.tr.Add(w.Proc.Now(), trace.OpComplete, 0, v, 0)
+			}
+			rt.complete(v)
+		}
+	}
+	w.thiefLoop()
+}
+
+// collectStats folds the per-worker counters and the deque high-water marks
+// of one finished job into a single Stats.
+func collectStats(workers []*Worker, deques []deque.WorkDeque, profile bool) sched.Stats {
+	var st sched.Stats
+	for _, w := range workers {
+		if w != nil {
+			st.Add(w.Stats)
+		}
+	}
+	for _, d := range deques {
+		if d.MaxDepth() > st.MaxDequeDepth {
+			st.MaxDequeDepth = d.MaxDepth()
+		}
+	}
+	finalizeStats(&st, profile)
+	return st
+}
+
+// newDeque builds one worker deque according to opt.
+func newDeque(opt sched.Options) deque.WorkDeque {
+	if opt.GrowableDeque {
+		return deque.NewGrowable(opt.DequeCapacityOrDefault(), opt.MaxStolenNumOrDefault())
+	}
+	return deque.New(opt.DequeCapacityOrDefault(), opt.MaxStolenNumOrDefault())
+}
+
+// Run executes prog under eng with the given options and engine name: the
+// batch entry point, building deques and workers for exactly one job and
+// tearing everything down afterwards. Resident serving goes through Pool.
+// Options.Ctx, when non-nil, cancels the run cooperatively.
+func Run(prog sched.Program, opt sched.Options, eng Engine, name string) (sched.Result, error) {
 	n := opt.WorkersOrDefault()
 	rt := &Runtime{
 		Prog:    prog,
 		Costs:   opt.CostsOrDefault(),
 		N:       n,
 		Deques:  make([]deque.WorkDeque, n),
+		Eng:     eng,
 		profile: opt.Profile,
 		tracer:  opt.Tracer,
+		stop:    &sched.Stop{},
 	}
 	if rt.tracer != nil {
 		rt.tracer.Init(n, int64(opt.MaxStolenNumOrDefault()))
 	}
 	for i := range rt.Deques {
-		if opt.GrowableDeque {
-			rt.Deques[i] = deque.NewGrowable(opt.DequeCapacityOrDefault(), opt.MaxStolenNumOrDefault())
-		} else {
-			rt.Deques[i] = deque.New(opt.DequeCapacityOrDefault(), opt.MaxStolenNumOrDefault())
-		}
+		rt.Deques[i] = newDeque(opt)
 		if rt.tracer != nil {
 			rt.Deques[i].SetTrace(rt.tracer.DequeHook(i))
 		}
 	}
-	rt.Eng = mk(rt)
+	release := sched.WatchContext(opt.Ctx, rt.stop)
+	defer release()
 
 	workers := make([]*Worker, n)
 	makespan := opt.PlatformOrDefault().Run(n, func(proc vtime.Proc) {
@@ -448,49 +547,16 @@ func Run(prog sched.Program, opt sched.Options, mk func(rt *Runtime) Engine, nam
 			w.tr = rt.tracer.WorkerLog(w.ID)
 		}
 		workers[w.ID] = w
-		start := proc.Now()
-		defer func() {
-			w.Stats.WorkerTime += proc.Now() - start
-			if r := recover(); r != nil {
-				if ae, ok := r.(abortError); ok {
-					rt.failure.CompareAndSwap(nil, &runError{err: ae.err})
-					rt.done.Store(true)
-					return
-				}
-				panic(r)
-			}
-		}()
-		if w.ID == 0 {
-			v, completed := rt.Eng.Root(w)
-			if completed {
-				if w.tr != nil {
-					w.tr.Add(w.Proc.Now(), trace.OpComplete, 0, v, 0)
-				}
-				rt.complete(v)
-			}
-		}
-		w.thiefLoop()
+		w.runJob(false)
 	})
 
-	var st sched.Stats
-	for _, w := range workers {
-		if w != nil {
-			st.Add(w.Stats)
-		}
-	}
-	for _, d := range rt.Deques {
-		if d.MaxDepth() > st.MaxDequeDepth {
-			st.MaxDequeDepth = d.MaxDepth()
-		}
-	}
-	finalizeStats(&st, opt.Profile)
 	res := sched.Result{
 		Value:    rt.value.Load(),
 		Makespan: makespan,
 		Workers:  n,
 		Engine:   name,
 		Program:  prog.Name(),
-		Stats:    st,
+		Stats:    collectStats(workers, rt.Deques, opt.Profile),
 	}
 	if f := rt.failure.Load(); f != nil {
 		return res, f.err

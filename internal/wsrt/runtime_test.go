@@ -109,7 +109,7 @@ func (leafEngine) Resume(*Worker, *Frame) (int64, bool) {
 // windows, the case where the WorkTime subtraction used to go negative.
 func TestRunProfileOneNode(t *testing.T) {
 	res, err := Run(leafProg{}, sched.Options{Workers: 1, Profile: true},
-		func(*Runtime) Engine { return leafEngine{} }, "leaf")
+		leafEngine{}, "leaf")
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

@@ -1,0 +1,131 @@
+// Package registry maps benchmark names to Program constructors — the
+// shared vocabulary of cmd/adaptivetc-run, the experiment drivers and the
+// serving API (internal/serve), which needs to build a Program from a JSON
+// job submission without linking the experiment machinery.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptivetc/internal/lang"
+	"adaptivetc/internal/sched"
+	"adaptivetc/problems/comp"
+	"adaptivetc/problems/fib"
+	"adaptivetc/problems/knight"
+	"adaptivetc/problems/nqueens"
+	"adaptivetc/problems/pentomino"
+	"adaptivetc/problems/strimko"
+	"adaptivetc/problems/sudoku"
+	"adaptivetc/problems/synthtree"
+)
+
+// Params are the family-specific size knobs of one instance.
+type Params struct {
+	// N is the main size parameter (board side, fib argument, removals,
+	// givens, …). Zero means the family default.
+	N int
+	// Size is the synthetic-tree leaf count. Zero means the family default.
+	Size int64
+	// Reverse mirrors a synthetic tree (worst case for left-to-right
+	// depth-first stealing).
+	Reverse bool
+}
+
+// entry is one registered program family.
+type entry struct {
+	defaultN    int
+	defaultSize int64
+	build       func(Params) (sched.Program, error)
+}
+
+// table is the registry. Defaults are chosen to finish in well under a
+// second serially, so a serve job with no parameters is a sensible probe.
+var table = map[string]entry{
+	"nqueens-array": {defaultN: 8, build: func(p Params) (sched.Program, error) {
+		return nqueens.NewArray(p.N), nil
+	}},
+	"nqueens-compute": {defaultN: 8, build: func(p Params) (sched.Program, error) {
+		return nqueens.NewCompute(p.N), nil
+	}},
+	"sudoku-balanced": {defaultN: 40, build: func(p Params) (sched.Program, error) {
+		return sudoku.Balanced(3, p.N), nil
+	}},
+	"sudoku-input1": {defaultN: 40, build: func(p Params) (sched.Program, error) {
+		return sudoku.Input1(3, p.N), nil
+	}},
+	"sudoku-input2": {defaultN: 40, build: func(p Params) (sched.Program, error) {
+		return sudoku.Input2(3, p.N), nil
+	}},
+	"sudoku-empty4": {build: func(p Params) (sched.Program, error) {
+		return sudoku.Empty(2), nil
+	}},
+	"strimko": {defaultN: 7, build: func(p Params) (sched.Program, error) {
+		return strimko.Diagonal(7, p.N), nil
+	}},
+	"knight": {defaultN: 5, build: func(p Params) (sched.Program, error) {
+		return knight.New(p.N), nil
+	}},
+	"pentomino": {defaultN: 5, build: func(p Params) (sched.Program, error) {
+		return pentomino.New(p.N), nil
+	}},
+	"fib": {defaultN: 20, build: func(p Params) (sched.Program, error) {
+		return fib.New(p.N), nil
+	}},
+	"comp": {defaultN: 18, build: func(p Params) (sched.Program, error) {
+		return comp.New(p.N), nil
+	}},
+	"tree1": {defaultSize: 1 << 16, build: func(p Params) (sched.Program, error) {
+		return tree(synthtree.Tree1(p.Size), p.Reverse), nil
+	}},
+	"tree2": {defaultSize: 1 << 16, build: func(p Params) (sched.Program, error) {
+		return tree(synthtree.Tree2(p.Size), p.Reverse), nil
+	}},
+	"tree3": {defaultSize: 1 << 16, build: func(p Params) (sched.Program, error) {
+		return tree(synthtree.Tree3(p.Size), p.Reverse), nil
+	}},
+	"atc-nqueens": {defaultN: 8, build: compiled("nqueens")},
+	"atc-fib":     {defaultN: 20, build: compiled("fib")},
+	"atc-latin":   {defaultN: 5, build: compiled("latin")},
+	"atc-knight":  {defaultN: 5, build: compiled("knight")},
+}
+
+func tree(spec synthtree.Spec, reverse bool) sched.Program {
+	spec.Seed = 20100424
+	if reverse {
+		spec = spec.Reverse()
+	}
+	return synthtree.New(spec)
+}
+
+func compiled(src string) func(Params) (sched.Program, error) {
+	return func(p Params) (sched.Program, error) {
+		return lang.CompileProgram(src, lang.Sources()[src], map[string]int64{"n": int64(p.N)})
+	}
+}
+
+// Build constructs the named benchmark instance, applying the family
+// defaults for zero-valued Params fields.
+func Build(name string, p Params) (sched.Program, error) {
+	e, ok := table[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown program %q", name)
+	}
+	if p.N == 0 {
+		p.N = e.defaultN
+	}
+	if p.Size == 0 {
+		p.Size = e.defaultSize
+	}
+	return e.build(p)
+}
+
+// Names lists the registered program names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(table))
+	for name := range table {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

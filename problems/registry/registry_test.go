@@ -1,0 +1,27 @@
+package registry
+
+import "testing"
+
+// TestBuildDefaults builds every registered family with zero Params (family
+// defaults) and checks the instance self-describes.
+func TestBuildDefaults(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Build(name, Params{})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("Build(%q): empty program name", name)
+		}
+		if p.Root() == nil {
+			t.Fatalf("Build(%q): nil root workspace", name)
+		}
+	}
+}
+
+// TestBuildUnknown rejects unregistered names.
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("no-such-program", Params{}); err == nil {
+		t.Fatal("Build accepted an unknown name")
+	}
+}
