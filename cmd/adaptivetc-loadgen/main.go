@@ -11,7 +11,10 @@
 //	adaptivetc-loadgen -programs nqueens-array,fib,knight -engines adaptivetc,cilk,slaw
 //
 // The report prints completed/cancelled/failed/rejected counts, throughput,
-// and the p50/p90/p99 submit→complete latency observed by the clients.
+// the p50/p90/p99 submit→complete latency observed by the clients, and the
+// server's shard configuration from /metrics — so sweeping a server over
+// -max-concurrent-jobs 1/2/4 yields directly comparable throughput lines
+// (see BENCH_shards.json for the recorded sweep).
 package main
 
 import (
@@ -95,10 +98,37 @@ func main() {
 		pct := func(p float64) time.Duration { return latencies[int(p*float64(len(latencies)-1))] }
 		fmt.Printf("latency p50=%v p90=%v p99=%v\n", pct(0.50), pct(0.90), pct(0.99))
 	}
+	reportServer(client, *addr)
 	if completed == 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: no job completed")
 		os.Exit(1)
 	}
+}
+
+// reportServer prints the server's shard configuration and audit counters
+// from /metrics, so throughput lines from sweeps over -max-concurrent-jobs
+// carry the configuration they were measured against.
+func reportServer(client *http.Client, addr string) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Workers             int     `json:"workers"`
+		MaxConcurrentJobs   int     `json:"max_concurrent_jobs"`
+		ShardPolicy         string  `json:"shard_policy"`
+		Completed           int64   `json:"completed"`
+		ThroughputPerSecond float64 `json:"throughput_per_second"`
+		InvariantChecked    int64   `json:"invariant_checked"`
+		InvariantViolations int64   `json:"invariant_violations"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&m) != nil {
+		return
+	}
+	fmt.Printf("server: workers=%d max_concurrent_jobs=%d shard_policy=%s completed=%d throughput=%.1f/s invariant_checked=%d violations=%d\n",
+		m.Workers, m.MaxConcurrentJobs, m.ShardPolicy, m.Completed, m.ThroughputPerSecond,
+		m.InvariantChecked, m.InvariantViolations)
 }
 
 // runOne submits one job and polls it to a terminal state, returning the

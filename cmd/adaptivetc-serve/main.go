@@ -5,6 +5,7 @@
 // Usage:
 //
 //	adaptivetc-serve -addr :8080 -workers 4 -queue 256
+//	adaptivetc-serve -addr :8080 -workers 4 -max-concurrent-jobs 2   # 2 jobs at once on disjoint worker shards
 //	adaptivetc-serve -addr :8080 -check        # audit scheduler invariants per job
 //
 // API:
@@ -38,15 +39,19 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 4, "resident pool worker count")
 	queue := flag.Int("queue", 256, "admission queue capacity")
+	maxJobs := flag.Int("max-concurrent-jobs", 1, "jobs run concurrently, each on its own worker shard (clamped to -workers)")
+	shardPolicy := flag.String("shard-policy", "adaptive", "shard sizing policy: static (equal-width) or adaptive (grow when idle, split under load)")
 	check := flag.Bool("check", false, "verify scheduler invariants on every job's trace")
 	seed := flag.Int64("seed", 1, "victim-selection seed")
 	growable := flag.Bool("growable-deque", true, "use growable deques (fixed deques can overflow on deep jobs)")
 	flag.Parse()
 
 	svc := serve.New(serve.Config{
-		Workers:       *workers,
-		QueueCapacity: *queue,
-		Check:         *check,
+		Workers:           *workers,
+		QueueCapacity:     *queue,
+		MaxConcurrentJobs: *maxJobs,
+		ShardPolicy:       *shardPolicy,
+		Check:             *check,
 		Options: sched.Options{
 			Seed:          *seed,
 			GrowableDeque: *growable,
@@ -57,8 +62,8 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
 
-	fmt.Printf("adaptivetc-serve: listening on %s (workers=%d queue=%d check=%v)\n",
-		*addr, *workers, *queue, *check)
+	fmt.Printf("adaptivetc-serve: listening on %s (workers=%d queue=%d max-concurrent-jobs=%d shard-policy=%s check=%v)\n",
+		*addr, *workers, *queue, *maxJobs, *shardPolicy, *check)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,168 @@
+package adaptivetc_test
+
+import (
+	"testing"
+
+	"adaptivetc"
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/wsrt"
+	"adaptivetc/problems/registry"
+)
+
+// diffSizes fixes one small instance per registry family — every name in
+// problems/registry must appear here, so adding a benchmark without wiring
+// it into the differential harness is a test failure, not a silent gap.
+var diffSizes = map[string]registry.Params{
+	"nqueens-array":   {N: 6},
+	"nqueens-compute": {N: 6},
+	"sudoku-balanced": {N: 12},
+	"sudoku-input1":   {N: 12},
+	"sudoku-input2":   {N: 12},
+	"sudoku-empty4":   {},
+	"strimko":         {N: 5},
+	"knight":          {N: 5},
+	"pentomino":       {N: 4},
+	"fib":             {N: 14},
+	"comp":            {N: 64},
+	"tree1":           {Size: 2048},
+	"tree2":           {Size: 2048},
+	"tree3":           {Size: 2048},
+	"atc-nqueens":     {N: 6},
+	"atc-fib":         {N: 12},
+	"atc-latin":       {N: 4},
+	"atc-knight":      {N: 4},
+}
+
+// diffEngines are the seven pool-capable schedulers: every engine the
+// serving path can host, each built fresh per use (Tascell and Serial are
+// batch-only and are covered by TestEnginesMatchSerial).
+func diffEngines() []func() adaptivetc.Engine {
+	return []func() adaptivetc.Engine{
+		adaptivetc.NewAdaptiveTC,
+		adaptivetc.NewCilk,
+		adaptivetc.NewCilkSynched,
+		adaptivetc.NewCutoffProgrammer,
+		adaptivetc.NewCutoffLibrary,
+		adaptivetc.NewHelpFirst,
+		adaptivetc.NewSLAW,
+	}
+}
+
+// diffCorpus builds the instance of every registered family, failing if
+// the registry and diffSizes ever drift apart.
+func diffCorpus(t *testing.T) map[string]sched.Program {
+	t.Helper()
+	progs := make(map[string]sched.Program)
+	for _, name := range registry.Names() {
+		params, ok := diffSizes[name]
+		if !ok {
+			t.Fatalf("registry program %q has no differential-test size — add it to diffSizes", name)
+		}
+		p, err := registry.Build(name, params)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		progs[name] = p
+	}
+	if len(diffSizes) != len(progs) {
+		t.Fatalf("diffSizes has %d entries but the registry has %d — remove the stale names", len(diffSizes), len(progs))
+	}
+	return progs
+}
+
+// TestDifferentialBatch runs every registry program through all seven
+// pool-capable engines on the deterministic simulator: values must match
+// the serial oracle, and each engine's two identically-seeded runs must
+// report identical makespans.
+func TestDifferentialBatch(t *testing.T) {
+	for name, p := range diffCorpus(t) {
+		oracle, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{})
+		if err != nil {
+			t.Fatalf("serial/%s: %v", name, err)
+		}
+		for _, mk := range diffEngines() {
+			eng := mk()
+			opt := adaptivetc.Options{Workers: 3, Seed: 7}
+			a, err := eng.Run(p, opt)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", eng.Name(), name, err)
+			}
+			if a.Value != oracle.Value {
+				t.Errorf("%s/%s: value %d, serial says %d", eng.Name(), name, a.Value, oracle.Value)
+			}
+			b, err := mk().Run(p, opt)
+			if err != nil {
+				t.Fatalf("%s/%s rerun: %v", eng.Name(), name, err)
+			}
+			if a.Makespan != b.Makespan {
+				t.Errorf("%s/%s: identically-seeded Sim makespans differ: %d vs %d",
+					eng.Name(), name, a.Makespan, b.Makespan)
+			}
+		}
+	}
+}
+
+// TestDifferentialShardedPool pushes the same program×engine matrix
+// through a resident sharded pool — the serving path, with up to two jobs
+// in flight on disjoint worker groups — and checks every value against the
+// serial oracle.
+func TestDifferentialShardedPool(t *testing.T) {
+	progs := diffCorpus(t)
+	oracles := make(map[string]int64, len(progs))
+	for name, p := range progs {
+		res, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{})
+		if err != nil {
+			t.Fatalf("serial/%s: %v", name, err)
+		}
+		oracles[name] = res.Value
+	}
+
+	pool := wsrt.NewPool(wsrt.PoolConfig{
+		Workers: 4, MaxConcurrentJobs: 2, ShardPolicy: wsrt.ShardAdaptive,
+		QueueCapacity: 16, Options: sched.Options{GrowableDeque: true},
+	})
+	defer pool.Close()
+
+	type pending struct {
+		name, engine string
+		h            *wsrt.JobHandle
+	}
+	var window []pending
+	drain := func(all bool) {
+		keep := 0
+		if !all {
+			keep = 2 // leave the in-flight jobs cooking, reap the rest
+		}
+		for len(window) > keep {
+			job := window[0]
+			window = window[1:]
+			res, err := job.h.Result()
+			if err != nil {
+				t.Fatalf("pool %s/%s: %v", job.engine, job.name, err)
+			}
+			if res.Value != oracles[job.name] {
+				t.Errorf("pool %s/%s: value %d, serial says %d",
+					job.engine, job.name, res.Value, oracles[job.name])
+			}
+			if len(res.Shard) == 0 {
+				t.Errorf("pool %s/%s: result carries no shard", job.engine, job.name)
+			}
+		}
+	}
+	for name, p := range progs {
+		for _, mk := range diffEngines() {
+			eng := mk()
+			pe, ok := eng.(wsrt.PoolEngine)
+			if !ok {
+				t.Fatalf("%s does not implement wsrt.PoolEngine", eng.Name())
+			}
+			h, err := pool.Submit(wsrt.JobSpec{Prog: p, Engine: pe})
+			if err != nil {
+				t.Fatalf("submit %s/%s: %v", eng.Name(), name, err)
+			}
+			window = append(window, pending{name: name, engine: eng.Name(), h: h})
+			drain(false)
+		}
+	}
+	drain(true)
+}

@@ -1,0 +1,150 @@
+package adaptivetc_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"adaptivetc"
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/trace"
+	"adaptivetc/internal/wsrt"
+	"adaptivetc/problems/fib"
+	"adaptivetc/problems/nqueens"
+)
+
+// FuzzPoolConcurrent feeds a fuzzer-chosen schedule of operations —
+// submit, cancel, shard-policy flip — to a sharded pool, then closes it
+// and audits the wreckage: every completed job must report the right
+// answer with a trace satisfying all scheduler invariants, every
+// cancelled or drained job must leave a consistent truncated trace, and
+// no two jobs may ever hold the same worker at the same time. The seed
+// corpus doubles as a regression suite in plain `go test` runs.
+func FuzzPoolConcurrent(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 5, 10})
+	f.Add([]byte{0, 2, 0, 0, 3, 2, 0, 7, 1, 0})
+	f.Add([]byte{1, 1, 0, 2, 0, 4, 4, 3, 0, 2, 0, 9})
+	f.Add([]byte{2, 2, 0, 0, 0, 0, 3, 3, 2, 2, 0, 0, 13, 8})
+
+	fibProg, queensProg := fib.New(10), nqueens.NewArray(5)
+	const fibWant, queensWant = 55, 10
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) < 3 {
+			t.Skip()
+		}
+		workers := 2 + int(ops[0]%3)  // 2..4 resident workers
+		maxJobs := 1 + int(ops[1]%3)  // 1..3 shards
+		pool := wsrt.NewPool(wsrt.PoolConfig{
+			Workers: workers, MaxConcurrentJobs: maxJobs,
+			ShardPolicy: wsrt.ShardStatic, QueueCapacity: 8,
+			Options: sched.Options{GrowableDeque: true},
+		})
+		closed := false
+		defer func() {
+			if !closed {
+				pool.Close()
+			}
+		}()
+
+		type jobRec struct {
+			h      *wsrt.JobHandle
+			rec    *trace.Recorder
+			want   int64
+			cancel context.CancelFunc
+		}
+		var jobs []*jobRec
+		engines := []func() adaptivetc.Engine{
+			adaptivetc.NewAdaptiveTC, adaptivetc.NewCilk,
+			adaptivetc.NewHelpFirst, adaptivetc.NewSLAW,
+		}
+
+		for i, op := range ops[2:] {
+			switch op % 4 {
+			case 0, 1: // submit, engine and program varied by position
+				if len(jobs) >= 24 {
+					continue
+				}
+				prog, want := sched.Program(fibProg), int64(fibWant)
+				if (int(op)+i)%2 == 1 {
+					prog, want = queensProg, queensWant
+				}
+				eng := engines[(int(op)/4+i)%len(engines)]().(wsrt.PoolEngine)
+				rec := trace.NewRecorder()
+				ctx, cancel := context.WithCancel(context.Background())
+				h, err := pool.Submit(wsrt.JobSpec{Prog: prog, Engine: eng, Ctx: ctx, Tracer: rec})
+				if err != nil {
+					rec.Release()
+					cancel()
+					if !errors.Is(err, wsrt.ErrQueueFull) {
+						t.Fatalf("op %d: submit failed with %v, want nil or ErrQueueFull", i, err)
+					}
+					continue
+				}
+				jobs = append(jobs, &jobRec{h: h, rec: rec, want: want, cancel: cancel})
+			case 2: // cancel an earlier job (idempotent if already done)
+				if len(jobs) > 0 {
+					jobs[int(op)%len(jobs)].cancel()
+				}
+			case 3: // flip the shard allocator policy mid-flight
+				if pool.ShardPolicy() == wsrt.ShardStatic {
+					pool.SetShardPolicy(wsrt.ShardAdaptive)
+				} else {
+					pool.SetShardPolicy(wsrt.ShardStatic)
+				}
+			}
+		}
+
+		pool.Close()
+		closed = true
+		if _, err := pool.Submit(wsrt.JobSpec{Prog: fibProg, Engine: adaptivetc.NewAdaptiveTC().(wsrt.PoolEngine)}); !errors.Is(err, wsrt.ErrPoolClosed) {
+			t.Fatalf("submit after close: err = %v, want ErrPoolClosed", err)
+		}
+
+		for i, j := range jobs {
+			res, err := j.h.Result()
+			if err == nil {
+				if res.Value != j.want {
+					t.Errorf("job %d: value %d, want %d", i, res.Value, j.want)
+				}
+				if cerr := j.rec.Check(res.Value, j.want); cerr != nil {
+					t.Errorf("job %d invariants: %v", i, cerr)
+				}
+			} else if cerr := j.rec.CheckTruncated(); cerr != nil {
+				t.Errorf("job %d (failed with %v) truncated-trace invariants: %v", i, err, cerr)
+			}
+			j.rec.Release()
+			j.cancel()
+		}
+
+		// Shard-exclusivity: two jobs that ran on intersecting worker sets
+		// must have held them at disjoint times. Each job's recorded
+		// interval is inside its exclusive shard-hold window, so any
+		// overlap here means the allocator double-booked a worker.
+		for i := 0; i < len(jobs); i++ {
+			for k := i + 1; k < len(jobs); k++ {
+				a, b := jobs[i].h, jobs[k].h
+				if len(a.Shard()) == 0 || len(b.Shard()) == 0 || !shardsIntersect(a.Shard(), b.Shard()) {
+					continue
+				}
+				aStart, aEnd := a.Interval()
+				bStart, bEnd := b.Interval()
+				if aStart.Before(bEnd) && bStart.Before(aEnd) {
+					t.Errorf("jobs %d and %d shared workers (shards %v ∩ %v) with overlapping run windows [%v,%v] and [%v,%v]",
+						i, k, a.Shard(), b.Shard(), aStart, aEnd, bStart, bEnd)
+				}
+			}
+		}
+	})
+}
+
+func shardsIntersect(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

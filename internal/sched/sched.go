@@ -319,6 +319,11 @@ type Result struct {
 	Engine   string
 	Program  string
 	Stats    Stats
+	// Shard lists the global ids of the resident-pool workers the job ran
+	// on (nil for batch runs, which own every worker they start, and for
+	// pool jobs that never started). Workers equals len(Shard) for a pool
+	// job — the shard width, not the pool's total worker count.
+	Shard []int `json:",omitempty"`
 }
 
 func (r Result) String() string {

@@ -25,6 +25,9 @@ type JobStatus struct {
 	MakespanMS  float64 `json:"makespan_ms,omitempty"`
 	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
 	Violations  string  `json:"invariant_violations,omitempty"`
+	// Shard is the worker group the job ran on (absent until terminal, and
+	// for jobs that never started).
+	Shard []int `json:"shard,omitempty"`
 
 	Stats *sched.Stats `json:"stats,omitempty"`
 }
@@ -56,6 +59,7 @@ func status(j *Job) JobStatus {
 	}
 	out.MakespanMS = float64(res.Makespan) / 1e6
 	out.QueueWaitMS = float64(res.Stats.QueueWait) / 1e6
+	out.Shard = res.Shard
 	stats := res.Stats
 	out.Stats = &stats
 	if viol := j.Violations(); viol != nil {

@@ -97,6 +97,93 @@ func TestServeConcurrentMixedJobs(t *testing.T) {
 	}
 }
 
+// TestServeShardedConcurrency runs the service with two shards and the
+// invariant checker on: a mixed stream of jobs must all complete with
+// correct values, zero invariant violations, and terminal statuses that
+// carry the shard each job ran on. Run with -race in CI.
+func TestServeShardedConcurrency(t *testing.T) {
+	s := New(Config{
+		Workers:           2,
+		QueueCapacity:     64,
+		MaxConcurrentJobs: 2,
+		ShardPolicy:       "adaptive",
+		Check:             true,
+		Options:           sched.Options{GrowableDeque: true},
+	})
+	t.Cleanup(s.Close)
+
+	type kind struct {
+		req  Request
+		want int64
+	}
+	kinds := []kind{
+		{Request{Program: "fib", N: 12, Engine: "adaptivetc"}, 144},
+		{Request{Program: "nqueens-array", N: 6, Engine: "cilk"}, 4},
+		{Request{Program: "fib", N: 10, Engine: "helpfirst"}, 55},
+		{Request{Program: "nqueens-array", N: 5, Engine: "slaw"}, 10},
+		{Request{Program: "fib", N: 11, Engine: "cilk-synched"}, 89},
+	}
+
+	const jobs = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		k := kinds[i%len(kinds)]
+		wg.Add(1)
+		go func(i int, k kind) {
+			defer wg.Done()
+			var job *Job
+			for {
+				var err error
+				job, err = s.Submit(k.req)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, wsrt.ErrQueueFull) {
+					errs <- fmt.Errorf("job %d: submit: %v", i, err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			<-job.Done()
+			state, res, err := job.Snapshot()
+			if err != nil || state != StateDone {
+				errs <- fmt.Errorf("job %d (%s/%s): state=%s err=%v", i, k.req.Program, k.req.Engine, state, err)
+				return
+			}
+			if res.Value != k.want {
+				errs <- fmt.Errorf("job %d (%s/%s): value=%d want %d", i, k.req.Program, k.req.Engine, res.Value, k.want)
+			}
+			if len(res.Shard) == 0 {
+				errs <- fmt.Errorf("job %d (%s/%s): terminal result carries no shard", i, k.req.Program, k.req.Engine)
+				return
+			}
+			if got := status(job); len(got.Shard) == 0 {
+				errs <- fmt.Errorf("job %d: terminal JobStatus carries no shard", i)
+			}
+		}(i, k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := s.Snapshot()
+	if m.Completed != jobs {
+		t.Fatalf("completed=%d, want %d", m.Completed, jobs)
+	}
+	if m.MaxConcurrentJobs != 2 || m.ShardPolicy != "adaptive" {
+		t.Fatalf("metrics report max_concurrent_jobs=%d policy=%q, want 2/adaptive", m.MaxConcurrentJobs, m.ShardPolicy)
+	}
+	if m.InvariantChecked != jobs || m.InvariantViolations != 0 {
+		t.Fatalf("invariants: checked=%d violations=%d, want %d/0", m.InvariantChecked, m.InvariantViolations, jobs)
+	}
+	if m.RunningJobs != 0 || m.BusyWorkers != 0 || m.WorkerOccupancy != 0 {
+		t.Fatalf("after drain: running=%d busy=%d occupancy=%v, want zeros", m.RunningJobs, m.BusyWorkers, m.WorkerOccupancy)
+	}
+}
+
 // TestServeBackpressure fills the queue behind a blocked job and checks the
 // overflow submission is rejected with wsrt.ErrQueueFull and counted.
 func TestServeBackpressure(t *testing.T) {

@@ -106,6 +106,13 @@ type Config struct {
 	Workers int
 	// QueueCapacity bounds the admission queue; zero means 64.
 	QueueCapacity int
+	// MaxConcurrentJobs is the number of jobs the pool runs at once, each
+	// on its own disjoint worker shard; zero or one means the single-job
+	// pool. See wsrt.PoolConfig.
+	MaxConcurrentJobs int
+	// ShardPolicy sizes shards: "static" (equal-width, the default) or
+	// "adaptive" (grow when idle, split when jobs are waiting).
+	ShardPolicy string
 	// Options supplies pool-wide scheduling parameters (costs, deque
 	// capacity, seed). Platform/Ctx/Tracer are per-job or pool-fixed and
 	// ignored here.
@@ -168,6 +175,11 @@ type Metrics struct {
 	Started             time.Time `json:"started"`
 	UptimeSeconds       float64   `json:"uptime_seconds"`
 	Workers             int       `json:"workers"`
+	MaxConcurrentJobs   int       `json:"max_concurrent_jobs"`
+	ShardPolicy         string    `json:"shard_policy"`
+	RunningJobs         int64     `json:"running_jobs"`
+	BusyWorkers         int64     `json:"busy_workers"`
+	WorkerOccupancy     float64   `json:"worker_occupancy"`
 	QueueCapacity       int       `json:"queue_capacity"`
 	QueueDepth          int       `json:"queue_depth"`
 	InFlight            int64     `json:"in_flight"`
@@ -216,9 +228,11 @@ func New(cfg Config) *Service {
 	return &Service{
 		cfg: cfg,
 		pool: wsrt.NewPool(wsrt.PoolConfig{
-			Workers:       cfg.Workers,
-			QueueCapacity: cfg.QueueCapacity,
-			Options:       cfg.Options,
+			Workers:           cfg.Workers,
+			QueueCapacity:     cfg.QueueCapacity,
+			MaxConcurrentJobs: cfg.MaxConcurrentJobs,
+			ShardPolicy:       wsrt.ShardPolicy(cfg.ShardPolicy),
+			Options:           cfg.Options,
 		}),
 		started:   time.Now(),
 		jobs:      make(map[string]*Job),
@@ -419,6 +433,10 @@ func (s *Service) Snapshot() Metrics {
 		Started:             s.started,
 		UptimeSeconds:       up.Seconds(),
 		Workers:             s.pool.Workers(),
+		MaxConcurrentJobs:   s.pool.MaxConcurrentJobs(),
+		ShardPolicy:         string(s.pool.ShardPolicy()),
+		RunningJobs:         s.pool.RunningJobs(),
+		BusyWorkers:         s.pool.BusyWorkers(),
 		QueueCapacity:       s.pool.QueueCapacity(),
 		QueueDepth:          s.pool.QueueDepth(),
 		InFlight:            s.pool.InFlight(),
@@ -434,6 +452,9 @@ func (s *Service) Snapshot() Metrics {
 	}
 	if up > 0 {
 		m.ThroughputPerSecond = float64(completed) / up.Seconds()
+	}
+	if m.Workers > 0 {
+		m.WorkerOccupancy = float64(m.BusyWorkers) / float64(m.Workers)
 	}
 	return m
 }

@@ -165,10 +165,16 @@ func (r *Recorder) checkDeques(rp *replay, addf func(string, ...any)) {
 	}
 }
 
-// violationError joins the collected violations, or returns nil.
-func violationError(violations []error) error {
+// violationError joins the collected violations, or returns nil. The
+// recorder's scope — the job/shard identity a multi-job pool stamps on each
+// run — keys the verdict, so concurrent audits attribute failures to the
+// job and worker group that produced them.
+func (r *Recorder) violationError(violations []error) error {
 	if len(violations) == 0 {
 		return nil
+	}
+	if r.scope != "" {
+		return fmt.Errorf("trace[%s]: %d invariant violation(s):\n%w", r.scope, len(violations), errors.Join(violations...))
 	}
 	return fmt.Errorf("trace: %d invariant violation(s):\n%w", len(violations), errors.Join(violations...))
 }
@@ -243,7 +249,7 @@ func (r *Recorder) Check(finalValue, wantValue int64) error {
 	}
 
 	r.checkDeques(rp, addf)
-	return violationError(violations)
+	return r.violationError(violations)
 }
 
 // CheckTruncated replays the trace of an aborted run — cancelled, timed
@@ -316,5 +322,5 @@ func (r *Recorder) CheckTruncated() error {
 	}
 
 	r.checkDeques(rp, addf)
-	return violationError(violations)
+	return r.violationError(violations)
 }

@@ -190,6 +190,7 @@ var (
 // sequential runs; each Init discards the previous run's events.
 type Recorder struct {
 	maxStolenNum int64
+	scope        string
 	workers      []*WorkerLog
 	deques       []*DequeLog
 }
@@ -203,6 +204,7 @@ func NewRecorder() *Recorder { return &Recorder{} }
 func (r *Recorder) Init(n int, maxStolenNum int64) {
 	r.Release()
 	r.maxStolenNum = maxStolenNum
+	r.scope = ""
 	r.workers = r.workers[:0]
 	r.deques = r.deques[:0]
 	for i := 0; i < n; i++ {
@@ -229,6 +231,16 @@ func (r *Recorder) Release() {
 	r.workers = r.workers[:0]
 	r.deques = r.deques[:0]
 }
+
+// SetScope labels the current run for reports: the invariant checker
+// prefixes every violation with it, so when a sharded multi-job pool audits
+// several concurrent jobs the verdicts are keyed by the job and worker
+// shard that produced them. Set it after Init (which clears the previous
+// run's scope); the empty string (the default) leaves reports unprefixed.
+func (r *Recorder) SetScope(scope string) { r.scope = scope }
+
+// Scope returns the current run's report label.
+func (r *Recorder) Scope() string { return r.scope }
 
 // Workers returns the number of worker logs of the current run.
 func (r *Recorder) Workers() int { return len(r.workers) }

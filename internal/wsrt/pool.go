@@ -7,22 +7,29 @@
 //
 // Admission is controlled by a bounded queue: Submit never blocks, and a
 // full queue is reported as ErrQueueFull (backpressure) rather than letting
-// callers pile up behind a busy pool. Jobs run one at a time across all N
-// workers — work-stealing parallelism is *within* a job; concurrency across
-// jobs is the queue's — which keeps every scheduler invariant of the batch
-// runtime intact per job, lets a per-job tracer observe a job in isolation,
-// and bounds the memory of a misbehaving job to one runtime's worth.
+// callers pile up behind a busy pool. Up to MaxConcurrentJobs jobs run at
+// once, each bound to its own shard — a disjoint group of workers handed
+// out by the shard allocator (shard.go). Work-stealing parallelism is
+// *within* a shard; a job's runtime is built over the shard's deques only,
+// so steals are confined to the shard's victim set, one job's need_task
+// starvation signal cannot re-open another job's subtree, and every
+// scheduler invariant of the batch runtime holds per job exactly as it
+// does for a whole-pool run. A per-job tracer therefore still observes its
+// job in isolation, and the memory of a misbehaving job is bounded to one
+// shard's worth of deques.
 //
 // Every job gets its own Runtime (value, failure, stats, tracer) and its
 // own cooperative stop flag wired to the submitter's context, checked at
 // the runtime's poll points; a cancelled or expired job unwinds through the
-// sched.Abort path, and the dispatcher then resets the deques so leftover
-// frames cannot poison the next job.
+// sched.Abort path, and the finisher then resets the shard's deques — and
+// only the shard's — so leftover frames cannot poison the next job while
+// neighbouring shards keep running untouched.
 package wsrt
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +69,15 @@ type PoolConfig struct {
 	Workers int
 	// QueueCapacity bounds the admission queue; zero means 64.
 	QueueCapacity int
+	// MaxConcurrentJobs is the number of jobs the pool will run at once,
+	// each on its own disjoint worker shard. Zero or one means the classic
+	// single-job pool (one shard spanning every worker); values above
+	// Workers are clamped to Workers.
+	MaxConcurrentJobs int
+	// ShardPolicy selects how shards are sized (see shard.go). The zero
+	// value means ShardStatic. It can be flipped at runtime with
+	// SetShardPolicy.
+	ShardPolicy ShardPolicy
 	// Options supplies the pool-wide scheduling parameters: cost model,
 	// deque capacity and growability, max_stolen_num, seed. Platform, Ctx
 	// and Tracer are ignored — the pool is always Real-platform, and
@@ -88,8 +104,8 @@ type JobSpec struct {
 	// point). Nil means the job cannot be cancelled.
 	Ctx context.Context
 	// Tracer, when non-nil, records the job's scheduler events. The pool
-	// Inits it at job start; the recorder must not be shared with another
-	// in-flight job.
+	// Inits it at job start with the job's shard width; the recorder must
+	// not be shared with another in-flight job.
 	Tracer *trace.Recorder
 	// Profile enables the per-phase time breakdown for this job.
 	Profile bool
@@ -99,20 +115,36 @@ type JobSpec struct {
 type JobHandle struct {
 	started chan struct{}
 	done    chan struct{}
+	shard   []int
+	startAt time.Time
+	endAt   time.Time
 	res     sched.Result
 	err     error
 }
 
-// Started is closed when the job leaves the queue and its workers begin.
+// Started is closed when the job leaves the queue and its shard's workers
+// begin.
 func (h *JobHandle) Started() <-chan struct{} { return h.started }
 
 // Done is closed when the job has finished (completed, failed, cancelled,
 // or drained by Close).
 func (h *JobHandle) Done() <-chan struct{} { return h.done }
 
+// Shard returns the global ids of the pool workers the job is bound to.
+// Valid after Started; nil for a job that never started.
+func (h *JobHandle) Shard() []int { return h.shard }
+
+// Interval returns the window during which the job held its shard
+// exclusively: start is stamped before the shard's workers wake, end after
+// the last worker hit the barrier and the shard's deques were reset, but
+// before the shard returns to the free set. Valid after Done; both zero
+// for a job that never started.
+func (h *JobHandle) Interval() (start, end time.Time) { return h.startAt, h.endAt }
+
 // Result blocks until the job finishes and returns its outcome. The
 // result's Stats.QueueWait records the admission delay; Makespan is the
-// job's wall-clock run time.
+// job's wall-clock run time; Workers and Shard describe the worker group
+// the job actually ran on.
 func (h *JobHandle) Result() (sched.Result, error) {
 	<-h.done
 	return h.res, h.err
@@ -124,7 +156,12 @@ type poolJob struct {
 	name      string
 	rt        *Runtime
 	submitted time.Time
-	wg        sync.WaitGroup // workers still running this job
+	started   time.Time
+	shard     []int             // global worker ids, shard-local order
+	deques    []deque.WorkDeque // the shard's deques, indexed by local id
+	workers   []*Worker         // the shard's workers, indexed by local id
+	release   func()            // context watcher release
+	wg        sync.WaitGroup    // shard workers still running this job
 	h         *JobHandle
 }
 
@@ -133,24 +170,37 @@ func (j *poolJob) finish(res sched.Result, err error) {
 	close(j.h.done)
 }
 
-// Pool is a resident scheduler: long-lived workers serving a stream of
-// jobs. Create with NewPool, submit with Submit, shut down with Close.
-type Pool struct {
-	n   int
-	opt sched.Options
+// shardRun is one worker's wake message: the job to run and the worker's
+// local index within the job's shard.
+type shardRun struct {
+	job   *poolJob
+	local int
+}
 
-	deques  []deque.WorkDeque
-	workers []*Worker
-	wake    []chan *poolJob
-	queue   chan *poolJob
-	quit    chan struct{}
-	joined  sync.WaitGroup // dispatcher + workers
+// Pool is a resident scheduler: long-lived workers serving a stream of
+// jobs, up to MaxConcurrentJobs of them concurrently on disjoint worker
+// shards. Create with NewPool, submit with Submit, shut down with Close.
+type Pool struct {
+	n       int
+	maxJobs int
+	opt     sched.Options
+
+	deques   []deque.WorkDeque
+	workers  []*Worker
+	wake     []chan shardRun
+	queue    chan *poolJob
+	finished chan *poolJob // finishers hand shards back to the dispatcher
+	quit     chan struct{}
+	joined   sync.WaitGroup // dispatcher + workers
+
+	policy atomic.Int32 // 0 = static, 1 = adaptive
 
 	mu     sync.Mutex // guards Submit/Close handshake
 	closed bool
 
 	inflight atomic.Int64 // jobs submitted and not yet finished
-	running  atomic.Int64 // 1 while a job occupies the workers
+	running  atomic.Int64 // jobs currently occupying a shard
+	busy     atomic.Int64 // workers currently bound to a job
 	served   atomic.Int64 // jobs finished (any outcome) since pool start
 }
 
@@ -162,20 +212,30 @@ func NewPool(cfg PoolConfig) *Pool {
 		opt.Workers = cfg.Workers
 	}
 	n := opt.WorkersOrDefault()
-	p := &Pool{
-		n:       n,
-		opt:     opt,
-		deques:  make([]deque.WorkDeque, n),
-		workers: make([]*Worker, n),
-		wake:    make([]chan *poolJob, n),
-		queue:   make(chan *poolJob, cfg.queueCapacityOrDefault()),
-		quit:    make(chan struct{}),
+	maxJobs := cfg.MaxConcurrentJobs
+	if maxJobs <= 0 {
+		maxJobs = 1
 	}
+	if maxJobs > n {
+		maxJobs = n
+	}
+	p := &Pool{
+		n:        n,
+		maxJobs:  maxJobs,
+		opt:      opt,
+		deques:   make([]deque.WorkDeque, n),
+		workers:  make([]*Worker, n),
+		wake:     make([]chan shardRun, n),
+		queue:    make(chan *poolJob, cfg.queueCapacityOrDefault()),
+		finished: make(chan *poolJob, maxJobs),
+		quit:     make(chan struct{}),
+	}
+	p.SetShardPolicy(cfg.ShardPolicy)
 	procs := vtime.NewRealProcs(n, opt.Seed)
 	for i := 0; i < n; i++ {
 		p.deques[i] = newDeque(opt)
 		p.workers[i] = &Worker{ID: i, Proc: procs[i], Deque: p.deques[i]}
-		p.wake[i] = make(chan *poolJob)
+		p.wake[i] = make(chan shardRun)
 	}
 	p.joined.Add(n + 1)
 	for i := 0; i < n; i++ {
@@ -188,6 +248,29 @@ func NewPool(cfg PoolConfig) *Pool {
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.n }
 
+// MaxConcurrentJobs returns the number of jobs the pool can run at once.
+func (p *Pool) MaxConcurrentJobs() int { return p.maxJobs }
+
+// SetShardPolicy switches the shard allocator's sizing policy. Unknown
+// values fall back to ShardStatic. Safe to call while jobs are running:
+// shards already handed out keep their width, only future allocations are
+// affected.
+func (p *Pool) SetShardPolicy(pol ShardPolicy) {
+	if pol == ShardAdaptive {
+		p.policy.Store(1)
+	} else {
+		p.policy.Store(0)
+	}
+}
+
+// ShardPolicy returns the current shard sizing policy.
+func (p *Pool) ShardPolicy() ShardPolicy {
+	if p.policy.Load() == 1 {
+		return ShardAdaptive
+	}
+	return ShardStatic
+}
+
 // QueueDepth returns the number of jobs waiting for admission right now.
 func (p *Pool) QueueDepth() int { return len(p.queue) }
 
@@ -198,14 +281,25 @@ func (p *Pool) QueueCapacity() int { return cap(p.queue) }
 // (queued + running).
 func (p *Pool) InFlight() int64 { return p.inflight.Load() }
 
-// Running reports whether a job currently occupies the workers.
+// Running reports whether any job currently occupies workers.
 func (p *Pool) Running() bool { return p.running.Load() != 0 }
+
+// RunningJobs returns the number of jobs currently bound to shards.
+func (p *Pool) RunningJobs() int64 { return p.running.Load() }
+
+// BusyWorkers returns the number of workers currently bound to a job.
+func (p *Pool) BusyWorkers() int64 { return p.busy.Load() }
 
 // Served returns the number of jobs finished since the pool started.
 func (p *Pool) Served() int64 { return p.served.Load() }
 
 // Submit enqueues a job without blocking. It returns ErrQueueFull when the
-// admission queue is at capacity and ErrPoolClosed after Close.
+// admission queue is at capacity and ErrPoolClosed after Close. The
+// closed check and the enqueue happen under one lock, ordered against
+// Close's closed store: once Close has begun, Submit deterministically
+// returns ErrPoolClosed, and a job enqueued before that point is either
+// run or — if the dispatcher observes the shutdown first — deterministically
+// drained with ErrPoolClosed, never both.
 func (p *Pool) Submit(spec JobSpec) (*JobHandle, error) {
 	if spec.Prog == nil || spec.Engine == nil {
 		return nil, errors.New("wsrt: JobSpec needs Prog and Engine")
@@ -233,9 +327,9 @@ func (p *Pool) Submit(spec JobSpec) (*JobHandle, error) {
 	}
 }
 
-// Close shuts the pool down: the running job (if any) finishes, every job
-// still queued is failed with ErrPoolClosed, and the workers exit. Close
-// blocks until all goroutines have joined; it is idempotent.
+// Close shuts the pool down: running jobs finish, every job still queued
+// is failed with ErrPoolClosed, and the workers exit. Close blocks until
+// all goroutines have joined; it is idempotent.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -243,14 +337,22 @@ func (p *Pool) Close() {
 		p.joined.Wait()
 		return
 	}
+	// Close quit under the same lock that orders Submit's closed check:
+	// any Submit that observes closed (and any outside observer it
+	// unblocks) is guaranteed the dispatcher's shutdown signal is already
+	// raised, so a job still queued at that point can only drain.
 	p.closed = true
-	p.mu.Unlock()
 	close(p.quit)
+	p.mu.Unlock()
 	p.joined.Wait()
 }
 
-// dispatch is the pool's coordinator goroutine: it admits one job at a
-// time, runs it across all workers, and finalises it.
+// dispatch is the pool's coordinator goroutine: it admits jobs while the
+// shard allocator can place them, binds each admitted job to a shard, and
+// reclaims shards as jobs finish. Jobs it cannot place yet stay in the
+// bounded queue (at most one, already received, waits in the deferred
+// slot), so admission backpressure is never weakened by an internal
+// unbounded buffer.
 func (p *Pool) dispatch() {
 	defer func() {
 		for _, c := range p.wake {
@@ -258,126 +360,232 @@ func (p *Pool) dispatch() {
 		}
 		p.joined.Done()
 	}()
+	alloc := newShardAlloc(p.n, p.maxJobs)
+	var deferred *poolJob // received from the queue, waiting for a shard
 	for {
 		// Prefer shutdown over further admissions once quit is closed.
 		select {
 		case <-p.quit:
-			p.drain()
+			p.shutdown(alloc, deferred)
 			return
 		default:
+		}
+		if deferred != nil {
+			if !p.tryStart(alloc, deferred) {
+				select {
+				case <-p.quit:
+					p.shutdown(alloc, deferred)
+					return
+				case job := <-p.finished:
+					p.reclaim(alloc, job)
+				}
+				continue
+			}
+			deferred = nil
+			continue
+		}
+		// Receive from the queue only while a shard slot is open; otherwise
+		// jobs stay queued and Submit's backpressure stays honest.
+		var queueCh chan *poolJob
+		if alloc.running < p.maxJobs && len(alloc.free) > 0 {
+			queueCh = p.queue
 		}
 		select {
 		case <-p.quit:
-			p.drain()
+			p.shutdown(alloc, nil)
 			return
-		case job := <-p.queue:
-			p.runOne(job)
-			p.inflight.Add(-1)
-			p.served.Add(1)
+		case job := <-queueCh:
+			// quit and queue can be ready together and select picks
+			// arbitrarily; re-checking quit here makes Close deterministic —
+			// a job picked up after quit closed is drained, never run.
+			select {
+			case <-p.quit:
+				p.retire(job, ErrPoolClosed)
+				p.shutdown(alloc, nil)
+				return
+			default:
+			}
+			if !p.tryStart(alloc, job) {
+				deferred = job
+			}
+		case job := <-p.finished:
+			p.reclaim(alloc, job)
 		}
 	}
 }
 
-// drain fails every job still queued at shutdown.
-func (p *Pool) drain() {
+// tryStart binds job to a freshly allocated shard, or retires it
+// immediately if its context was cancelled while it waited. It reports
+// false when the allocator cannot form a shard under the current policy.
+func (p *Pool) tryStart(alloc *shardAlloc, job *poolJob) bool {
+	if ctx := job.spec.Ctx; ctx != nil {
+		if ctx.Err() != nil {
+			// Cancelled while queued: never starts, costs the pool nothing.
+			p.retire(job, context.Cause(ctx))
+			return true
+		}
+	}
+	shard := alloc.grab(p.ShardPolicy(), len(p.queue))
+	if shard == nil {
+		return false
+	}
+	p.startJob(job, shard)
+	return true
+}
+
+// retire finishes a job that never ran (drained at shutdown, or cancelled
+// while queued).
+func (p *Pool) retire(job *poolJob, err error) {
+	res := sched.Result{Engine: job.name, Program: job.spec.Prog.Name()}
+	res.Stats.QueueWait = time.Since(job.submitted).Nanoseconds()
+	job.finish(res, err)
+	p.inflight.Add(-1)
+	p.served.Add(1)
+}
+
+// reclaim returns a finished job's shard to the allocator. The served
+// counter already ticked in finishJob, before the job's handle resolved,
+// so Served() never lags a Result() return.
+func (p *Pool) reclaim(alloc *shardAlloc, job *poolJob) {
+	alloc.release(job.shard)
+	p.busy.Add(-int64(len(job.shard)))
+	p.running.Add(-1)
+	p.inflight.Add(-1)
+}
+
+// shutdown drains the pool: the deferred job and every job still queued
+// fail with ErrPoolClosed, running jobs finish and their shards are
+// reclaimed. No new queue sends can begin once Close has set closed, so
+// the drain loop terminates.
+func (p *Pool) shutdown(alloc *shardAlloc, deferred *poolJob) {
+	if deferred != nil {
+		p.retire(deferred, ErrPoolClosed)
+	}
 	for {
 		select {
 		case job := <-p.queue:
-			job.finish(sched.Result{Engine: job.name, Program: job.spec.Prog.Name(), Workers: p.n}, ErrPoolClosed)
-			p.inflight.Add(-1)
-			p.served.Add(1)
+			p.retire(job, ErrPoolClosed)
+			continue
 		default:
+		}
+		if alloc.running == 0 {
 			return
 		}
+		p.reclaim(alloc, <-p.finished)
 	}
 }
 
-// runOne executes one admitted job across all workers.
-func (p *Pool) runOne(job *poolJob) {
-	start := time.Now()
-	queueWait := start.Sub(job.submitted)
-	baseRes := sched.Result{
-		Workers: p.n,
-		Engine:  job.name,
-		Program: job.spec.Prog.Name(),
+// startJob builds the job's shard-scoped runtime and wakes the shard's
+// workers. The runtime's deque slice is exactly the shard's deques, so the
+// thief loop's victim set — and with it the need_task/stolen_num
+// starvation machinery living in those deques — is confined to the shard
+// by construction.
+func (p *Pool) startJob(job *poolJob, shard []int) {
+	width := len(shard)
+	job.shard = shard
+	job.started = time.Now()
+	job.deques = make([]deque.WorkDeque, width)
+	job.workers = make([]*Worker, width)
+	for li, gi := range shard {
+		job.deques[li] = p.deques[gi]
+		job.workers[li] = p.workers[gi]
 	}
-	baseRes.Stats.QueueWait = queueWait.Nanoseconds()
-	if ctx := job.spec.Ctx; ctx != nil {
-		if err := ctx.Err(); err != nil {
-			// Cancelled while queued: never starts, costs the pool nothing.
-			job.finish(baseRes, context.Cause(ctx))
-			return
-		}
-	}
-
 	rt := &Runtime{
 		Prog:    job.spec.Prog,
 		Costs:   p.opt.CostsOrDefault(),
-		N:       p.n,
-		Deques:  p.deques,
-		Eng:     job.spec.Engine.NewExec(p.n, p.opt),
+		N:       width,
+		Deques:  job.deques,
+		Eng:     job.spec.Engine.NewExec(width, p.opt),
 		profile: job.spec.Profile,
 		tracer:  job.spec.Tracer,
 		stop:    &sched.Stop{},
 	}
 	if rt.tracer != nil {
-		rt.tracer.Init(p.n, int64(p.opt.MaxStolenNumOrDefault()))
-		for i, d := range p.deques {
-			d.SetTrace(rt.tracer.DequeHook(i))
+		rt.tracer.Init(width, int64(p.opt.MaxStolenNumOrDefault()))
+		rt.tracer.SetScope(fmt.Sprintf("%s/%s shard %v", job.name, job.spec.Prog.Name(), shard))
+		for li, d := range job.deques {
+			d.SetTrace(rt.tracer.DequeHook(li))
 		}
 	}
-	release := sched.WatchContext(job.spec.Ctx, rt.stop)
-
+	job.release = sched.WatchContext(job.spec.Ctx, rt.stop)
 	job.rt = rt
-	job.wg.Add(p.n)
-	p.running.Store(1)
+	job.wg.Add(width)
+	p.running.Add(1)
+	p.busy.Add(int64(width))
+	job.h.shard = shard
+	job.h.startAt = job.started
 	close(job.h.started)
-	for _, c := range p.wake {
-		c <- job
+	for li, gi := range shard {
+		p.wake[gi] <- shardRun{job: job, local: li}
 	}
-	job.wg.Wait()
-	p.running.Store(0)
-	release()
+	go p.finishJob(job)
+}
 
-	st := collectStats(p.workers, p.deques, job.spec.Profile)
-	st.QueueWait = queueWait.Nanoseconds()
-	// Reset the deques for the next job: an aborted job leaves unconsumed
-	// frames behind, and need_task/stolen_num must not leak across jobs.
+// finishJob waits for the job's shard workers to hit the barrier,
+// finalises the result, and hands the shard back to the dispatcher. The
+// deque reset is confined to the finishing job's shard — neighbouring
+// shards are live and must not be touched — and happens before the shard
+// returns to the free set, so the next job bound to these workers starts
+// from the same state a fresh deque would.
+func (p *Pool) finishJob(job *poolJob) {
+	job.wg.Wait()
+	job.release()
+	rt := job.rt
+	st := collectStats(job.workers, job.deques, job.spec.Profile)
+	st.QueueWait = job.started.Sub(job.submitted).Nanoseconds()
 	if rt.tracer != nil {
-		for _, d := range p.deques {
+		for _, d := range job.deques {
 			d.SetTrace(nil)
 		}
 	}
-	for _, d := range p.deques {
+	for _, d := range job.deques {
 		d.Reset()
 	}
 
-	res := baseRes
-	res.Value = rt.value.Load()
-	res.Makespan = time.Since(start).Nanoseconds()
-	res.Stats = st
+	res := sched.Result{
+		Value:    rt.value.Load(),
+		Makespan: time.Since(job.started).Nanoseconds(),
+		Workers:  len(job.shard),
+		Engine:   job.name,
+		Program:  job.spec.Prog.Name(),
+		Stats:    st,
+		Shard:    job.shard,
+	}
 	var err error
 	if f := rt.failure.Load(); f != nil {
 		err = f.err
 	}
+	job.h.endAt = time.Now()
+	p.served.Add(1)
 	job.finish(res, err)
+	p.finished <- job
 }
 
 // workerLoop is one resident worker: park on the wake channel, run the
 // job, hit the barrier, park again. This is the thief loop's "park between
-// jobs instead of exiting".
+// jobs instead of exiting". For the job's duration the worker adopts its
+// shard-local identity — victim selection, root election (local 0) and
+// trace logs are all indexed within the shard's deque slice.
 func (p *Pool) workerLoop(i int) {
 	defer p.joined.Done()
 	w := p.workers[i]
-	for job := range p.wake[i] {
+	for run := range p.wake[i] {
+		job := run.job
+		w.ID = run.local
 		w.rt = job.rt
 		w.Stats = sched.Stats{}
 		w.tr = nil
 		if job.rt.tracer != nil {
-			w.tr = job.rt.tracer.WorkerLog(w.ID)
+			w.tr = job.rt.tracer.WorkerLog(run.local)
 		}
 		w.runJob(true)
 		w.rt = nil
+		// The SYNCHED workspace pool holds program-typed workspaces; the
+		// next job bound to this worker may run a different program, and
+		// ClonePooled must never hand it a leftover (CopyFrom would panic
+		// on the type mismatch). Frames are program-agnostic — their
+		// free-list stays resident across jobs.
+		w.DropWorkspacePool()
 		job.wg.Done()
 	}
 }

@@ -33,6 +33,46 @@ func BenchmarkPoolRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkPoolShardedThroughput measures multi-job round-trip throughput
+// with 1 vs 2 shards over the same 2 workers: a closed loop keeps as many
+// jobs in flight as there are shards, so the sharded configuration's win
+// is overlap, not extra hardware. BENCH_shards.json records a run.
+func BenchmarkPoolShardedThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2} {
+		b.Run(map[int]string{1: "shards=1", 2: "shards=2"}[shards], func(b *testing.B) {
+			p := wsrt.NewPool(wsrt.PoolConfig{
+				Workers: 2, MaxConcurrentJobs: shards, ShardPolicy: wsrt.ShardStatic,
+				QueueCapacity: 16, Options: sched.Options{GrowableDeque: true},
+			})
+			defer p.Close()
+			prog := fib.New(5)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			inflight := make([]*wsrt.JobHandle, 0, shards)
+			for i := 0; i < b.N; i++ {
+				if len(inflight) == shards {
+					res, err := inflight[0].Result()
+					if err != nil || res.Value != 5 {
+						b.Fatalf("value=%d err=%v", res.Value, err)
+					}
+					inflight = inflight[:copy(inflight, inflight[1:])]
+				}
+				h, err := p.Submit(wsrt.JobSpec{Prog: prog, Engine: core.New()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				inflight = append(inflight, h)
+			}
+			for _, h := range inflight {
+				if res, err := h.Result(); err != nil || res.Value != 5 {
+					b.Fatalf("value=%d err=%v", res.Value, err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBatchRoundTrip is the same trivial job through the batch path —
 // per-run deque construction, worker goroutine spawning, cold free-lists —
 // the cost the resident pool amortises away.

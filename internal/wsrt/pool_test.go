@@ -3,6 +3,7 @@ package wsrt_test
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -168,6 +169,226 @@ func (panicProg) Terminal(ws sched.Workspace, depth int) (int64, bool) {
 func (panicProg) Moves(ws sched.Workspace, depth int) int       { return 2 }
 func (panicProg) Apply(ws sched.Workspace, depth, m int) bool   { return true }
 func (panicProg) Undo(ws sched.Workspace, depth, m int)         {}
+
+// gateProg is a one-node program whose only leaf blocks until the gate is
+// closed — a job that occupies its shard for exactly as long as the test
+// wants.
+type gateProg struct{ gate chan struct{} }
+
+func (g gateProg) Name() string          { return "gate" }
+func (g gateProg) Root() sched.Workspace { return panicWS{} }
+
+func (g gateProg) Terminal(ws sched.Workspace, depth int) (int64, bool) {
+	<-g.gate
+	return 1, true
+}
+
+func (g gateProg) Moves(ws sched.Workspace, depth int) int     { return 0 }
+func (g gateProg) Apply(ws sched.Workspace, depth, m int) bool { return false }
+func (g gateProg) Undo(ws sched.Workspace, depth, m int)       {}
+
+// TestPoolConcurrentJobs is the sharding acceptance test: with 2 shards, a
+// job blocked mid-run must not head-of-line-block the next job — job B
+// finishes while job A demonstrably still occupies its shard.
+func TestPoolConcurrentJobs(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{
+		Workers: 2, MaxConcurrentJobs: 2, ShardPolicy: wsrt.ShardStatic,
+		QueueCapacity: 8, Options: sched.Options{GrowableDeque: true},
+	})
+	defer p.Close()
+
+	// Open the gate before the deferred Close runs, even when an assertion
+	// below fails first — otherwise Close would wait on job A forever.
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
+	defer openGate()
+
+	a, err := p.Submit(wsrt.JobSpec{Prog: gateProg{gate: gate}, Engine: atc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-a.Started()
+
+	b, err := p.Submit(wsrt.JobSpec{Prog: fib.New(10), Engine: atc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := b.Result() // must complete while A is still blocked
+	if err != nil || resB.Value != 55 {
+		t.Fatalf("job B: value=%d err=%v, want 55", resB.Value, err)
+	}
+	select {
+	case <-a.Done():
+		t.Fatal("job A finished before its gate opened — B did not run concurrently")
+	default:
+	}
+	// B's shard is reclaimed by the dispatcher shortly after its handle
+	// resolves; wait for the count to settle at just job A.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.RunningJobs() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.RunningJobs(); got != 1 {
+		t.Fatalf("RunningJobs while A blocked = %d, want 1", got)
+	}
+
+	// The two jobs must have run on disjoint shards of width 1.
+	shardA, shardB := a.Shard(), b.Shard()
+	if len(shardA) != 1 || len(shardB) != 1 || shardA[0] == shardB[0] {
+		t.Fatalf("shards not disjoint width-1 groups: A=%v B=%v", shardA, shardB)
+	}
+
+	openGate()
+	if resA, err := a.Result(); err != nil || resA.Value != 1 {
+		t.Fatalf("job A: value=%d err=%v, want 1", resA.Value, err)
+	}
+}
+
+// TestPoolShardedRace runs 4 concurrent 8-queens jobs on 2 shards — the
+// race-detector workload for the sharded dispatcher, shard-confined
+// stealing and per-shard deque reset. Each job must find the classic 92
+// solutions.
+func TestPoolShardedRace(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{
+		Workers: 4, MaxConcurrentJobs: 2, ShardPolicy: wsrt.ShardStatic,
+		QueueCapacity: 8, Options: sched.Options{GrowableDeque: true},
+	})
+	defer p.Close()
+
+	const jobs = 4
+	handles := make([]*wsrt.JobHandle, jobs)
+	engines := []func() wsrt.PoolEngine{atc, func() wsrt.PoolEngine { return cilk.New() }}
+	for i := range handles {
+		h, err := p.Submit(wsrt.JobSpec{Prog: nqueens.NewArray(8), Engine: engines[i%len(engines)]()})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		res, err := h.Result()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if res.Value != 92 {
+			t.Fatalf("job %d found %d solutions for 8-queens, want 92", i, res.Value)
+		}
+		if res.Workers != 2 || len(res.Shard) != 2 {
+			t.Fatalf("job %d ran on shard %v (workers=%d), want width 2", i, res.Shard, res.Workers)
+		}
+	}
+	if got := p.Served(); got != jobs {
+		t.Fatalf("served %d jobs, want %d", got, jobs)
+	}
+}
+
+// TestPoolAdaptiveGrows checks the adaptive policy end-to-end: a job
+// admitted to an idle pool takes every worker, and under a backlog the
+// shards split.
+func TestPoolAdaptiveGrows(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{
+		Workers: 4, MaxConcurrentJobs: 2, ShardPolicy: wsrt.ShardAdaptive,
+		QueueCapacity: 8, Options: sched.Options{GrowableDeque: true},
+	})
+	defer p.Close()
+
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
+	defer openGate()
+
+	a, err := p.Submit(wsrt.JobSpec{Prog: gateProg{gate: gate}, Engine: atc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-a.Started()
+	if got := a.Shard(); len(got) != 4 {
+		t.Fatalf("idle-pool adaptive shard = %v, want all 4 workers", got)
+	}
+	openGate()
+	if _, err := a.Result(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolSubmitAfterClose pins the Submit/Close/drain ordering: once
+// Close has begun, Submit fails with ErrPoolClosed, and jobs still queued
+// at that point are deterministically drained with ErrPoolClosed — never
+// raced into execution by the dispatcher's quit-vs-admit select.
+func TestPoolSubmitAfterClose(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"submit-after-close-returns", func(t *testing.T) {
+			p := wsrt.NewPool(wsrt.PoolConfig{Workers: 1, Options: sched.Options{GrowableDeque: true}})
+			p.Close()
+			if _, err := p.Submit(wsrt.JobSpec{Prog: fib.New(5), Engine: atc()}); !errors.Is(err, wsrt.ErrPoolClosed) {
+				t.Fatalf("submit after close: err = %v, want ErrPoolClosed", err)
+			}
+		}},
+		{"queued-at-close-always-drains", func(t *testing.T) {
+			// Repeat to exercise the quit-vs-admit select from many
+			// interleavings: a job still queued once Close has observably
+			// begun must always drain, never run. "Observably begun" is
+			// pinned by waiting for Submit to return ErrPoolClosed — the
+			// same lock orders that against the shutdown signal.
+			for i := 0; i < 50; i++ {
+				p := wsrt.NewPool(wsrt.PoolConfig{Workers: 1, QueueCapacity: 4, Options: sched.Options{GrowableDeque: true}})
+				gate := make(chan struct{})
+				blocker, err := p.Submit(wsrt.JobSpec{Prog: gateProg{gate: gate}, Engine: atc()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				<-blocker.Started()
+				queued, err := p.Submit(wsrt.JobSpec{Prog: fib.New(5), Engine: atc()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				done := make(chan struct{})
+				go func() { p.Close(); close(done) }()
+				for {
+					if _, err := p.Submit(wsrt.JobSpec{Prog: fib.New(5), Engine: atc()}); errors.Is(err, wsrt.ErrPoolClosed) {
+						break // Close has begun: the shutdown signal is up
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+				close(gate) // release the blocker only now — the queued job must drain
+				<-done
+				if _, err := queued.Result(); !errors.Is(err, wsrt.ErrPoolClosed) {
+					t.Fatalf("iteration %d: queued-at-close job err = %v, want ErrPoolClosed", i, err)
+				}
+			}
+		}},
+		{"submit-racing-close-never-hangs", func(t *testing.T) {
+			// A submission racing Close either fails with ErrPoolClosed or
+			// returns a handle that resolves — to a result or ErrPoolClosed —
+			// but never hangs and never reports a third error.
+			for i := 0; i < 50; i++ {
+				p := wsrt.NewPool(wsrt.PoolConfig{Workers: 1, QueueCapacity: 4, Options: sched.Options{GrowableDeque: true}})
+				got := make(chan error, 1)
+				go func() {
+					h, err := p.Submit(wsrt.JobSpec{Prog: fib.New(5), Engine: atc()})
+					if err != nil {
+						got <- err
+						return
+					}
+					_, err = h.Result()
+					got <- err
+				}()
+				p.Close()
+				err := <-got
+				if err != nil && !errors.Is(err, wsrt.ErrPoolClosed) {
+					t.Fatalf("iteration %d: racing submit resolved with %v, want nil or ErrPoolClosed", i, err)
+				}
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, c.run)
+	}
+}
 
 // TestPoolCloseDrainsQueue fails queued jobs with ErrPoolClosed at
 // shutdown instead of leaving their handles hanging.

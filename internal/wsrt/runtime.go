@@ -298,6 +298,12 @@ func (w *Worker) Release(ws sched.Workspace) {
 	}
 }
 
+// DropWorkspacePool discards the pooled workspaces. A resident worker must
+// call this between jobs: the pool is typed by the program that filled it,
+// and ClonePooled's CopyFrom would panic if a job of one program popped a
+// workspace recycled from another.
+func (w *Worker) DropWorkspacePool() { w.pool = nil }
+
 // Deposit delivers v to parent, finalising and cascading when a suspended
 // frame's last expected deposit arrives. A nil parent completes the run.
 // Each finalised frame is recycled: the finalising depositor owns it

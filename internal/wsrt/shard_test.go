@@ -1,0 +1,121 @@
+package wsrt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShardAllocStatic checks the equal-width policy: every job gets its
+// share of the free workers divided by the open slots, independent of how
+// many jobs are actually waiting.
+func TestShardAllocStatic(t *testing.T) {
+	a := newShardAlloc(4, 2)
+	s1 := a.grab(ShardStatic, 0)
+	if want := []int{0, 1}; !reflect.DeepEqual(s1, want) {
+		t.Fatalf("first static shard = %v, want %v", s1, want)
+	}
+	s2 := a.grab(ShardStatic, 5)
+	if want := []int{2, 3}; !reflect.DeepEqual(s2, want) {
+		t.Fatalf("second static shard = %v, want %v", s2, want)
+	}
+	if s3 := a.grab(ShardStatic, 0); s3 != nil {
+		t.Fatalf("grab with all slots taken = %v, want nil", s3)
+	}
+	a.release(s1)
+	if s4 := a.grab(ShardStatic, 0); !reflect.DeepEqual(s4, []int{0, 1}) {
+		t.Fatalf("shard after release = %v, want [0 1]", s4)
+	}
+}
+
+// TestShardAllocStaticUneven spreads a non-divisible worker count: the
+// last job takes whatever remains, so no worker idles forever.
+func TestShardAllocStaticUneven(t *testing.T) {
+	a := newShardAlloc(5, 2)
+	if s := a.grab(ShardStatic, 0); len(s) != 2 {
+		t.Fatalf("first of two shards over 5 workers has width %d, want 2", len(s))
+	}
+	if s := a.grab(ShardStatic, 0); len(s) != 3 {
+		t.Fatalf("second shard has width %d, want 3 (the remainder)", len(s))
+	}
+}
+
+// TestShardAllocAdaptive checks grow-and-split: a job admitted to an idle
+// pool takes every worker; with jobs waiting, the free set is split.
+func TestShardAllocAdaptive(t *testing.T) {
+	a := newShardAlloc(4, 2)
+	grown := a.grab(ShardAdaptive, 0) // queue empty: grow to the whole pool
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(grown, want) {
+		t.Fatalf("idle adaptive shard = %v, want %v", grown, want)
+	}
+	if s := a.grab(ShardAdaptive, 3); s != nil {
+		t.Fatalf("no free workers but grab returned %v", s)
+	}
+	a.release(grown)
+
+	split := a.grab(ShardAdaptive, 1) // one job waiting: split the pool
+	if want := []int{0, 1}; !reflect.DeepEqual(split, want) {
+		t.Fatalf("split adaptive shard = %v, want %v", split, want)
+	}
+	rest := a.grab(ShardAdaptive, 0)
+	if want := []int{2, 3}; !reflect.DeepEqual(rest, want) {
+		t.Fatalf("second adaptive shard = %v, want %v", rest, want)
+	}
+}
+
+// TestShardAllocPolicyFlip flips adaptive→static while a grown shard holds
+// every worker: the static grab must wait (nil) rather than hand out an
+// overlapping or empty shard.
+func TestShardAllocPolicyFlip(t *testing.T) {
+	a := newShardAlloc(4, 2)
+	grown := a.grab(ShardAdaptive, 0)
+	if len(grown) != 4 {
+		t.Fatalf("grown shard width %d, want 4", len(grown))
+	}
+	if s := a.grab(ShardStatic, 0); s != nil {
+		t.Fatalf("static grab while all workers held = %v, want nil", s)
+	}
+	a.release(grown)
+	if s := a.grab(ShardStatic, 0); len(s) != 2 {
+		t.Fatalf("static grab after release has width %d, want 2", len(s))
+	}
+}
+
+// TestShardAllocDisjoint grabs under mixed policies and waiting counts and
+// checks no worker is ever in two live shards.
+func TestShardAllocDisjoint(t *testing.T) {
+	a := newShardAlloc(7, 3)
+	held := map[int][]int{}
+	owned := map[int]bool{}
+	polFor := func(i int) ShardPolicy {
+		if i%2 == 0 {
+			return ShardAdaptive
+		}
+		return ShardStatic
+	}
+	id := 0
+	for step := 0; step < 200; step++ {
+		if step%3 == 2 && len(held) > 0 {
+			for k, s := range held { // release an arbitrary live shard
+				for _, w := range s {
+					owned[w] = false
+				}
+				a.release(s)
+				delete(held, k)
+				break
+			}
+			continue
+		}
+		s := a.grab(polFor(step), step%4)
+		if s == nil {
+			continue
+		}
+		for _, w := range s {
+			if owned[w] {
+				t.Fatalf("step %d: worker %d handed out twice (live shards %v, new %v)", step, w, held, s)
+			}
+			owned[w] = true
+		}
+		held[id] = s
+		id++
+	}
+}
