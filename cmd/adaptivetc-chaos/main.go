@@ -1,0 +1,568 @@
+// Command adaptivetc-chaos runs seeded fault-injection soak campaigns
+// against the scheduling engines and the resident pool, and reports a
+// per-fault verdict table. Every case is identified by a replay tuple
+//
+//	<mode>/w<workers>/<engine>/<program>/<scenario>/<seed>
+//
+// printed whenever the case fails; `adaptivetc-chaos -replay <tuple>` runs
+// exactly that case again (twice, on Sim, verifying the two runs are
+// byte-identical), so any chaos failure is a one-line regression.
+//
+// Usage:
+//
+//	adaptivetc-chaos -duration 20s                      # full soak
+//	adaptivetc-chaos -mode sim -scenarios panic,stall   # targeted
+//	adaptivetc-chaos -replay sim/w4/adaptivetc/nqueens-array=6/steal-burst/7
+//
+// Verdicts per case: "completed" runs must produce the serial oracle's
+// value and an invariant-clean trace (trace.Recorder.Check); "aborted"
+// runs — injected panic, forced overflow, deadline — must surface a known
+// abort class and a truncation-clean trace (CheckTruncated); "rejected"
+// submissions must surface ErrQueueFull. Anything else (wrong value,
+// invariant violation, unexpected panic class, leaked goroutines) fails
+// the process with exit status 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"adaptivetc/internal/cilk"
+	"adaptivetc/internal/core"
+	"adaptivetc/internal/cutoff"
+	"adaptivetc/internal/faults"
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/slaw"
+	"adaptivetc/internal/trace"
+	"adaptivetc/internal/wsrt"
+	"adaptivetc/problems/registry"
+)
+
+// chaosEngine is the intersection the campaigns need: batch Run for Sim
+// cases and NewExec for resident-pool jobs.
+type chaosEngine interface {
+	Name() string
+	Run(sched.Program, sched.Options) (sched.Result, error)
+	NewExec(int, sched.Options) wsrt.Engine
+}
+
+var engineMakers = map[string]func() chaosEngine{
+	"adaptivetc":        func() chaosEngine { return core.New() },
+	"cilk":              func() chaosEngine { return cilk.New() },
+	"cilk-synched":      func() chaosEngine { return cilk.NewSynched() },
+	"cutoff-programmer": func() chaosEngine { return cutoff.NewProgrammer() },
+	"cutoff-library":    func() chaosEngine { return cutoff.NewLibrary() },
+	"helpfirst":         func() chaosEngine { return slaw.NewHelpFirst() },
+	"slaw":              func() chaosEngine { return slaw.New() },
+}
+
+func engineNames() []string {
+	return []string{"adaptivetc", "cilk", "cilk-synched", "cutoff-programmer",
+		"cutoff-library", "helpfirst", "slaw"}
+}
+
+// progSpec is one "name=N" program instance.
+type progSpec struct {
+	name string
+	n    int
+}
+
+func (p progSpec) String() string {
+	if p.n == 0 {
+		return p.name
+	}
+	return fmt.Sprintf("%s=%d", p.name, p.n)
+}
+
+func (p progSpec) build() (sched.Program, error) {
+	return registry.Build(p.name, registry.Params{N: p.n})
+}
+
+func parsePrograms(csv string) ([]progSpec, error) {
+	var out []progSpec
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ps := progSpec{name: part}
+		if name, nStr, ok := strings.Cut(part, "="); ok {
+			n, err := strconv.Atoi(nStr)
+			if err != nil {
+				return nil, fmt.Errorf("bad program %q: %v", part, err)
+			}
+			ps = progSpec{name: name, n: n}
+		}
+		if _, err := ps.build(); err != nil {
+			return nil, err
+		}
+		out = append(out, ps)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no programs")
+	}
+	return out, nil
+}
+
+// caseSpec identifies one chaos case; its tuple is the replay handle.
+type caseSpec struct {
+	mode     string // "sim" or "pool"
+	workers  int
+	engine   string
+	prog     progSpec
+	scenario string
+	seed     int64
+}
+
+func (c caseSpec) tuple() string {
+	return fmt.Sprintf("%s/w%d/%s/%s/%s/%d", c.mode, c.workers, c.engine, c.prog, c.scenario, c.seed)
+}
+
+func parseTuple(s string) (caseSpec, error) {
+	parts := strings.Split(strings.TrimSpace(s), "/")
+	if len(parts) != 6 {
+		return caseSpec{}, fmt.Errorf("replay tuple needs 6 '/'-separated fields, got %q", s)
+	}
+	var c caseSpec
+	c.mode = parts[0]
+	if c.mode != "sim" && c.mode != "pool" {
+		return c, fmt.Errorf("replay mode must be sim or pool, got %q", c.mode)
+	}
+	w, err := strconv.Atoi(strings.TrimPrefix(parts[1], "w"))
+	if err != nil || w <= 0 {
+		return c, fmt.Errorf("bad worker field %q", parts[1])
+	}
+	c.workers = w
+	c.engine = parts[2]
+	if _, ok := engineMakers[c.engine]; !ok {
+		return c, fmt.Errorf("unknown engine %q", c.engine)
+	}
+	progs, err := parsePrograms(parts[3])
+	if err != nil {
+		return c, err
+	}
+	c.prog = progs[0]
+	c.scenario = parts[4]
+	if _, err := faults.Scenario(c.scenario, 1); err != nil {
+		return c, err
+	}
+	c.seed, err = strconv.ParseInt(parts[5], 10, 64)
+	if err != nil {
+		return c, fmt.Errorf("bad seed %q", parts[5])
+	}
+	return c, nil
+}
+
+// verdict is one case's outcome. err non-nil means the case FAILED (wrong
+// value, invariant violation, unexpected panic, leak); class records how
+// the run ended for the per-fault table.
+type verdict struct {
+	c     caseSpec
+	class string // "completed", "aborted", "rejected"
+	err   error
+}
+
+// oracles caches the serial reference value per program instance.
+type oracles struct{ m map[string]int64 }
+
+func (o *oracles) value(p progSpec) (int64, error) {
+	if o.m == nil {
+		o.m = map[string]int64{}
+	}
+	if v, ok := o.m[p.String()]; ok {
+		return v, nil
+	}
+	prog, err := p.build()
+	if err != nil {
+		return 0, err
+	}
+	res, err := sched.Serial{}.Run(prog, sched.Options{})
+	if err != nil {
+		return 0, err
+	}
+	o.m[p.String()] = res.Value
+	return res.Value, nil
+}
+
+// knownAbort reports whether err is an abort class chaos is allowed to
+// surface: injected/organic overflow, injected/organic panic quarantine,
+// deadline or cancellation, pool shutdown.
+func knownAbort(err error) bool {
+	return errors.Is(err, sched.ErrDequeOverflow) ||
+		errors.Is(err, wsrt.ErrJobPanicked) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, wsrt.ErrPoolClosed)
+}
+
+// simOutcome captures everything observable about one Sim case, for the
+// byte-identical replay comparison.
+type simOutcome struct {
+	Value   int64
+	Err     string
+	Workers [][]trace.Event
+	Deques  [][]trace.DequeEvent
+}
+
+// runSim executes one case on the Sim platform with a fresh recorder and
+// returns its verdict plus the full observable outcome. A panic escaping
+// the batch runtime (the injected program-panic fault propagates on batch
+// runs by design) is recovered here and classified.
+func runSim(c caseSpec, orc *oracles) (verdict, *simOutcome) {
+	v := verdict{c: c}
+	prog, err := c.prog.build()
+	if err != nil {
+		v.err = err
+		return v, nil
+	}
+	want, err := orc.value(c.prog)
+	if err != nil {
+		v.err = fmt.Errorf("serial oracle: %w", err)
+		return v, nil
+	}
+	spec, err := faults.Scenario(c.scenario, c.seed)
+	if err != nil {
+		v.err = err
+		return v, nil
+	}
+	rec := trace.NewRecorder()
+	defer rec.Release()
+	opt := sched.Options{
+		Workers: c.workers,
+		Seed:    c.seed,
+		Tracer:  rec,
+		Faults:  faults.New(spec),
+	}
+	res, runErr := func() (res sched.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(faults.PanicValue); ok {
+					err = fmt.Errorf("%w: %v", wsrt.ErrJobPanicked, r)
+					return
+				}
+				err = fmt.Errorf("unexpected panic class: %v", r)
+			}
+		}()
+		return engineMakers[c.engine]().Run(prog, opt)
+	}()
+
+	out := &simOutcome{Value: res.Value}
+	if runErr != nil {
+		out.Err = runErr.Error()
+	}
+	for i := 0; i < rec.Workers(); i++ {
+		out.Workers = append(out.Workers, append([]trace.Event(nil), rec.WorkerLog(i).Events()...))
+		out.Deques = append(out.Deques, append([]trace.DequeEvent(nil), rec.DequeLog(i).Events()...))
+	}
+
+	switch {
+	case runErr == nil:
+		v.class = "completed"
+		if res.Value != want {
+			v.err = fmt.Errorf("wrong value: got %d, serial oracle %d", res.Value, want)
+		} else if cerr := rec.Check(res.Value, want); cerr != nil {
+			v.err = fmt.Errorf("invariant violation: %w", cerr)
+		}
+	case knownAbort(runErr):
+		v.class = "aborted"
+		if cerr := rec.CheckTruncated(); cerr != nil {
+			v.err = fmt.Errorf("invariant violation in aborted run (%v): %w", runErr, cerr)
+		}
+	default:
+		v.class = "aborted"
+		v.err = fmt.Errorf("unknown abort class: %w", runErr)
+	}
+	return v, out
+}
+
+// runPoolCampaign drives one scenario against a sharded resident pool:
+// the scenario's plan injects at both levels (admission/shard starvation on
+// the pool, worker/deque faults per job). Every job gets its own recorder
+// and a safety deadline so a wedge surfaces as an abort, not a hang.
+func runPoolCampaign(scenario string, seed int64, engines []string, programs []progSpec,
+	workers, jobs int, orc *oracles) []verdict {
+	spec, err := faults.Scenario(scenario, seed)
+	if err != nil {
+		return []verdict{{c: caseSpec{mode: "pool", scenario: scenario, seed: seed}, err: err}}
+	}
+	plan := faults.New(spec)
+	maxJobs := 2
+	if workers < 2 {
+		maxJobs = 1
+	}
+	pool := wsrt.NewPool(wsrt.PoolConfig{
+		Workers:           workers,
+		MaxConcurrentJobs: maxJobs,
+		ShardPolicy:       wsrt.ShardAdaptive,
+		Options:           sched.Options{Seed: seed},
+		Faults:            plan,
+	})
+
+	type inflight struct {
+		c   caseSpec
+		h   *wsrt.JobHandle
+		rec *trace.Recorder
+	}
+	var verdicts []verdict
+	var running []inflight
+	for i := 0; i < jobs; i++ {
+		c := caseSpec{
+			mode:     "pool",
+			workers:  workers,
+			engine:   engines[i%len(engines)],
+			prog:     programs[i%len(programs)],
+			scenario: scenario,
+			seed:     seed + int64(i),
+		}
+		prog, err := c.prog.build()
+		if err != nil {
+			verdicts = append(verdicts, verdict{c: c, err: err})
+			continue
+		}
+		rec := trace.NewRecorder()
+		h, err := pool.Submit(wsrt.JobSpec{
+			Prog:   prog,
+			Engine: engineMakers[c.engine](),
+			Tracer: rec,
+			Faults: faults.New(faults.Spec{Seed: c.seed, StealFail: spec.StealFail,
+				StealFailBurst: spec.StealFailBurst, Stall: spec.Stall, StallNS: spec.StallNS,
+				DepositDelay: spec.DepositDelay, DepositDelayNS: spec.DepositDelayNS,
+				Panic: spec.Panic, Overflow: spec.Overflow}),
+			Deadline: 10 * time.Second,
+		})
+		if err != nil {
+			rec.Release()
+			v := verdict{c: c, class: "rejected"}
+			if !errors.Is(err, wsrt.ErrQueueFull) && !errors.Is(err, wsrt.ErrPoolClosed) {
+				v.err = fmt.Errorf("unknown rejection class: %w", err)
+			}
+			verdicts = append(verdicts, v)
+			continue
+		}
+		running = append(running, inflight{c: c, h: h, rec: rec})
+	}
+	for _, f := range running {
+		res, runErr := f.h.Result()
+		v := verdict{c: f.c}
+		want, oerr := orc.value(f.c.prog)
+		switch {
+		case oerr != nil:
+			v.err = fmt.Errorf("serial oracle: %w", oerr)
+		case runErr == nil:
+			v.class = "completed"
+			if res.Value != want {
+				v.err = fmt.Errorf("wrong value: got %d, serial oracle %d", res.Value, want)
+			} else if cerr := f.rec.Check(res.Value, want); cerr != nil {
+				v.err = fmt.Errorf("invariant violation: %w", cerr)
+			}
+		case knownAbort(runErr):
+			v.class = "aborted"
+			if cerr := f.rec.CheckTruncated(); cerr != nil {
+				v.err = fmt.Errorf("invariant violation in aborted job (%v): %w", runErr, cerr)
+			}
+		default:
+			v.class = "aborted"
+			v.err = fmt.Errorf("unknown abort class: %w", runErr)
+		}
+		f.rec.Release()
+		verdicts = append(verdicts, v)
+	}
+	pool.Close()
+	return verdicts
+}
+
+// replay runs one Sim case twice and verifies the runs are byte-identical:
+// same value, same error, same per-worker event streams, same per-deque
+// FSM transitions. Pool tuples replay as a single-job campaign (outcomes
+// on the Real platform are seed-reproducible per stream but interleavings
+// are not byte-comparable, so only the verdict is checked).
+func replay(c caseSpec, orc *oracles) int {
+	if c.mode == "pool" {
+		vs := runPoolCampaign(c.scenario, c.seed, []string{c.engine}, []progSpec{c.prog}, c.workers, 1, orc)
+		bad := 0
+		for _, v := range vs {
+			fmt.Printf("%s: %s\n", v.c.tuple(), verdictString(v))
+			if v.err != nil {
+				bad++
+			}
+		}
+		if bad > 0 {
+			return 1
+		}
+		return 0
+	}
+	v1, o1 := runSim(c, orc)
+	v2, o2 := runSim(c, orc)
+	fmt.Printf("%s: %s\n", c.tuple(), verdictString(v1))
+	if !reflect.DeepEqual(o1, o2) {
+		fmt.Printf("REPLAY DIVERGED: two runs of %s produced different schedules\n", c.tuple())
+		return 1
+	}
+	fmt.Printf("replayed byte-identically: value=%d err=%q events=%d\n",
+		o1.Value, o1.Err, countEvents(o1))
+	if v1.err != nil || v2.err != nil {
+		return 1
+	}
+	return 0
+}
+
+func countEvents(o *simOutcome) int {
+	n := 0
+	for _, evs := range o.Workers {
+		n += len(evs)
+	}
+	return n
+}
+
+func verdictString(v verdict) string {
+	if v.err != nil {
+		return fmt.Sprintf("FAIL (%s): %v", v.class, v.err)
+	}
+	return v.class
+}
+
+func main() {
+	seed := flag.Int64("seed", 20100424, "master seed; every case seed derives from it")
+	duration := flag.Duration("duration", 20*time.Second, "soak budget")
+	mode := flag.String("mode", "all", "campaign mode: sim, pool, or all")
+	workers := flag.Int("workers", 4, "workers per case (pool size in pool mode)")
+	jobs := flag.Int("jobs", 16, "jobs per pool campaign")
+	enginesCSV := flag.String("engines", strings.Join(engineNames(), ","), "engines to soak")
+	programsCSV := flag.String("programs", "nqueens-array=6,fib=14,knight=4", "programs (name or name=N)")
+	scenariosCSV := flag.String("scenarios", strings.Join(faults.Scenarios(), ","), "fault scenarios")
+	replayTuple := flag.String("replay", "", "replay one case tuple and exit")
+	verbose := flag.Bool("v", false, "print every case verdict")
+	flag.Parse()
+
+	orc := &oracles{}
+	if *replayTuple != "" {
+		c, err := parseTuple(*replayTuple)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adaptivetc-chaos: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(replay(c, orc))
+	}
+
+	programs, err := parsePrograms(*programsCSV)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adaptivetc-chaos: %v\n", err)
+		os.Exit(2)
+	}
+	var engines []string
+	for _, e := range strings.Split(*enginesCSV, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if _, ok := engineMakers[e]; !ok {
+			fmt.Fprintf(os.Stderr, "adaptivetc-chaos: unknown engine %q\n", e)
+			os.Exit(2)
+		}
+		engines = append(engines, e)
+	}
+	var scenarios []string
+	for _, s := range strings.Split(*scenariosCSV, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if _, err := faults.Scenario(s, 1); err != nil {
+			fmt.Fprintf(os.Stderr, "adaptivetc-chaos: %v\n", err)
+			os.Exit(2)
+		}
+		scenarios = append(scenarios, s)
+	}
+
+	baseGoroutines := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(*seed))
+	deadline := time.Now().Add(*duration)
+
+	// tally[scenario][class] plus failures collected globally.
+	tally := map[string]map[string]int{}
+	var failures []verdict
+	record := func(v verdict) {
+		if tally[v.c.scenario] == nil {
+			tally[v.c.scenario] = map[string]int{}
+		}
+		key := v.class
+		if v.err != nil {
+			key = "FAILED"
+			failures = append(failures, v)
+			fmt.Printf("FAIL %s: %v\n", v.c.tuple(), v.err)
+			fmt.Printf("  replay with: adaptivetc-chaos -replay %s\n", v.c.tuple())
+		} else if *verbose {
+			fmt.Printf("ok   %s: %s\n", v.c.tuple(), v.class)
+		}
+		tally[v.c.scenario][key]++
+	}
+
+	cases := 0
+	for round := 0; time.Now().Before(deadline); round++ {
+		for _, scen := range scenarios {
+			if !time.Now().Before(deadline) {
+				break
+			}
+			if *mode == "sim" || *mode == "all" {
+				c := caseSpec{
+					mode:     "sim",
+					workers:  *workers,
+					engine:   engines[rng.Intn(len(engines))],
+					prog:     programs[rng.Intn(len(programs))],
+					scenario: scen,
+					seed:     rng.Int63n(1 << 30),
+				}
+				v, _ := runSim(c, orc)
+				record(v)
+				cases++
+			}
+			if *mode == "pool" || *mode == "all" {
+				campaignSeed := rng.Int63n(1 << 30)
+				for _, v := range runPoolCampaign(scen, campaignSeed, engines, programs, *workers, *jobs, orc) {
+					record(v)
+					cases++
+				}
+			}
+		}
+	}
+
+	// Leak check: every pool campaign closed its pool; give exiting
+	// goroutines a moment before declaring a leak.
+	leaked := 0
+	for i := 0; i < 50; i++ {
+		leaked = runtime.NumGoroutine() - baseGoroutines
+		if leaked <= 2 {
+			leaked = 0
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	fmt.Printf("\nchaos soak: %d cases, seed %d\n", cases, *seed)
+	for _, scen := range scenarios {
+		parts := []string{}
+		for _, class := range []string{"completed", "aborted", "rejected", "FAILED"} {
+			if n := tally[scen][class]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", class, n))
+			}
+		}
+		fmt.Printf("  %-14s %s\n", scen, strings.Join(parts, " "))
+	}
+	if leaked > 0 {
+		fmt.Printf("FAIL: %d goroutines leaked past pool shutdown\n", leaked)
+	}
+	if len(failures) > 0 || leaked > 0 {
+		fmt.Printf("chaos soak FAILED: %d failing cases, %d leaked goroutines\n", len(failures), leaked)
+		os.Exit(1)
+	}
+	fmt.Println("chaos soak clean: every verdict completed, aborted or rejected within contract")
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"adaptivetc"
+	"adaptivetc/internal/faults"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/trace"
 	"adaptivetc/internal/wsrt"
@@ -14,17 +15,23 @@ import (
 )
 
 // FuzzPoolConcurrent feeds a fuzzer-chosen schedule of operations —
-// submit, cancel, shard-policy flip — to a sharded pool, then closes it
-// and audits the wreckage: every completed job must report the right
-// answer with a trace satisfying all scheduler invariants, every
-// cancelled or drained job must leave a consistent truncated trace, and
-// no two jobs may ever hold the same worker at the same time. The seed
-// corpus doubles as a regression suite in plain `go test` runs.
+// submit, cancel, shard-policy flip, submit-with-injected-faults — to a
+// sharded pool, then closes it and audits the wreckage: every completed
+// job must report the right answer with a trace satisfying all scheduler
+// invariants, every cancelled, drained or fault-killed job must surface a
+// known abort class and leave a consistent truncated trace, the pool's
+// quarantine counter must agree with the observed panic deaths, and no
+// two jobs may ever hold the same worker at the same time. A high second
+// byte additionally arms pool-level admission/shard-allocator faults. The
+// seed corpus doubles as a regression suite in plain `go test` runs.
 func FuzzPoolConcurrent(f *testing.F) {
 	f.Add([]byte{2, 1, 0, 5, 10})
 	f.Add([]byte{0, 2, 0, 0, 3, 2, 0, 7, 1, 0})
 	f.Add([]byte{1, 1, 0, 2, 0, 4, 4, 3, 0, 2, 0, 9})
 	f.Add([]byte{2, 2, 0, 0, 0, 0, 3, 3, 2, 2, 0, 0, 13, 8})
+	f.Add([]byte{2, 2, 4, 0, 4, 0, 4, 0, 4, 0})       // panic-quarantine then heal
+	f.Add([]byte{2, 2, 5, 1, 5, 1, 5, 1, 5, 1})       // forced-overflow aborts
+	f.Add([]byte{3, 0x82, 0, 4, 5, 2, 3, 0, 4, 5, 2}) // pool-level faults armed
 
 	fibProg, queensProg := fib.New(10), nqueens.NewArray(5)
 	const fibWant, queensWant = 55, 10
@@ -33,12 +40,25 @@ func FuzzPoolConcurrent(f *testing.F) {
 		if len(ops) < 3 {
 			t.Skip()
 		}
-		workers := 2 + int(ops[0]%3)  // 2..4 resident workers
-		maxJobs := 1 + int(ops[1]%3)  // 1..3 shards
+		workers := 2 + int(ops[0]%3) // 2..4 resident workers
+		maxJobs := 1 + int(ops[1]%3) // 1..3 shards
+		// A high second byte arms mild pool-level faults: transient
+		// admission saturation and shard-allocator starvation. Both are
+		// liveness hazards, not correctness ones — submits may see
+		// ErrQueueFull, placement may be delayed, nothing else changes.
+		var poolPlan *faults.Plan
+		if ops[1] >= 128 {
+			poolPlan = faults.New(faults.Spec{
+				Seed:   int64(ops[0]) + 1,
+				Reject: 0.05,
+				Starve: 0.2, StarveBurst: 2,
+			})
+		}
 		pool := wsrt.NewPool(wsrt.PoolConfig{
 			Workers: workers, MaxConcurrentJobs: maxJobs,
 			ShardPolicy: wsrt.ShardStatic, QueueCapacity: 8,
 			Options: sched.Options{GrowableDeque: true},
+			Faults:  poolPlan,
 		})
 		closed := false
 		defer func() {
@@ -48,10 +68,11 @@ func FuzzPoolConcurrent(f *testing.F) {
 		}()
 
 		type jobRec struct {
-			h      *wsrt.JobHandle
-			rec    *trace.Recorder
-			want   int64
-			cancel context.CancelFunc
+			h        *wsrt.JobHandle
+			rec      *trace.Recorder
+			want     int64
+			cancel   context.CancelFunc
+			panicked bool // submitted with a certain-panic fault plan
 		}
 		var jobs []*jobRec
 		engines := []func() adaptivetc.Engine{
@@ -60,8 +81,8 @@ func FuzzPoolConcurrent(f *testing.F) {
 		}
 
 		for i, op := range ops[2:] {
-			switch op % 4 {
-			case 0, 1: // submit, engine and program varied by position
+			switch op % 6 {
+			case 0, 1, 4, 5: // submit; 4 and 5 carry a fault plan
 				if len(jobs) >= 24 {
 					continue
 				}
@@ -69,10 +90,26 @@ func FuzzPoolConcurrent(f *testing.F) {
 				if (int(op)+i)%2 == 1 {
 					prog, want = queensProg, queensWant
 				}
-				eng := engines[(int(op)/4+i)%len(engines)]().(wsrt.PoolEngine)
+				eng := engines[(int(op)/6+i)%len(engines)]().(wsrt.PoolEngine)
+				// Fault schedules are drawn from the fuzz input too: a
+				// deterministic per-position seed, a certain worker panic
+				// (op%6==4) or a forced deque overflow plus steal noise
+				// (op%6==5).
+				var plan *faults.Plan
+				panicked := false
+				switch op % 6 {
+				case 4:
+					plan = faults.New(faults.Spec{Seed: int64(i)*131 + int64(op) + 1, Panic: 1})
+					panicked = true
+				case 5:
+					plan = faults.New(faults.Spec{
+						Seed:     int64(i)*131 + int64(op) + 1,
+						Overflow: 0.2, StealFail: 0.3, StealFailBurst: 4,
+					})
+				}
 				rec := trace.NewRecorder()
 				ctx, cancel := context.WithCancel(context.Background())
-				h, err := pool.Submit(wsrt.JobSpec{Prog: prog, Engine: eng, Ctx: ctx, Tracer: rec})
+				h, err := pool.Submit(wsrt.JobSpec{Prog: prog, Engine: eng, Ctx: ctx, Tracer: rec, Faults: plan})
 				if err != nil {
 					rec.Release()
 					cancel()
@@ -81,7 +118,7 @@ func FuzzPoolConcurrent(f *testing.F) {
 					}
 					continue
 				}
-				jobs = append(jobs, &jobRec{h: h, rec: rec, want: want, cancel: cancel})
+				jobs = append(jobs, &jobRec{h: h, rec: rec, want: want, cancel: cancel, panicked: panicked})
 			case 2: // cancel an earlier job (idempotent if already done)
 				if len(jobs) > 0 {
 					jobs[int(op)%len(jobs)].cancel()
@@ -101,20 +138,35 @@ func FuzzPoolConcurrent(f *testing.F) {
 			t.Fatalf("submit after close: err = %v, want ErrPoolClosed", err)
 		}
 
+		var sawPanicked int64
 		for i, j := range jobs {
 			res, err := j.h.Result()
 			if err == nil {
+				if j.panicked {
+					t.Errorf("job %d: certain-panic fault plan but the job completed", i)
+				}
 				if res.Value != j.want {
 					t.Errorf("job %d: value %d, want %d", i, res.Value, j.want)
 				}
 				if cerr := j.rec.Check(res.Value, j.want); cerr != nil {
 					t.Errorf("job %d invariants: %v", i, cerr)
 				}
-			} else if cerr := j.rec.CheckTruncated(); cerr != nil {
-				t.Errorf("job %d (failed with %v) truncated-trace invariants: %v", i, err, cerr)
+			} else {
+				if !chaosAbortOK(err) {
+					t.Errorf("job %d: unknown abort class: %v", i, err)
+				}
+				if errors.Is(err, wsrt.ErrJobPanicked) {
+					sawPanicked++
+				}
+				if cerr := j.rec.CheckTruncated(); cerr != nil {
+					t.Errorf("job %d (failed with %v) truncated-trace invariants: %v", i, err, cerr)
+				}
 			}
 			j.rec.Release()
 			j.cancel()
+		}
+		if got := pool.Quarantined(); got != sawPanicked {
+			t.Errorf("pool.Quarantined() = %d, but %d jobs died of ErrJobPanicked", got, sawPanicked)
 		}
 
 		// Shard-exclusivity: two jobs that ran on intersecting worker sets

@@ -50,6 +50,9 @@ type WorkDeque interface {
 	// SetTrace installs fn as the thief-side transition observer (nil
 	// disables tracing; the default).
 	SetTrace(fn TraceFn)
+	// SetFailSteal installs fn as the fault-injection gate of the steal
+	// path (nil disables; the default). See Deque.SetFailSteal.
+	SetFailSteal(fn func() bool)
 	// Reset empties the deque and clears the starvation signal and the
 	// high-water mark, readying it for the next job of a resident pool.
 	// The caller must guarantee quiescence: no concurrent owner or thief.
@@ -136,6 +139,12 @@ type Deque struct {
 	// trace, when non-nil, observes thief-side FSM transitions under the
 	// owner lock. The owner's Push/Pop fast path never consults it.
 	trace TraceFn
+
+	// failSteal, when non-nil, is consulted at the top of every steal
+	// attempt under the owner lock; returning true forces the attempt to
+	// fail through the normal stolen_num/need_task path. The owner's
+	// Push/Pop fast path never consults it.
+	failSteal func() bool
 }
 
 type entryBox struct{ e Entry }
@@ -188,6 +197,17 @@ func (d *Deque) StolenNum() int64 { return d.stolenNum.Load() }
 // disables). Install before workers start; the steal path reads it without
 // synchronisation beyond the owner lock.
 func (d *Deque) SetTrace(fn TraceFn) { d.trace = fn }
+
+// SetFailSteal installs fn as the fault-injection gate of the steal path
+// (nil disables; the default). When fn returns true the attempt fails
+// before any claim is published, going through the same
+// stolen_num/need_task bookkeeping as an organic failure — the injected
+// contention is indistinguishable from losing a real race, which is what
+// keeps the starvation-signalling FSM and its trace invariants honest
+// under chaos. fn runs under the owner lock, so its state needs no other
+// synchronisation. Install before workers start (or between jobs of a
+// resident pool).
+func (d *Deque) SetFailSteal(fn func() bool) { d.failSteal = fn }
 
 // Push appends e at the tail. Only the owner may call it. It reports false
 // on overflow (the deque is a fixed-size array, as in Cilk; the paper calls
@@ -301,6 +321,11 @@ func (d *Deque) PopSpecial() (stolen bool) {
 // the thief has already claimed.
 func (d *Deque) Steal() (Entry, bool) {
 	d.mu.Lock()
+	if d.failSteal != nil && d.failSteal() {
+		d.failLocked()
+		d.mu.Unlock()
+		return nil, false
+	}
 	h := d.h.Load()
 	// Claim the head slot: H++, MEMBAR, then check against T.
 	d.h.Store(h + 1)

@@ -421,3 +421,78 @@ func TestQuickOwnerSequence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A forced steal failure must be indistinguishable from losing a real
+// race: no entry leaves, stolen_num/need_task advance, the trace records
+// a steal-fail, and clearing the hook restores normal stealing.
+func TestSetFailStealForcesFailure(t *testing.T) {
+	d := New(16, 3)
+	var forced int
+	remaining := 4
+	d.SetFailSteal(func() bool {
+		if remaining > 0 {
+			remaining--
+			forced++
+			return true
+		}
+		return false
+	})
+	var ops []TraceOp
+	d.SetTrace(func(op TraceOp, stolenNum int64, needTask bool) {
+		ops = append(ops, op)
+	})
+	for i := 0; i < 6; i++ {
+		d.Push(item(i))
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := d.Steal(); ok {
+			t.Fatalf("forced attempt %d stole an entry", i)
+		}
+	}
+	if forced != 4 {
+		t.Fatalf("hook consulted %d times, want 4", forced)
+	}
+	if d.Size() != 6 {
+		t.Fatalf("entries leaked through forced failures: size %d", d.Size())
+	}
+	if d.StolenNum() != 4 || !d.NeedTask() {
+		t.Fatalf("starvation signal wrong after forced failures: num=%d need=%v",
+			d.StolenNum(), d.NeedTask())
+	}
+	// Hook exhausted: the next steal succeeds and clears the signal.
+	e, ok := d.Steal()
+	if !ok || e.(*entry).id != 0 {
+		t.Fatalf("steal after forced burst: ok=%v e=%v", ok, e)
+	}
+	if d.StolenNum() != 0 || d.NeedTask() {
+		t.Fatal("successful steal did not clear the starvation signal")
+	}
+	want := []TraceOp{TraceStealFail, TraceStealFail, TraceStealFail, TraceStealFail, TraceStealOK}
+	if len(ops) != len(want) {
+		t.Fatalf("trace ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("trace ops = %v, want %v", ops, want)
+		}
+	}
+	// nil uninstalls.
+	d.SetFailSteal(nil)
+	if _, ok := d.Steal(); !ok {
+		t.Fatal("steal failed after uninstalling the hook")
+	}
+}
+
+// The Growable wrapper must delegate the gate to its inner deque.
+func TestGrowableSetFailSteal(t *testing.T) {
+	g := NewGrowable(8, 20)
+	g.Push(item(1))
+	g.SetFailSteal(func() bool { return true })
+	if _, ok := g.Steal(); ok {
+		t.Fatal("forced failure did not reach the growable's inner deque")
+	}
+	g.SetFailSteal(nil)
+	if _, ok := g.Steal(); !ok {
+		t.Fatal("steal failed after uninstalling the hook")
+	}
+}

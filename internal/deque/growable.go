@@ -44,6 +44,9 @@ func (g *Growable) StolenNum() int64 { return g.d.StolenNum() }
 // SetTrace installs the thief-side transition observer.
 func (g *Growable) SetTrace(fn TraceFn) { g.d.SetTrace(fn) }
 
+// SetFailSteal installs the fault-injection gate of the steal path.
+func (g *Growable) SetFailSteal(fn func() bool) { g.d.SetFailSteal(fn) }
+
 // Push appends e, doubling the buffer when full. It never reports
 // overflow.
 func (g *Growable) Push(e Entry) bool {

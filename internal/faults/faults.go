@@ -1,0 +1,385 @@
+// Package faults is the deterministic fault-injection plane of the
+// work-stealing runtime: a seed-replayable source of adversarial scheduling
+// decisions — forced steal failures, worker stalls, delayed deposits,
+// injected deque overflows, injected program panics, admission rejections
+// and shard-allocator starvation — threaded through the deque, the wsrt
+// runtime, the pool dispatcher and the serve layer.
+//
+// The plane follows the trace layer's contract: it is free when it is off.
+// Every injection site in the hot path is a single nil check (the runtime's
+// Worker holds a nil *Injector unless a Plan was attached to the run or
+// job), so the zero-allocation deque/frame paths are untouched when no
+// faults are configured.
+//
+// Determinism is the whole point: a Plan is an immutable Spec plus a seed,
+// and every consumer derives its own private decision stream from
+// (seed, role, slot) with a splitmix64 generator. Under the vtime Sim
+// platform the entire run — scheduling, costs, and now faults — is a pure
+// function of the seeds, so any chaos failure replays byte-identically from
+// its printed tuple. Under the Real platform the per-stream decisions are
+// still seed-reproducible even though goroutine interleaving is not, which
+// keeps soak campaigns statistically repeatable.
+//
+// Streams never share state: worker i's node-level faults, deque i's
+// steal-failure hook (called under the deque's owner lock), the pool's
+// admission stream (called under the pool's submit lock) and the
+// dispatcher's shard-starvation stream are all independent generators, so
+// concurrent jobs on a sharded pool need no synchronisation to draw faults.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Spec configures a fault plan. All rates are probabilities in [0, 1] per
+// decision point; zero disables that fault. The zero Spec injects nothing.
+type Spec struct {
+	// Seed fixes every decision stream. Zero means 1.
+	Seed int64
+
+	// StealFail is the per-steal-attempt probability that the attempt is
+	// forced to fail at the deque (a contention burst: the thief loses the
+	// race without touching the entries). The failure is real as far as the
+	// starvation machinery is concerned — stolen_num increments and
+	// need_task may be raised — so the paper's signalling FSM runs under
+	// adversarial steal timing.
+	StealFail float64
+	// StealFailBurst is the number of consecutive forced failures once
+	// StealFail fires (default 1). Bursts model a thief pack hammering one
+	// victim.
+	StealFailBurst int
+
+	// Stall is the per-node probability that a worker stalls at BeginNode
+	// for StallNS nanoseconds (virtual under Sim, wall-clock under Real).
+	Stall float64
+	// StallNS is the stall duration. Default 20µs.
+	StallNS int64
+
+	// DepositDelay is the per-deposit probability that a worker sleeps
+	// DepositDelayNS before delivering a value to a parent frame —
+	// perturbing exactly the join/deposit races that low-synchronisation
+	// runtimes are most sensitive to.
+	DepositDelay float64
+	// DepositDelayNS is the deposit delay duration. Default 5µs.
+	DepositDelayNS int64
+
+	// Panic is the per-node probability that a worker panics at BeginNode,
+	// simulating a buggy program mid-job. The panic is not a sched.Abort:
+	// it exercises the runtime's quarantine path, not cancellation.
+	Panic float64
+
+	// Overflow is the per-push probability that the push is failed as if
+	// the deque were full, aborting the job with sched.ErrDequeOverflow
+	// regardless of the deque's real capacity or growability.
+	Overflow float64
+
+	// Reject is the per-submission probability that the pool's admission
+	// queue reports saturation (ErrQueueFull) even though capacity remains.
+	Reject float64
+
+	// Starve is the per-allocation probability that the shard allocator
+	// reports no shard can be formed, delaying admitted jobs.
+	Starve float64
+	// StarveBurst is the number of consecutive starved allocations once
+	// Starve fires (default 1).
+	StarveBurst int
+}
+
+// enabled reports whether any fault has a non-zero rate.
+func (s Spec) enabled() bool {
+	return s.StealFail > 0 || s.Stall > 0 || s.DepositDelay > 0 ||
+		s.Panic > 0 || s.Overflow > 0 || s.Reject > 0 || s.Starve > 0
+}
+
+// Plan is an immutable, sharable fault configuration. One Plan may serve
+// any number of runs and concurrent jobs; every consumer derives a private
+// decision stream from it. Create with New; a nil *Plan means "no faults"
+// everywhere it is accepted.
+type Plan struct {
+	spec Spec
+}
+
+// New returns a plan for spec, applying defaults for zero-valued durations
+// and burst lengths.
+func New(spec Spec) *Plan {
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.StealFailBurst <= 0 {
+		spec.StealFailBurst = 1
+	}
+	if spec.StarveBurst <= 0 {
+		spec.StarveBurst = 1
+	}
+	if spec.StallNS <= 0 {
+		spec.StallNS = 20_000
+	}
+	if spec.DepositDelayNS <= 0 {
+		spec.DepositDelayNS = 5_000
+	}
+	return &Plan{spec: spec}
+}
+
+// Spec returns the plan's (defaulted) configuration.
+func (p *Plan) Spec() Spec { return p.spec }
+
+// Enabled reports whether the plan injects anything at all.
+func (p *Plan) Enabled() bool { return p != nil && p.spec.enabled() }
+
+// Stream roles: each (role, slot) pair seeds an independent generator, so
+// worker-side and deque-side streams of the same slot never correlate.
+const (
+	roleWorker = 0x9E37_79B9 + iota
+	roleDeque
+	roleAdmission
+	roleShard
+)
+
+// stream derives the splitmix64 state for one (role, slot) stream.
+func (p *Plan) stream(role, slot int) uint64 {
+	z := uint64(p.spec.Seed) ^ (uint64(role) << 32) ^ (uint64(slot+1) * 0x9E3779B97F4A7C15)
+	// One scramble round so adjacent seeds/slots do not start correlated.
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Worker returns the fault stream for worker slot i of one run or job:
+// node stalls, injected panics, deposit delays and forced overflows. The
+// injector is owned by exactly one worker goroutine. Returns nil when none
+// of the worker-side faults are configured, so the runtime's nil check
+// keeps the hot path free.
+func (p *Plan) Worker(i int) *Injector {
+	if p == nil {
+		return nil
+	}
+	s := p.spec
+	if s.Stall <= 0 && s.Panic <= 0 && s.DepositDelay <= 0 && s.Overflow <= 0 {
+		return nil
+	}
+	return p.injector(roleWorker, i)
+}
+
+// DequeHook returns the forced-steal-failure decision function to install
+// on deque i with SetFailSteal, or nil when StealFail is zero. The hook's
+// state is private to the deque and only ever touched under the deque's
+// owner lock (the steal path), so concurrent thieves serialise on it
+// exactly as they serialise on the deque itself.
+func (p *Plan) DequeHook(i int) func() bool {
+	if p == nil || p.spec.StealFail <= 0 {
+		return nil
+	}
+	in := p.injector(roleDeque, i)
+	return in.FailSteal
+}
+
+// Admission returns the pool-level admission-rejection stream (used under
+// the pool's submit lock), or nil when Reject is zero.
+func (p *Plan) Admission() *Injector {
+	if p == nil || p.spec.Reject <= 0 {
+		return nil
+	}
+	return p.injector(roleAdmission, 0)
+}
+
+// ShardAlloc returns the dispatcher's shard-starvation stream (used only
+// by the pool's dispatcher goroutine), or nil when Starve is zero.
+func (p *Plan) ShardAlloc() *Injector {
+	if p == nil || p.spec.Starve <= 0 {
+		return nil
+	}
+	return p.injector(roleShard, 0)
+}
+
+func (p *Plan) injector(role, slot int) *Injector {
+	s := p.spec
+	return &Injector{
+		state:        p.stream(role, slot),
+		stealFail:    threshold(s.StealFail),
+		stealBurst:   s.StealFailBurst,
+		stall:        threshold(s.Stall),
+		stallNS:      s.StallNS,
+		depositDelay: threshold(s.DepositDelay),
+		depositNS:    s.DepositDelayNS,
+		panicTh:      threshold(s.Panic),
+		overflow:     threshold(s.Overflow),
+		reject:       threshold(s.Reject),
+		starve:       threshold(s.Starve),
+		starveBurst:  s.StarveBurst,
+	}
+}
+
+// threshold converts a probability to a uint64 comparison bound.
+func threshold(rate float64) uint64 {
+	switch {
+	case rate <= 0:
+		return 0
+	case rate >= 1:
+		return ^uint64(0)
+	default:
+		return uint64(rate * float64(1<<63) * 2)
+	}
+}
+
+// Injector is one private fault decision stream. Each method is one
+// splitmix64 step plus a compare — no allocation, no locking — and must
+// only be called by the stream's owner (a worker goroutine, a deque under
+// its owner lock, the pool's submit path, or the dispatcher).
+type Injector struct {
+	state uint64
+
+	stealFail  uint64
+	stealBurst int
+	burstLeft  int
+
+	stall   uint64
+	stallNS int64
+
+	depositDelay uint64
+	depositNS    int64
+
+	panicTh  uint64
+	overflow uint64
+	reject   uint64
+
+	starve      uint64
+	starveBurst int
+	starveLeft  int
+}
+
+// next is splitmix64: deterministic, full-period, cheap.
+func (in *Injector) next() uint64 {
+	in.state += 0x9E3779B97F4A7C15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (in *Injector) hit(th uint64) bool {
+	if th == 0 {
+		return false
+	}
+	return in.next() < th
+}
+
+// FailSteal decides whether the current steal attempt is forced to fail.
+// Once the rate fires, the next StealFailBurst-1 attempts fail too.
+func (in *Injector) FailSteal() bool {
+	if in.burstLeft > 0 {
+		in.burstLeft--
+		return true
+	}
+	if in.hit(in.stealFail) {
+		in.burstLeft = in.stealBurst - 1
+		return true
+	}
+	return false
+}
+
+// StallNS returns the nanoseconds the worker should stall at this node
+// (0: no stall).
+func (in *Injector) StallNS() int64 {
+	if in.hit(in.stall) {
+		return in.stallNS
+	}
+	return 0
+}
+
+// DepositDelayNS returns the nanoseconds to sleep before the current
+// deposit (0: no delay).
+func (in *Injector) DepositDelayNS() int64 {
+	if in.hit(in.depositDelay) {
+		return in.depositNS
+	}
+	return 0
+}
+
+// PanicNow decides whether the worker panics at this node.
+func (in *Injector) PanicNow() bool { return in.hit(in.panicTh) }
+
+// ForceOverflow decides whether the current push is failed as a deque
+// overflow.
+func (in *Injector) ForceOverflow() bool { return in.hit(in.overflow) }
+
+// RejectAdmission decides whether the current submission is rejected as if
+// the admission queue were full.
+func (in *Injector) RejectAdmission() bool { return in.hit(in.reject) }
+
+// StarveShard decides whether the current shard allocation is refused.
+// Once the rate fires, the next StarveBurst-1 allocations are refused too.
+func (in *Injector) StarveShard() bool {
+	if in.starveLeft > 0 {
+		in.starveLeft--
+		return true
+	}
+	if in.hit(in.starve) {
+		in.starveLeft = in.starveBurst - 1
+		return true
+	}
+	return false
+}
+
+// PanicValue is the value an injected program panic throws, so tests and
+// the chaos harness can tell an injected panic from a real program bug.
+type PanicValue struct {
+	// Worker is the shard-local id of the worker that panicked.
+	Worker int
+}
+
+func (p PanicValue) String() string {
+	return fmt.Sprintf("faults: injected panic on worker %d", p.Worker)
+}
+
+// ---------------------------------------------------------------------------
+// Scenario presets
+
+// scenarios maps curated scenario names to their specs (seed applied by
+// Scenario). Rates are sized so that small benchmark instances both
+// complete cleanly sometimes and abort sometimes — a soak needs to see
+// both outcomes.
+var scenarios = map[string]Spec{
+	"steal-burst":   {StealFail: 0.4, StealFailBurst: 8},
+	"stall":         {Stall: 0.01, StallNS: 50_000},
+	"panic":         {Panic: 0.002},
+	"overflow":      {Overflow: 0.001},
+	"deposit-delay": {DepositDelay: 0.25, DepositDelayNS: 20_000},
+	"reject":        {Reject: 0.3},
+	"starve":        {Starve: 0.5, StarveBurst: 4},
+	"mixed": {
+		StealFail: 0.2, StealFailBurst: 4,
+		Stall: 0.005, StallNS: 20_000,
+		DepositDelay: 0.1, DepositDelayNS: 10_000,
+		Panic: 0.0005, Overflow: 0.0002,
+		Reject: 0.05, Starve: 0.1, StarveBurst: 2,
+	},
+}
+
+// Scenarios lists the curated scenario names, sorted.
+func Scenarios() []string {
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Scenario returns the named curated spec with the given seed.
+func Scenario(name string, seed int64) (Spec, error) {
+	s, ok := scenarios[strings.TrimSpace(name)]
+	if !ok {
+		return Spec{}, fmt.Errorf("faults: unknown scenario %q (have %s)", name, strings.Join(Scenarios(), ", "))
+	}
+	s.Seed = seed
+	return s, nil
+}
+
+// ErrInjected tags error messages produced by the plane where an error (not
+// a panic) is the natural surface; call sites wrap their own sentinel and
+// include this one so chaos verdicts can separate injected failures from
+// organic ones.
+var ErrInjected = errors.New("injected by fault plane")

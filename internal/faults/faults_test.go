@@ -1,0 +1,196 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two injectors derived from the same plan, role and slot must make
+// identical decision sequences — that is the replay contract.
+func TestStreamDeterminism(t *testing.T) {
+	p := New(Spec{Seed: 42, Stall: 0.3, Panic: 0.1, Overflow: 0.05, DepositDelay: 0.2})
+	a := p.Worker(3)
+	b := p.Worker(3)
+	if a == nil || b == nil {
+		t.Fatal("worker injector unexpectedly nil")
+	}
+	for i := 0; i < 10_000; i++ {
+		if av, bv := a.StallNS(), b.StallNS(); av != bv {
+			t.Fatalf("step %d: StallNS diverged: %d vs %d", i, av, bv)
+		}
+		if av, bv := a.PanicNow(), b.PanicNow(); av != bv {
+			t.Fatalf("step %d: PanicNow diverged: %v vs %v", i, av, bv)
+		}
+		if av, bv := a.ForceOverflow(), b.ForceOverflow(); av != bv {
+			t.Fatalf("step %d: ForceOverflow diverged: %v vs %v", i, av, bv)
+		}
+		if av, bv := a.DepositDelayNS(), b.DepositDelayNS(); av != bv {
+			t.Fatalf("step %d: DepositDelayNS diverged: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+// Distinct slots and distinct roles must not produce the same stream.
+func TestStreamsIndependent(t *testing.T) {
+	p := New(Spec{Seed: 7, Stall: 0.5, StealFail: 0.5})
+	w0, w1 := p.Worker(0), p.Worker(1)
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if (w0.StallNS() > 0) == (w1.StallNS() > 0) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("worker streams 0 and 1 fully correlated over %d draws", n)
+	}
+	// Worker vs deque role on the same slot.
+	d0 := p.DequeHook(0)
+	w0b := p.Worker(0)
+	same = 0
+	for i := 0; i < n; i++ {
+		if d0() == (w0b.StallNS() > 0) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("deque and worker streams for slot 0 fully correlated over %d draws", n)
+	}
+}
+
+// Rates at the extremes must be exact, not probabilistic.
+func TestRateExtremes(t *testing.T) {
+	always := New(Spec{Seed: 3, Panic: 1}).Worker(0)
+	for i := 0; i < 100; i++ {
+		if !always.PanicNow() {
+			t.Fatalf("draw %d: rate 1.0 did not fire", i)
+		}
+	}
+	if in := New(Spec{Seed: 3, Panic: 1}).Worker(1); in == nil {
+		t.Fatal("panic-only plan returned nil worker injector")
+	}
+	// Zero-rate faults never fire even on an enabled plan.
+	off := New(Spec{Seed: 3, Panic: 1}).Worker(0)
+	for i := 0; i < 100; i++ {
+		if off.ForceOverflow() || off.StallNS() != 0 || off.DepositDelayNS() != 0 {
+			t.Fatalf("draw %d: zero-rate fault fired", i)
+		}
+	}
+}
+
+func TestBurstSemantics(t *testing.T) {
+	in := New(Spec{Seed: 11, StealFail: 0.05, StealFailBurst: 5}).injector(roleDeque, 0)
+	// Find the first firing, then expect exactly burst-1 forced follow-ups
+	// (the follow-ups consume no randomness, so they are unconditional).
+	for i := 0; i < 10_000; i++ {
+		if in.FailSteal() {
+			for j := 1; j < 5; j++ {
+				if !in.FailSteal() {
+					t.Fatalf("burst broke at follow-up %d", j)
+				}
+			}
+			if in.burstLeft != 0 {
+				t.Fatalf("burst not exhausted: %d left", in.burstLeft)
+			}
+			return
+		}
+	}
+	t.Fatal("steal-fail rate 0.05 never fired in 10k draws")
+}
+
+func TestStarveBurst(t *testing.T) {
+	in := New(Spec{Seed: 13, Starve: 1, StarveBurst: 3}).ShardAlloc()
+	if in == nil {
+		t.Fatal("starve plan returned nil shard injector")
+	}
+	for i := 0; i < 9; i++ {
+		if !in.StarveShard() {
+			t.Fatalf("draw %d: starve rate 1.0 did not fire", i)
+		}
+	}
+}
+
+// A nil plan and a zero spec must hand out nil hooks so the runtime's
+// nil-check fast path stays on.
+func TestOffMeansNil(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Worker(0) != nil || nilPlan.DequeHook(0) != nil ||
+		nilPlan.Admission() != nil || nilPlan.ShardAlloc() != nil {
+		t.Fatal("nil plan handed out a non-nil hook")
+	}
+	if nilPlan.Enabled() {
+		t.Fatal("nil plan reports enabled")
+	}
+	zero := New(Spec{Seed: 9})
+	if zero.Enabled() {
+		t.Fatal("zero spec reports enabled")
+	}
+	if zero.Worker(0) != nil || zero.DequeHook(0) != nil ||
+		zero.Admission() != nil || zero.ShardAlloc() != nil {
+		t.Fatal("zero spec handed out a non-nil hook")
+	}
+	// A steal-only plan must not allocate worker injectors, and vice versa.
+	stealOnly := New(Spec{Seed: 9, StealFail: 0.5})
+	if stealOnly.Worker(0) != nil {
+		t.Fatal("steal-only plan handed out a worker injector")
+	}
+	if stealOnly.DequeHook(0) == nil {
+		t.Fatal("steal-only plan lost its deque hook")
+	}
+	panicOnly := New(Spec{Seed: 9, Panic: 0.5})
+	if panicOnly.DequeHook(0) != nil {
+		t.Fatal("panic-only plan handed out a deque hook")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := New(Spec{Stall: 0.1, DepositDelay: 0.1})
+	s := p.Spec()
+	if s.Seed != 1 {
+		t.Fatalf("zero seed not defaulted: %d", s.Seed)
+	}
+	if s.StallNS <= 0 || s.DepositDelayNS <= 0 {
+		t.Fatalf("durations not defaulted: stall=%d deposit=%d", s.StallNS, s.DepositDelayNS)
+	}
+	if s.StealFailBurst != 1 || s.StarveBurst != 1 {
+		t.Fatalf("bursts not defaulted: %d %d", s.StealFailBurst, s.StarveBurst)
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	names := Scenarios()
+	if len(names) == 0 {
+		t.Fatal("no scenarios")
+	}
+	for _, n := range names {
+		s, err := Scenario(n, 99)
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", n, err)
+		}
+		if s.Seed != 99 {
+			t.Fatalf("Scenario(%q) dropped the seed", n)
+		}
+		if !s.enabled() {
+			t.Fatalf("scenario %q injects nothing", n)
+		}
+	}
+	if _, err := Scenario("no-such", 1); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("bad scenario name not rejected: %v", err)
+	}
+}
+
+// An empirical sanity check that thresholds land near their rates.
+func TestRateCalibration(t *testing.T) {
+	in := New(Spec{Seed: 5, Panic: 0.25}).Worker(0)
+	hits := 0
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		if in.PanicNow() {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.24 || got > 0.26 {
+		t.Fatalf("rate 0.25 measured at %.4f over %d draws", got, n)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"math/bits"
 	"time"
 
+	"adaptivetc/internal/faults"
 	"adaptivetc/internal/trace"
 	"adaptivetc/internal/vtime"
 )
@@ -175,6 +176,14 @@ type Options struct {
 	// default) keeps the zero-allocation hot path: every recording site is
 	// behind a single nil check.
 	Tracer *trace.Recorder
+	// Faults, when non-nil, injects the plan's deterministic fault streams
+	// into the run: forced steal failures at the deques, stalls and panics
+	// at node entry, delayed deposits, forced overflows. Combined with the
+	// Sim platform the whole perturbed schedule is a pure function of the
+	// seeds and replays byte-identically. Nil (the default) keeps the
+	// zero-allocation hot path: every injection site is behind a single nil
+	// check, exactly like Tracer. Observed by the wsrt-based engines.
+	Faults *faults.Plan
 }
 
 // WorkersOrDefault returns the worker count, defaulting to 1.

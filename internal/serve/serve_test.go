@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"adaptivetc/internal/faults"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/wsrt"
 )
@@ -432,5 +433,184 @@ func TestJobRetention(t *testing.T) {
 	}
 	if _, ok := s.Get(ids[2]); !ok {
 		t.Fatal("newest record evicted")
+	}
+}
+
+// TestServeQuarantineMetrics runs every job under a certain-panic fault
+// plan: each one must land in StateFailed with ErrJobPanicked, the
+// quarantine gauge must follow the pool's counter, and the occupancy
+// gauges must settle back to zero — a quarantined shard that stayed
+// "busy" forever was exactly the bug the fault plane exists to catch.
+func TestServeQuarantineMetrics(t *testing.T) {
+	s := New(Config{
+		Workers:       1,
+		QueueCapacity: 4,
+		Faults:        faults.New(faults.Spec{Seed: 20100424, Panic: 1}),
+	})
+	t.Cleanup(s.Close)
+
+	for i := 0; i < 2; i++ {
+		job, err := s.Submit(Request{Program: "fib", N: 10})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		<-job.Done()
+		state, _, jerr := job.Snapshot()
+		if state != StateFailed || !errors.Is(jerr, wsrt.ErrJobPanicked) {
+			t.Fatalf("job %d: state=%s err=%v, want failed/ErrJobPanicked", i, state, jerr)
+		}
+	}
+
+	m := s.Snapshot()
+	if m.Failed != 2 || m.QuarantinedJobs != 2 {
+		t.Fatalf("failed=%d quarantined=%d, want 2/2", m.Failed, m.QuarantinedJobs)
+	}
+	if m.Completed != 0 {
+		t.Fatalf("completed=%d, want 0", m.Completed)
+	}
+	for i := 0; ; i++ {
+		m = s.Snapshot()
+		if m.BusyWorkers == 0 && m.WorkerOccupancy == 0 {
+			break
+		}
+		if i >= 200 {
+			t.Fatalf("occupancy never settled after quarantine: busy=%d occupancy=%f",
+				m.BusyWorkers, m.WorkerOccupancy)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeLatencyExcludesQueueWait pins the latency-ring accounting: a
+// job cancelled while still queued contributes nothing (its time was
+// waiting, not serving), while an aborted job that actually ran
+// contributes only its run time. Before the fix, load shedding poisoned
+// p99 with queue waits.
+func TestServeLatencyExcludesQueueWait(t *testing.T) {
+	s := newTestService(t, 1, 4, false)
+
+	// The blocker must outlive the whole test window — nqueens 14 runs for
+	// minutes on one worker; the cancel below reaps it in milliseconds.
+	blocker, err := s.Submit(Request{Program: "nqueens-array", N: 14, Engine: "adaptivetc", TimeoutMS: 600000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if state, _, _ := blocker.Snapshot(); state == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var queued []*Job
+	for i := 0; i < 2; i++ {
+		j, err := s.Submit(Request{Program: "fib", N: 5})
+		if err != nil {
+			t.Fatalf("queue fill %d: %v", i, err)
+		}
+		queued = append(queued, j)
+	}
+	time.Sleep(150 * time.Millisecond) // let queue wait accrue
+	for _, j := range queued {
+		j.Cancel(ErrCancelled)
+	}
+	// Cancelling the blocker frees the worker, which lets the pool drain
+	// the two dead queued jobs without ever starting them.
+	blocker.Cancel(ErrCancelled)
+	<-blocker.Done()
+	for _, j := range queued {
+		<-j.Done()
+		if state, _, _ := j.Snapshot(); state != StateCancelled {
+			t.Fatalf("queued job state=%s, want cancelled", state)
+		}
+	}
+
+	// Exactly one sample may exist: the blocker's run time. The cancelled
+	// queued jobs waited ~150ms each — with the old accounting the ring
+	// would hold three samples and p99 would read queue wait as latency.
+	if n := ringCount(s.latencies); n != 1 {
+		t.Fatalf("latency ring holds %d samples, want 1 (the aborted-but-ran blocker only)", n)
+	}
+	_, res, _ := blocker.Snapshot()
+	if res.Makespan <= 0 {
+		t.Fatalf("cancelled running blocker has Makespan %d, want > 0", res.Makespan)
+	}
+	wantMS := float64(res.Makespan) / 1e6
+	if m := s.Snapshot(); m.P50LatencyMS != wantMS || m.P99LatencyMS != wantMS {
+		t.Fatalf("ring sample p50=%vms p99=%vms, want the blocker's run time %vms",
+			m.P50LatencyMS, m.P99LatencyMS, wantMS)
+	}
+}
+
+// ringCount reports how many samples the latency ring holds.
+func ringCount(l *latencyRing) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return len(l.buf)
+	}
+	return l.next
+}
+
+// TestServeAdmissionRetryTransient checks that Submit absorbs a transient
+// injected admission rejection: the first attempt is refused, the retry is
+// admitted, the job completes, and the retry — not a rejection — is what
+// the metrics record.
+func TestServeAdmissionRetryTransient(t *testing.T) {
+	// Find a seed whose admission stream rejects the first draw and admits
+	// the second at rate 0.5. The scan runs on a probe plan; the service
+	// gets a fresh plan with the same spec, hence the same stream.
+	spec := faults.Spec{Reject: 0.5}
+	for seed := int64(1); ; seed++ {
+		spec.Seed = seed
+		fi := faults.New(spec).Admission()
+		if fi.RejectAdmission() && !fi.RejectAdmission() {
+			break
+		}
+		if seed > 1000 {
+			t.Fatal("no reject-then-admit seed below 1000")
+		}
+	}
+	s := New(Config{
+		Workers:          1,
+		QueueCapacity:    4,
+		AdmissionBackoff: time.Millisecond,
+		Faults:           faults.New(spec),
+	})
+	t.Cleanup(s.Close)
+
+	job, err := s.Submit(Request{Program: "fib", N: 10})
+	if err != nil {
+		t.Fatalf("submit with transient rejection: %v", err)
+	}
+	<-job.Done()
+	if state, res, jerr := job.Snapshot(); state != StateDone || jerr != nil || res.Value != 55 {
+		t.Fatalf("retried job: state=%s value=%d err=%v, want done/55", state, res.Value, jerr)
+	}
+	m := s.Snapshot()
+	if m.AdmissionRetries != 1 || m.Rejected != 0 {
+		t.Fatalf("retries=%d rejected=%d, want 1/0", m.AdmissionRetries, m.Rejected)
+	}
+}
+
+// TestServeAdmissionRetryExhausted checks the other side of the contract:
+// under sustained saturation the retries run out, the caller sees
+// ErrQueueFull exactly once, and backpressure semantics survive.
+func TestServeAdmissionRetryExhausted(t *testing.T) {
+	s := New(Config{
+		Workers:          1,
+		QueueCapacity:    4,
+		AdmissionRetries: 1,
+		AdmissionBackoff: time.Millisecond,
+		Faults:           faults.New(faults.Spec{Seed: 1, Reject: 1}),
+	})
+	t.Cleanup(s.Close)
+
+	if _, err := s.Submit(Request{Program: "fib", N: 10}); !errors.Is(err, wsrt.ErrQueueFull) {
+		t.Fatalf("saturated submit: err=%v, want ErrQueueFull", err)
+	}
+	m := s.Snapshot()
+	if m.AdmissionRetries != 1 || m.Rejected != 1 {
+		t.Fatalf("retries=%d rejected=%d, want 1/1", m.AdmissionRetries, m.Rejected)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adaptivetc/internal/faults"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/trace"
 	"adaptivetc/internal/wsrt"
@@ -126,6 +127,20 @@ type Config struct {
 	// GET /jobs/{id}; zero means 1024. Oldest terminal records are evicted
 	// first; live jobs are never evicted.
 	RetainJobs int
+	// AdmissionRetries bounds the in-process retries Submit makes when the
+	// pool reports a full admission queue, before surfacing ErrQueueFull to
+	// the caller (HTTP 429). Transient saturation — a burst draining within
+	// a millisecond — is thereby absorbed without weakening backpressure:
+	// the final rejection still counts once and still tells the client to
+	// back off. Zero means 2; negative disables retrying.
+	AdmissionRetries int
+	// AdmissionBackoff is the sleep before the first admission retry,
+	// doubling per attempt. Zero means 500µs.
+	AdmissionBackoff time.Duration
+	// Faults, when non-nil, threads the fault plan through the service:
+	// pool-level admission/shard faults plus per-job worker and deque
+	// faults. Chaos soaks use it; production leaves it nil (free).
+	Faults *faults.Plan
 }
 
 // latencyRing keeps the last N job latencies for percentile estimates.
@@ -188,6 +203,8 @@ type Metrics struct {
 	Failed              int64     `json:"failed"`
 	Cancelled           int64     `json:"cancelled"`
 	Rejected            int64     `json:"rejected"`
+	AdmissionRetries    int64     `json:"admission_retries"`
+	QuarantinedJobs     int64     `json:"quarantined_jobs"`
 	ThroughputPerSecond float64   `json:"throughput_per_second"`
 	P50LatencyMS        float64   `json:"p50_latency_ms"`
 	P99LatencyMS        float64   `json:"p99_latency_ms"`
@@ -213,6 +230,7 @@ type Service struct {
 	failed     atomic.Int64
 	cancelled  atomic.Int64
 	rejected   atomic.Int64
+	retried    atomic.Int64
 	checked    atomic.Int64
 	violations atomic.Int64
 	latencies  *latencyRing
@@ -233,6 +251,7 @@ func New(cfg Config) *Service {
 			MaxConcurrentJobs: cfg.MaxConcurrentJobs,
 			ShardPolicy:       wsrt.ShardPolicy(cfg.ShardPolicy),
 			Options:           cfg.Options,
+			Faults:            cfg.Faults,
 		}),
 		started:   time.Now(),
 		jobs:      make(map[string]*Job),
@@ -304,29 +323,51 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		rec = trace.NewRecorder()
 	}
 
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		cancel(wsrt.ErrPoolClosed)
-		return nil, wsrt.ErrPoolClosed
-	}
-	h, err := s.pool.Submit(wsrt.JobSpec{
+	spec := wsrt.JobSpec{
 		Prog:   prog,
 		Engine: mk(),
 		Ctx:    ctx,
 		Tracer: rec,
-	})
-	if err != nil {
-		s.mu.Unlock()
-		cancel(err)
-		if errors.Is(err, wsrt.ErrQueueFull) {
-			s.rejected.Add(1)
-		}
-		return nil, err
+		Faults: s.cfg.Faults,
 	}
-	job.handle = h
-	s.jobs[job.ID] = job
-	s.mu.Unlock()
+	retries := s.cfg.AdmissionRetries
+	if retries == 0 {
+		retries = 2
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := s.cfg.AdmissionBackoff
+	if backoff <= 0 {
+		backoff = 500 * time.Microsecond
+	}
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			cancel(wsrt.ErrPoolClosed)
+			return nil, wsrt.ErrPoolClosed
+		}
+		h, err := s.pool.Submit(spec)
+		if err == nil {
+			job.handle = h
+			s.jobs[job.ID] = job
+			s.mu.Unlock()
+			break
+		}
+		s.mu.Unlock()
+		if !errors.Is(err, wsrt.ErrQueueFull) || attempt >= retries {
+			cancel(err)
+			if errors.Is(err, wsrt.ErrQueueFull) {
+				s.rejected.Add(1)
+			}
+			return nil, err
+		}
+		// Transient saturation: back off briefly (outside the service lock,
+		// so concurrent submissions proceed) and retry. The final rejection
+		// above counts once, keeping 429 semantics intact.
+		s.retried.Add(1)
+		time.Sleep(backoff << attempt)
+	}
 
 	s.submitted.Add(1)
 	s.wg.Add(1)
@@ -384,7 +425,21 @@ func (s *Service) watch(job *Job, rec *trace.Recorder) {
 		state = StateFailed
 		s.failed.Add(1)
 	}
-	s.latencies.add(time.Since(job.Created).Nanoseconds())
+	// Latency accounting by outcome. Completed jobs record the full
+	// submit-to-done latency — queue wait is part of what their clients
+	// experienced. Aborted or failed jobs record only the time they actually
+	// held workers: a job cancelled after sitting in the queue for a second
+	// did one second of *waiting*, not one second of *serving*, and letting
+	// that wait into the ring would inflate p99 every time load shedding
+	// kicks in — precisely when honest latency numbers matter most. Jobs
+	// that never started (cancelled while queued, drained by Close) held no
+	// workers and contribute nothing.
+	switch {
+	case err == nil:
+		s.latencies.add(time.Since(job.Created).Nanoseconds())
+	case res.Makespan > 0:
+		s.latencies.add(res.Makespan)
+	}
 
 	var viol error
 	if rec != nil {
@@ -445,6 +500,8 @@ func (s *Service) Snapshot() Metrics {
 		Failed:              s.failed.Load(),
 		Cancelled:           s.cancelled.Load(),
 		Rejected:            s.rejected.Load(),
+		AdmissionRetries:    s.retried.Load(),
+		QuarantinedJobs:     s.pool.Quarantined(),
 		P50LatencyMS:        float64(p50) / 1e6,
 		P99LatencyMS:        float64(p99) / 1e6,
 		InvariantChecked:    s.checked.Load(),

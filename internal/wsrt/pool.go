@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"adaptivetc/internal/deque"
+	"adaptivetc/internal/faults"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/trace"
 	"adaptivetc/internal/vtime"
@@ -83,6 +84,12 @@ type PoolConfig struct {
 	// and Tracer are ignored — the pool is always Real-platform, and
 	// context/tracer are per-job (see JobSpec).
 	Options sched.Options
+	// Faults, when non-nil, injects pool-level faults: admission-queue
+	// saturation (Submit reports ErrQueueFull though capacity remains) and
+	// shard-allocator starvation (the dispatcher briefly cannot form a
+	// shard). Worker-level faults are per-job (see JobSpec.Faults). Nil —
+	// the default — costs nothing anywhere.
+	Faults *faults.Plan
 }
 
 // queueCapacityOrDefault returns the admission queue bound.
@@ -109,6 +116,18 @@ type JobSpec struct {
 	Tracer *trace.Recorder
 	// Profile enables the per-phase time breakdown for this job.
 	Profile bool
+	// Faults, when non-nil, injects the plan's worker- and deque-level
+	// faults into this job only: stalls and panics at node entry, delayed
+	// deposits, forced overflows, forced steal failures. Streams are
+	// derived per shard-local worker, so the same plan on the same seed
+	// draws the same decisions whichever shard hosts the job.
+	Faults *faults.Plan
+	// Deadline, when positive, bounds the job's run time (counted from the
+	// moment its shard workers wake, not from submission). On expiry the
+	// job's cooperative stop flag fires and the job aborts at the next poll
+	// point with an error wrapping context.DeadlineExceeded — converting a
+	// stalled worker into an orderly abort instead of a wedged shard.
+	Deadline time.Duration
 }
 
 // JobHandle is the submitter's view of an in-flight job.
@@ -161,6 +180,7 @@ type poolJob struct {
 	deques    []deque.WorkDeque // the shard's deques, indexed by local id
 	workers   []*Worker         // the shard's workers, indexed by local id
 	release   func()            // context watcher release
+	deadline  *time.Timer       // run-deadline timer; nil unless JobSpec.Deadline
 	wg        sync.WaitGroup    // shard workers still running this job
 	h         *JobHandle
 }
@@ -198,10 +218,16 @@ type Pool struct {
 	mu     sync.Mutex // guards Submit/Close handshake
 	closed bool
 
-	inflight atomic.Int64 // jobs submitted and not yet finished
-	running  atomic.Int64 // jobs currently occupying a shard
-	busy     atomic.Int64 // workers currently bound to a job
-	served   atomic.Int64 // jobs finished (any outcome) since pool start
+	inflight    atomic.Int64 // jobs submitted and not yet finished
+	running     atomic.Int64 // jobs currently occupying a shard
+	busy        atomic.Int64 // workers currently bound to a job
+	served      atomic.Int64 // jobs finished (any outcome) since pool start
+	quarantined atomic.Int64 // jobs failed by a panic (ErrJobPanicked)
+
+	// Pool-level fault streams (nil unless PoolConfig.Faults): admitFI is
+	// drawn under p.mu in Submit, shardFI only by the dispatcher.
+	admitFI *faults.Injector
+	shardFI *faults.Injector
 }
 
 // NewPool builds a resident pool and starts its workers; they park until
@@ -229,6 +255,8 @@ func NewPool(cfg PoolConfig) *Pool {
 		queue:    make(chan *poolJob, cfg.queueCapacityOrDefault()),
 		finished: make(chan *poolJob, maxJobs),
 		quit:     make(chan struct{}),
+		admitFI:  cfg.Faults.Admission(),
+		shardFI:  cfg.Faults.ShardAlloc(),
 	}
 	p.SetShardPolicy(cfg.ShardPolicy)
 	procs := vtime.NewRealProcs(n, opt.Seed)
@@ -293,6 +321,12 @@ func (p *Pool) BusyWorkers() int64 { return p.busy.Load() }
 // Served returns the number of jobs finished since the pool started.
 func (p *Pool) Served() int64 { return p.served.Load() }
 
+// Quarantined returns the number of jobs that failed by a panic in their
+// program or engine. Each such job was contained to its own shard: the
+// shard's deques were reset and handed back to the allocator, and the pool
+// kept serving.
+func (p *Pool) Quarantined() int64 { return p.quarantined.Load() }
+
 // Submit enqueues a job without blocking. It returns ErrQueueFull when the
 // admission queue is at capacity and ErrPoolClosed after Close. The
 // closed check and the enqueue happen under one lock, ordered against
@@ -317,6 +351,12 @@ func (p *Pool) Submit(spec JobSpec) (*JobHandle, error) {
 	defer p.mu.Unlock()
 	if p.closed {
 		return nil, ErrPoolClosed
+	}
+	if p.admitFI != nil && p.admitFI.RejectAdmission() {
+		// Injected admission saturation: indistinguishable from a full
+		// queue, so callers exercise their backpressure handling. The
+		// stream is drawn under p.mu, which serialises it.
+		return nil, ErrQueueFull
 	}
 	select {
 	case p.queue <- job:
@@ -372,12 +412,41 @@ func (p *Pool) dispatch() {
 		}
 		if deferred != nil {
 			if !p.tryStart(alloc, deferred) {
+				// Without fault injection a deferred job can only be
+				// unblocked by a finishing job (or shutdown). Injected
+				// allocator starvation can refuse a shard with nothing
+				// running at all, so the fault plane adds a retry tick —
+				// otherwise the dispatcher would wait forever on a finish
+				// that cannot come. Nil channel (no faults): zero cost.
+				var retry <-chan time.Time
+				var retryT *time.Timer
+				if p.shardFI != nil {
+					retryT = time.NewTimer(100 * time.Microsecond)
+					retry = retryT.C
+				}
+				// A deferred job can also die where it stands: watching its
+				// context here retires a cancelled job immediately instead
+				// of holding it hostage until some other job finishes.
+				var ctxDone <-chan struct{}
+				if ctx := deferred.spec.Ctx; ctx != nil {
+					ctxDone = ctx.Done()
+				}
 				select {
 				case <-p.quit:
+					if retryT != nil {
+						retryT.Stop()
+					}
 					p.shutdown(alloc, deferred)
 					return
 				case job := <-p.finished:
 					p.reclaim(alloc, job)
+				case <-ctxDone:
+					p.retire(deferred, context.Cause(deferred.spec.Ctx))
+					deferred = nil
+				case <-retry:
+				}
+				if retryT != nil {
+					retryT.Stop()
 				}
 				continue
 			}
@@ -424,6 +493,11 @@ func (p *Pool) tryStart(alloc *shardAlloc, job *poolJob) bool {
 			p.retire(job, context.Cause(ctx))
 			return true
 		}
+	}
+	if p.shardFI != nil && p.shardFI.StarveShard() {
+		// Injected allocator starvation: the dispatcher behaves exactly as
+		// if no shard could be formed and retries on its fault tick.
+		return false
 	}
 	shard := alloc.grab(p.ShardPolicy(), len(p.queue))
 	if shard == nil {
@@ -498,6 +572,7 @@ func (p *Pool) startJob(job *poolJob, shard []int) {
 		Eng:     job.spec.Engine.NewExec(width, p.opt),
 		profile: job.spec.Profile,
 		tracer:  job.spec.Tracer,
+		faults:  job.spec.Faults,
 		stop:    &sched.Stop{},
 	}
 	if rt.tracer != nil {
@@ -507,7 +582,20 @@ func (p *Pool) startJob(job *poolJob, shard []int) {
 			d.SetTrace(rt.tracer.DequeHook(li))
 		}
 	}
+	for li, d := range job.deques {
+		// Fault hooks are keyed by shard-local index, like trace hooks, so
+		// a plan's decisions do not depend on which shard hosts the job.
+		if hook := rt.faults.DequeHook(li); hook != nil {
+			d.SetFailSteal(hook)
+		}
+	}
 	job.release = sched.WatchContext(job.spec.Ctx, rt.stop)
+	if d := job.spec.Deadline; d > 0 {
+		job.deadline = time.AfterFunc(d, func() {
+			rt.stop.Signal(fmt.Errorf("wsrt: job exceeded its %v run deadline: %w",
+				d, context.DeadlineExceeded))
+		})
+	}
 	job.rt = rt
 	job.wg.Add(width)
 	p.running.Add(1)
@@ -530,12 +618,20 @@ func (p *Pool) startJob(job *poolJob, shard []int) {
 func (p *Pool) finishJob(job *poolJob) {
 	job.wg.Wait()
 	job.release()
+	if job.deadline != nil {
+		job.deadline.Stop()
+	}
 	rt := job.rt
 	st := collectStats(job.workers, job.deques, job.spec.Profile)
 	st.QueueWait = job.started.Sub(job.submitted).Nanoseconds()
 	if rt.tracer != nil {
 		for _, d := range job.deques {
 			d.SetTrace(nil)
+		}
+	}
+	if rt.faults != nil {
+		for _, d := range job.deques {
+			d.SetFailSteal(nil)
 		}
 	}
 	for _, d := range job.deques {
@@ -554,6 +650,11 @@ func (p *Pool) finishJob(job *poolJob) {
 	var err error
 	if f := rt.failure.Load(); f != nil {
 		err = f.err
+		if errors.Is(err, ErrJobPanicked) {
+			// Panic quarantine: the job failed, its shard was reset above
+			// and heals by re-entering the allocator like any other.
+			p.quarantined.Add(1)
+		}
 	}
 	job.h.endAt = time.Now()
 	p.served.Add(1)
@@ -578,6 +679,7 @@ func (p *Pool) workerLoop(i int) {
 		if job.rt.tracer != nil {
 			w.tr = job.rt.tracer.WorkerLog(run.local)
 		}
+		w.fi = job.rt.faults.Worker(run.local)
 		w.runJob(true)
 		w.rt = nil
 		// The SYNCHED workspace pool holds program-typed workspaces; the

@@ -9,7 +9,9 @@ import (
 
 	"adaptivetc/internal/cilk"
 	"adaptivetc/internal/core"
+	"adaptivetc/internal/faults"
 	"adaptivetc/internal/sched"
+	"adaptivetc/internal/trace"
 	"adaptivetc/internal/wsrt"
 	"adaptivetc/problems/fib"
 	"adaptivetc/problems/nqueens"
@@ -166,9 +168,9 @@ func (panicProg) Terminal(ws sched.Workspace, depth int) (int64, bool) {
 	return 0, false
 }
 
-func (panicProg) Moves(ws sched.Workspace, depth int) int       { return 2 }
-func (panicProg) Apply(ws sched.Workspace, depth, m int) bool   { return true }
-func (panicProg) Undo(ws sched.Workspace, depth, m int)         {}
+func (panicProg) Moves(ws sched.Workspace, depth int) int     { return 2 }
+func (panicProg) Apply(ws sched.Workspace, depth, m int) bool { return true }
+func (panicProg) Undo(ws sched.Workspace, depth, m int)       {}
 
 // gateProg is a one-node program whose only leaf blocks until the gate is
 // closed — a job that occupies its shard for exactly as long as the test
@@ -432,4 +434,187 @@ func TestPoolCloseDrainsQueue(t *testing.T) {
 			t.Fatalf("queued job %d: err = %v, want ErrPoolClosed", i, err)
 		}
 	}
+}
+
+// TestPoolQuarantineHeals is the fault-plane acceptance pin: a worker
+// panic injected by the fault plan fails ONLY the owning job — the error
+// wraps ErrJobPanicked, the quarantine counter moves, the shard re-enters
+// the allocator, and the very next job on that same shard completes with
+// the right answer and a clean trace.
+func TestPoolQuarantineHeals(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{Workers: 1, QueueCapacity: 4})
+	defer p.Close()
+
+	h, err := p.Submit(wsrt.JobSpec{
+		Prog:   nqueens.NewArray(5),
+		Engine: atc(),
+		Faults: faults.New(faults.Spec{Seed: 20100424, Panic: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Result(); !errors.Is(err, wsrt.ErrJobPanicked) {
+		t.Fatalf("faulted job: err = %v, want ErrJobPanicked", err)
+	}
+	if got := p.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined() = %d, want 1", got)
+	}
+
+	rec := trace.NewRecorder()
+	defer rec.Release()
+	h2, err := p.Submit(wsrt.JobSpec{Prog: nqueens.NewArray(5), Engine: atc(), Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h2.Result()
+	if err != nil || res.Value != 10 {
+		t.Fatalf("job on healed shard: value=%d err=%v, want 10", res.Value, err)
+	}
+	if cerr := rec.Check(res.Value, 10); cerr != nil {
+		t.Fatalf("healed shard trace: %v", cerr)
+	}
+	if len(h.Shard()) != 1 || h.Shard()[0] != h2.Shard()[0] {
+		t.Fatalf("healed job ran on shard %v, want the quarantined shard %v", h2.Shard(), h.Shard())
+	}
+	if got := p.Quarantined(); got != 1 {
+		t.Fatalf("clean job moved Quarantined() to %d", got)
+	}
+}
+
+// TestPoolMoreJobsThanWorkers floods a 2-worker pool with 6 concurrent
+// jobs under both policies: every job completes with the right answer and
+// the busy/running counters settle back to zero.
+func TestPoolMoreJobsThanWorkers(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{
+		Workers: 2, MaxConcurrentJobs: 2, ShardPolicy: wsrt.ShardAdaptive,
+		QueueCapacity: 16,
+	})
+	defer p.Close()
+
+	var hs []*wsrt.JobHandle
+	for i := 0; i < 6; i++ {
+		h, err := p.Submit(wsrt.JobSpec{Prog: fib.New(10), Engine: atc()})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		hs = append(hs, h)
+		if i == 2 {
+			p.SetShardPolicy(wsrt.ShardStatic) // flip mid-flood
+		}
+	}
+	for i, h := range hs {
+		if res, err := h.Result(); err != nil || res.Value != 55 {
+			t.Fatalf("job %d: value=%d err=%v, want 55", i, res.Value, err)
+		}
+	}
+	waitSettled(t, p)
+}
+
+// TestPoolAdaptiveSplitAfterQuarantine kills a grown adaptive job and then
+// runs a pair of jobs over the healed workers: the pair must both finish
+// on disjoint shards that re-use the quarantined workers.
+func TestPoolAdaptiveSplitAfterQuarantine(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{
+		Workers: 4, MaxConcurrentJobs: 2, ShardPolicy: wsrt.ShardAdaptive,
+		QueueCapacity: 8,
+	})
+	defer p.Close()
+
+	h, err := p.Submit(wsrt.JobSpec{
+		Prog:   nqueens.NewArray(6),
+		Engine: atc(),
+		Faults: faults.New(faults.Spec{Seed: 7, Panic: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Result(); !errors.Is(err, wsrt.ErrJobPanicked) {
+		t.Fatalf("grown faulted job: err = %v, want ErrJobPanicked", err)
+	}
+	if len(h.Shard()) != 4 {
+		t.Fatalf("adaptive job on idle pool got shard %v, want all 4 workers", h.Shard())
+	}
+
+	// Hold one job mid-run so the second demonstrably runs beside it on
+	// the healed workers. Static placement keeps the gated job from
+	// growing over the whole pool and starving its partner.
+	p.SetShardPolicy(wsrt.ShardStatic)
+	gate := make(chan struct{})
+	g, err := p.Submit(wsrt.JobSpec{Prog: gateProg{gate: gate}, Engine: atc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.Started()
+	h2, err := p.Submit(wsrt.JobSpec{Prog: fib.New(10), Engine: atc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := h2.Result(); err != nil || res.Value != 55 {
+		t.Fatalf("job beside gated job: value=%d err=%v, want 55", res.Value, err)
+	}
+	close(gate)
+	if res, err := g.Result(); err != nil || res.Value != 1 {
+		t.Fatalf("gated job: value=%d err=%v, want 1", res.Value, err)
+	}
+	for _, w := range g.Shard() {
+		for _, x := range h2.Shard() {
+			if w == x {
+				t.Fatalf("concurrent healed shards overlap: %v / %v", g.Shard(), h2.Shard())
+			}
+		}
+	}
+	waitSettled(t, p)
+}
+
+// TestPoolPolicyFlipMidQuarantine flips the shard policy while a faulted
+// job is dying: the flip must not strand the quarantined workers, and jobs
+// submitted under the new policy complete.
+func TestPoolPolicyFlipMidQuarantine(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{
+		Workers: 4, MaxConcurrentJobs: 2, ShardPolicy: wsrt.ShardAdaptive,
+		QueueCapacity: 8,
+	})
+	defer p.Close()
+
+	h, err := p.Submit(wsrt.JobSpec{
+		Prog:   nqueens.NewArray(6),
+		Engine: atc(),
+		Faults: faults.New(faults.Spec{Seed: 7, Panic: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetShardPolicy(wsrt.ShardStatic) // flip while the faulted job dies
+	if _, err := h.Result(); !errors.Is(err, wsrt.ErrJobPanicked) {
+		t.Fatalf("faulted job: err = %v, want ErrJobPanicked", err)
+	}
+	for i := 0; i < 4; i++ {
+		h, err := p.Submit(wsrt.JobSpec{Prog: fib.New(10), Engine: atc()})
+		if err != nil {
+			t.Fatalf("submit %d after flip: %v", i, err)
+		}
+		if res, err := h.Result(); err != nil || res.Value != 55 {
+			t.Fatalf("post-flip job %d: value=%d err=%v, want 55", i, res.Value, err)
+		}
+		if len(h.Shard()) != 2 {
+			t.Fatalf("post-flip static shard %v, want width 2", h.Shard())
+		}
+	}
+	if got := p.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined() = %d, want 1", got)
+	}
+	waitSettled(t, p)
+}
+
+// waitSettled polls until the pool's busy and running counters return to
+// zero — quarantines and floods must not leave phantom occupancy behind.
+func waitSettled(t *testing.T, p *wsrt.Pool) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if p.BusyWorkers() == 0 && p.RunningJobs() == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("pool never settled: busy=%d running=%d", p.BusyWorkers(), p.RunningJobs())
 }

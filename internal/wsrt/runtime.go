@@ -1,15 +1,23 @@
 package wsrt
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"adaptivetc/internal/deque"
+	"adaptivetc/internal/faults"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/trace"
 	"adaptivetc/internal/vtime"
 )
+
+// ErrJobPanicked tags job failures caused by a panic in the program or the
+// engine (as opposed to a sched.Abort, which is the runtime's own orderly
+// unwinding). A resident pool counts these as quarantined jobs: the job
+// fails, the shard heals, the service keeps running.
+var ErrJobPanicked = errors.New("wsrt: job panicked")
 
 // Engine is the per-strategy part of the runtime: how to execute the root
 // task and how to resume a stolen frame (the paper's slow version). Both
@@ -36,6 +44,7 @@ type Runtime struct {
 
 	profile bool
 	tracer  *trace.Recorder // nil unless Options.Tracer was set
+	faults  *faults.Plan    // nil unless fault injection was requested
 	stop    *sched.Stop     // cooperative cancellation; may be nil (never stopped)
 	done    atomic.Bool
 	value   atomic.Int64
@@ -53,10 +62,16 @@ func (rt *Runtime) Done() bool { return rt.done.Load() }
 func (rt *Runtime) Stop() *sched.Stop { return rt.stop }
 
 // fail records err as the run's failure (first error wins) and releases
-// every worker's thief loop.
+// every worker. Beyond the done flag — which only thief loops poll — it
+// fires the cooperative stop flag: a worker can be parked in an engine wait
+// loop (the AdaptiveTC special-task join) polling the stop flag for
+// deposits that a failed run will never send, and without the signal a
+// co-worker's panic or deque overflow would wedge it there forever.
+// Quarantine depends on every worker of the job unwinding.
 func (rt *Runtime) fail(err error) {
 	rt.failure.CompareAndSwap(nil, &runError{err: err})
 	rt.done.Store(true)
+	rt.stop.Signal(err)
 }
 
 // complete records the run's root value. A recorded failure is final: a
@@ -101,6 +116,12 @@ type Worker struct {
 	// recording site below is a single nil check when tracing is off, so
 	// the zero-alloc hot path is untouched.
 	tr *trace.WorkerLog
+
+	// fi is this worker's private fault-injection stream; nil unless the
+	// run carries a fault plan with worker-side faults. Injection sites
+	// follow the tracing discipline: one nil check on the hot path, body
+	// out of line.
+	fi *faults.Injector
 }
 
 // Rt returns the worker's runtime.
@@ -118,10 +139,27 @@ func (w *Worker) Costs() *sched.Costs { return &w.rt.Costs }
 // nil check plus one atomic load and charges no virtual cost, keeping
 // un-cancelled Sim runs byte-identical.
 func (w *Worker) BeginNode(ws sched.Workspace, depth int) {
+	if w.fi != nil {
+		w.injectNode()
+	}
 	w.rt.stop.Check()
 	w.Stats.Nodes++
 	sched.ChargeNode(w.rt.Prog, ws, depth, &w.rt.Costs, w.Proc)
 	w.Proc.Yield()
+}
+
+// injectNode draws this node's faults: a stall (virtual under Sim,
+// wall-clock under Real) and/or an injected program panic. Kept out of
+// BeginNode's body so the unfaulted hot path pays only the nil test.
+//
+//go:noinline
+func (w *Worker) injectNode() {
+	if d := w.fi.StallNS(); d > 0 {
+		w.Proc.Sleep(d)
+	}
+	if w.fi.PanicNow() {
+		panic(faults.PanicValue{Worker: w.ID})
+	}
 }
 
 // CheckCancel is the explicit cancellation poll point for engine wait loops
@@ -200,6 +238,10 @@ func (w *Worker) FreeFrame(f *Frame) {
 func (w *Worker) Push(f *Frame) {
 	t0 := w.now()
 	w.Proc.Advance(w.rt.Costs.Push)
+	if w.fi != nil && w.fi.ForceOverflow() {
+		panic(sched.Abort{Err: fmt.Errorf("%w (%w): worker %d, program %s",
+			sched.ErrDequeOverflow, faults.ErrInjected, w.ID, w.rt.Prog.Name())})
+	}
 	if !w.Deque.Push(f) {
 		panic(sched.Abort{Err: fmt.Errorf("%w: worker %d, capacity %d, program %s",
 			sched.ErrDequeOverflow, w.ID, w.Deque.Cap(), w.rt.Prog.Name())})
@@ -311,6 +353,11 @@ func (w *Worker) DropWorkspacePool() { w.pool = nil }
 // expected deposit), so after reading the total and the parent link it goes
 // to the worker's free-list.
 func (w *Worker) Deposit(parent *Frame, v int64) {
+	if w.fi != nil {
+		if d := w.fi.DepositDelayNS(); d > 0 {
+			w.Proc.Sleep(d) // perturb the join/deposit race; no lock is held here
+		}
+	}
 	for {
 		if parent == nil {
 			if w.tr != nil {
@@ -473,11 +520,14 @@ func (w *Worker) runJob(swallowPanics bool) {
 				rt.fail(ae.Err)
 				return
 			}
-			if swallowPanics {
-				rt.fail(fmt.Errorf("wsrt: job panicked: %v", r))
-				return
+			// Record the failure (and fire the stop flag) even when the
+			// panic propagates: co-workers must unwind either way, or a
+			// batch run's panic would leave a special-task waiter spinning
+			// behind the propagating goroutine.
+			rt.fail(fmt.Errorf("%w: %v", ErrJobPanicked, r))
+			if !swallowPanics {
+				panic(r)
 			}
-			panic(r)
 		}
 	}()
 	if w.ID == 0 {
@@ -532,6 +582,7 @@ func Run(prog sched.Program, opt sched.Options, eng Engine, name string) (sched.
 		Eng:     eng,
 		profile: opt.Profile,
 		tracer:  opt.Tracer,
+		faults:  opt.Faults,
 		stop:    &sched.Stop{},
 	}
 	if rt.tracer != nil {
@@ -541,6 +592,9 @@ func Run(prog sched.Program, opt sched.Options, eng Engine, name string) (sched.
 		rt.Deques[i] = newDeque(opt)
 		if rt.tracer != nil {
 			rt.Deques[i].SetTrace(rt.tracer.DequeHook(i))
+		}
+		if hook := rt.faults.DequeHook(i); hook != nil {
+			rt.Deques[i].SetFailSteal(hook)
 		}
 	}
 	release := sched.WatchContext(opt.Ctx, rt.stop)
@@ -552,6 +606,7 @@ func Run(prog sched.Program, opt sched.Options, eng Engine, name string) (sched.
 		if rt.tracer != nil {
 			w.tr = rt.tracer.WorkerLog(w.ID)
 		}
+		w.fi = rt.faults.Worker(w.ID)
 		workers[w.ID] = w
 		w.runJob(false)
 	})

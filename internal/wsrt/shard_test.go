@@ -119,3 +119,96 @@ func TestShardAllocDisjoint(t *testing.T) {
 		id++
 	}
 }
+
+// TestShardAllocSingleWorker pins the degenerate pool: one worker, two job
+// slots. The lone worker is handed out whole, a second grab starves until
+// release, and the free set survives the cycle.
+func TestShardAllocSingleWorker(t *testing.T) {
+	a := newShardAlloc(1, 2)
+	s1 := a.grab(ShardStatic, 0)
+	if want := []int{0}; !reflect.DeepEqual(s1, want) {
+		t.Fatalf("single-worker shard = %v, want %v", s1, want)
+	}
+	if s := a.grab(ShardStatic, 3); s != nil {
+		t.Fatalf("grab with no free workers = %v, want nil", s)
+	}
+	if s := a.grab(ShardAdaptive, 0); s != nil {
+		t.Fatalf("adaptive grab with no free workers = %v, want nil", s)
+	}
+	a.release(s1)
+	if s := a.grab(ShardAdaptive, 5); !reflect.DeepEqual(s, []int{0}) {
+		t.Fatalf("shard after release = %v, want [0]", s)
+	}
+}
+
+// TestShardAllocMoreSlotsThanWorkers allows more concurrent jobs than
+// workers: width clamps at one, grabs stop when the free set empties (not
+// when the slot count does), and releases re-admit in worker order.
+func TestShardAllocMoreSlotsThanWorkers(t *testing.T) {
+	a := newShardAlloc(2, 4)
+	s1 := a.grab(ShardStatic, 0)
+	s2 := a.grab(ShardStatic, 0)
+	if len(s1) != 1 || len(s2) != 1 || s1[0] == s2[0] {
+		t.Fatalf("two one-wide disjoint shards wanted, got %v and %v", s1, s2)
+	}
+	if s := a.grab(ShardStatic, 0); s != nil {
+		t.Fatalf("third grab with 2 workers = %v, want nil (free set empty)", s)
+	}
+	a.release(s2)
+	if s := a.grab(ShardAdaptive, 9); !reflect.DeepEqual(s, s2) {
+		t.Fatalf("released worker not re-admitted: got %v, want %v", s, s2)
+	}
+}
+
+// TestShardAllocSplitWhileHealing models a quarantined shard re-entering
+// the allocator: a grown shard dies (its release is the heal), and the
+// freed workers must split cleanly between the jobs that queued up behind
+// the failure.
+func TestShardAllocSplitWhileHealing(t *testing.T) {
+	a := newShardAlloc(4, 2)
+	grown := a.grab(ShardAdaptive, 0) // the job that will panic: all 4 workers
+	if len(grown) != 4 {
+		t.Fatalf("grown shard width %d, want 4", len(grown))
+	}
+	a.release(grown) // quarantine heal: the whole shard returns
+
+	split := a.grab(ShardAdaptive, 1) // two jobs queued behind the failure
+	rest := a.grab(ShardAdaptive, 0)
+	if len(split) != 2 || len(rest) != 2 {
+		t.Fatalf("healed workers split %v / %v, want two width-2 shards", split, rest)
+	}
+	for _, w := range split {
+		for _, x := range rest {
+			if w == x {
+				t.Fatalf("healed split not disjoint: %v / %v", split, rest)
+			}
+		}
+	}
+}
+
+// TestShardAllocFlipMidHeal flips adaptive→static while half the pool is
+// still held by a live job: the static grab must size against the shrunken
+// free set, never against workers a quarantined-then-healed shard already
+// handed elsewhere.
+func TestShardAllocFlipMidHeal(t *testing.T) {
+	a := newShardAlloc(4, 2)
+	grown := a.grab(ShardAdaptive, 0)
+	a.release(grown) // heal
+	half := a.grab(ShardAdaptive, 1)
+	if want := []int{0, 1}; !reflect.DeepEqual(half, want) {
+		t.Fatalf("post-heal split = %v, want %v", half, want)
+	}
+	// Policy flips to static while [2 3] is free and one slot remains.
+	s := a.grab(ShardStatic, 0)
+	if want := []int{2, 3}; !reflect.DeepEqual(s, want) {
+		t.Fatalf("static grab mid-heal = %v, want %v", s, want)
+	}
+	if g := a.grab(ShardStatic, 0); g != nil {
+		t.Fatalf("grab past capacity = %v, want nil", g)
+	}
+	a.release(half)
+	a.release(s)
+	if got := a.grab(ShardAdaptive, 0); len(got) != 4 {
+		t.Fatalf("full free set after heals: got %v, want all 4 workers", got)
+	}
+}
