@@ -23,6 +23,7 @@ import (
 
 	"adaptivetc"
 	"adaptivetc/internal/experiments"
+	"adaptivetc/internal/wsrt"
 )
 
 func main() {
@@ -34,6 +35,9 @@ func main() {
 	engineName := flag.String("engine", "adaptivetc", "engine: serial, cilk, cilk-synched, tascell, adaptivetc, cutoff-programmer, cutoff-library, helpfirst, slaw")
 	workers := flag.Int("workers", 8, "number of workers")
 	seed := flag.Int64("seed", 1, "victim-selection seed")
+	stealPolicy := flag.String("steal-policy", "random",
+		fmt.Sprintf("steal strategy: %v (wsrt engines only)", wsrt.StealPolicyNames()))
+	relaxed := flag.Bool("relaxed-deque", false, "use the lock-reduced deque variant (implies a growable buffer)")
 	profile := flag.Bool("profile", false, "collect the per-phase time breakdown")
 	real := flag.Bool("real", false, "run on real goroutines instead of virtual time")
 	cutoff := flag.Int("cutoff", 0, "cut-off depth (cutoff-programmer, or with -force-cutoff)")
@@ -62,12 +66,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adaptivetc-run: %v\n", err)
 		os.Exit(2)
 	}
+	if !wsrt.ValidStealPolicy(*stealPolicy) {
+		fmt.Fprintf(os.Stderr, "adaptivetc-run: unknown -steal-policy %q (have %v)\n",
+			*stealPolicy, wsrt.StealPolicyNames())
+		os.Exit(2)
+	}
 	opt := adaptivetc.Options{
-		Workers:     *workers,
-		Seed:        *seed,
-		Profile:     *profile,
-		Cutoff:      *cutoff,
-		ForceCutoff: *forceCutoff,
+		Workers:      *workers,
+		Seed:         *seed,
+		Profile:      *profile,
+		Cutoff:       *cutoff,
+		ForceCutoff:  *forceCutoff,
+		StealPolicy:  *stealPolicy,
+		RelaxedDeque: *relaxed,
 	}
 	if *real {
 		opt.Platform = adaptivetc.NewRealPlatform(*seed)

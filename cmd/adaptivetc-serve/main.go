@@ -33,6 +33,7 @@ import (
 
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/serve"
+	"adaptivetc/internal/wsrt"
 )
 
 func main() {
@@ -44,7 +45,16 @@ func main() {
 	check := flag.Bool("check", false, "verify scheduler invariants on every job's trace")
 	seed := flag.Int64("seed", 1, "victim-selection seed")
 	growable := flag.Bool("growable-deque", true, "use growable deques (fixed deques can overflow on deep jobs)")
+	relaxed := flag.Bool("relaxed-deque", false, "use the lock-reduced deque variant (implies growable; invariant checks run in multiplicity-tolerant mode)")
+	stealPolicy := flag.String("steal-policy", "random",
+		fmt.Sprintf("default steal strategy for jobs that do not set one: %v", wsrt.StealPolicyNames()))
 	flag.Parse()
+
+	if !wsrt.ValidStealPolicy(*stealPolicy) {
+		fmt.Fprintf(os.Stderr, "adaptivetc-serve: unknown -steal-policy %q (have %v)\n",
+			*stealPolicy, wsrt.StealPolicyNames())
+		os.Exit(2)
+	}
 
 	svc := serve.New(serve.Config{
 		Workers:           *workers,
@@ -55,6 +65,8 @@ func main() {
 		Options: sched.Options{
 			Seed:          *seed,
 			GrowableDeque: *growable,
+			RelaxedDeque:  *relaxed,
+			StealPolicy:   *stealPolicy,
 		},
 	})
 
@@ -62,8 +74,8 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
 
-	fmt.Printf("adaptivetc-serve: listening on %s (workers=%d queue=%d max-concurrent-jobs=%d shard-policy=%s check=%v)\n",
-		*addr, *workers, *queue, *maxJobs, *shardPolicy, *check)
+	fmt.Printf("adaptivetc-serve: listening on %s (workers=%d queue=%d max-concurrent-jobs=%d shard-policy=%s steal-policy=%s relaxed-deque=%v check=%v)\n",
+		*addr, *workers, *queue, *maxJobs, *shardPolicy, *stealPolicy, *relaxed, *check)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

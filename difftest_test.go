@@ -102,6 +102,55 @@ func TestDifferentialBatch(t *testing.T) {
 	}
 }
 
+// TestDifferentialStealPolicies sweeps every steal policy across both
+// deque variants (THE and lock-reduced) for a representative program slice
+// and all seven pool-capable engines: values must match the serial oracle,
+// and identically-seeded Sim reruns must stay deterministic — a policy's
+// victim sequence is part of the schedule, so nondeterminism here means a
+// thief PRNG leaked shared state.
+func TestDifferentialStealPolicies(t *testing.T) {
+	progs := diffCorpus(t)
+	slice := []string{"fib", "nqueens-array", "sudoku-input1", "tree3"}
+	for _, name := range slice {
+		p, ok := progs[name]
+		if !ok {
+			t.Fatalf("program %q missing from the corpus", name)
+		}
+		oracle, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{})
+		if err != nil {
+			t.Fatalf("serial/%s: %v", name, err)
+		}
+		for _, relaxed := range []bool{false, true} {
+			for _, policy := range wsrt.StealPolicyNames() {
+				for _, mk := range diffEngines() {
+					eng := mk()
+					opt := adaptivetc.Options{
+						Workers: 3, Seed: 7,
+						StealPolicy:  policy,
+						RelaxedDeque: relaxed,
+					}
+					a, err := eng.Run(p, opt)
+					if err != nil {
+						t.Fatalf("%s/%s policy=%s relaxed=%v: %v", eng.Name(), name, policy, relaxed, err)
+					}
+					if a.Value != oracle.Value {
+						t.Errorf("%s/%s policy=%s relaxed=%v: value %d, serial says %d",
+							eng.Name(), name, policy, relaxed, a.Value, oracle.Value)
+					}
+					b, err := mk().Run(p, opt)
+					if err != nil {
+						t.Fatalf("%s/%s policy=%s relaxed=%v rerun: %v", eng.Name(), name, policy, relaxed, err)
+					}
+					if a.Makespan != b.Makespan {
+						t.Errorf("%s/%s policy=%s relaxed=%v: identically-seeded Sim makespans differ: %d vs %d",
+							eng.Name(), name, policy, relaxed, a.Makespan, b.Makespan)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestDifferentialShardedPool pushes the same program×engine matrix
 // through a resident sharded pool — the serving path, with up to two jobs
 // in flight on disjoint worker groups — and checks every value against the

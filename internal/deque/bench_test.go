@@ -67,3 +67,78 @@ func BenchmarkPushPopDepth32(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPushPopRelaxed is the lock-reduced owner fast path: two atomic
+// stores per Push, one store plus one load per Pop. Compare against
+// BenchmarkPushPop for the tentpole's owner-path saving.
+func BenchmarkPushPopRelaxed(b *testing.B) {
+	d := NewRelaxed(64, 20)
+	e := item(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Push(e)
+		d.Pop()
+	}
+}
+
+// BenchmarkPushPopDepth32Relaxed is the 32-deep burst on the relaxed owner
+// path.
+func BenchmarkPushPopDepth32Relaxed(b *testing.B) {
+	d := NewRelaxed(64, 20)
+	e := item(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 32; j++ {
+			d.Push(e)
+		}
+		for j := 0; j < 32; j++ {
+			d.Pop()
+		}
+	}
+}
+
+// BenchmarkStealN measures the per-entry cost of batch stealing at several
+// batch widths against single-entry Steal (batch=1 uses Steal itself). One
+// critical section amortises across the batch, which is the mechanism the
+// steal-half policy banks on.
+func BenchmarkStealN(b *testing.B) {
+	for _, batch := range []int{1, 2, 4, 8, 16} {
+		name := "batch1_steal"
+		if batch > 1 {
+			name = "batchN"
+		}
+		b.Run(name+"/"+itoa(batch), func(b *testing.B) {
+			d := New(1<<16, 20)
+			dst := make([]Entry, batch)
+			e := item(1)
+			refill := func() {
+				for d.Size() < 1<<15 {
+					d.Push(e)
+				}
+			}
+			refill()
+			b.ResetTimer()
+			// b.N counts stolen entries, so ns/op is per entry across
+			// batch widths.
+			for i := 0; i < b.N; i += batch {
+				if d.Size() < batch {
+					b.StopTimer()
+					refill()
+					b.StartTimer()
+				}
+				if batch == 1 {
+					d.Steal()
+				} else {
+					d.StealN(dst)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}

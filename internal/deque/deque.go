@@ -41,6 +41,9 @@ type WorkDeque interface {
 	PopSpecial() bool
 	// Steal takes from the head on behalf of a thief.
 	Steal() (Entry, bool)
+	// StealN takes up to len(dst) entries from the head under one critical
+	// section on behalf of a thief, returning how many were taken.
+	StealN(dst []Entry) int
 	// NeedTask reports the paper's need_task starvation flag.
 	NeedTask() bool
 	// SetNeedTask overrides the flag (tests, ablations).
@@ -373,6 +376,96 @@ func (d *Deque) Steal() (Entry, bool) {
 	}
 	d.mu.Unlock()
 	return child.e, true
+}
+
+// StealN takes up to len(dst) entries from the head on behalf of a thief,
+// all under one acquisition of the owner lock — the batch transfer behind
+// the steal-half policy. Slots are still claimed one H++ at a time (each
+// claim published before its slot is read, preserving the Dekker ordering
+// against the owner's Pop and never overshooting H beyond the two slots of
+// Push slack), but the lock, the fault gate and the starvation bookkeeping
+// are paid once per batch instead of once per entry.
+//
+// A batch never crosses a special marker: it stops short of one, and when
+// the marker is already at the head the attempt degrades to the single
+// steal_specialtask (the marker's child is taken, H += 2). Per-entry
+// effects are preserved exactly — each taken entry gets its StealAware
+// notification and one TraceStealOK event, so the trace invariants cannot
+// tell a batch from a burst of single steals by the same thief.
+//
+// The return is the number of entries taken, head-most first in dst. Zero
+// means the attempt failed; the failure went through the same
+// stolen_num/need_task path as a failed Steal, exactly once.
+func (d *Deque) StealN(dst []Entry) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	d.mu.Lock()
+	if d.failSteal != nil && d.failSteal() {
+		d.failLocked()
+		d.mu.Unlock()
+		return 0
+	}
+	h := d.h.Load()
+	n := 0
+	for n < len(dst) {
+		// Claim one slot: H++, MEMBAR, then check against T (as in Steal).
+		d.h.Store(h + 1)
+		t := d.t.Load()
+		if h+1 > t {
+			d.h.Store(h) // retreat: nothing (more) to take
+			break
+		}
+		box := d.buf[h%d.cap].Load()
+		if box.e.Special() {
+			if n > 0 {
+				d.h.Store(h) // the batch stops short of a special marker
+				break
+			}
+			// The head is a special marker: degrade to steal_specialtask
+			// and take the marker's child (H += 2), exactly like Steal.
+			d.h.Store(h + 2)
+			t = d.t.Load()
+			if h+2 > t {
+				d.h.Store(h)
+				d.failLocked()
+				d.mu.Unlock()
+				return 0
+			}
+			child := d.buf[(h+1)%d.cap].Load()
+			if sa, ok := child.e.(StealAware); ok {
+				sa.OnStolen()
+			}
+			dst[0] = child.e
+			d.stolenNum.Store(0)
+			d.needTask.Store(false)
+			if d.trace != nil {
+				d.trace(TraceStealSpecial, 0, false)
+			}
+			d.mu.Unlock()
+			return 1
+		}
+		dst[n] = box.e
+		n++
+		h++
+	}
+	if n == 0 {
+		d.failLocked()
+		d.mu.Unlock()
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if sa, ok := dst[i].(StealAware); ok {
+			sa.OnStolen()
+		}
+		if d.trace != nil {
+			d.trace(TraceStealOK, 0, false)
+		}
+	}
+	d.stolenNum.Store(0)
+	d.needTask.Store(false)
+	d.mu.Unlock()
+	return n
 }
 
 // Reset discards whatever a finished (or aborted) job left behind — entries

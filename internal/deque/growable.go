@@ -89,3 +89,6 @@ func (g *Growable) PopSpecial() bool { return g.d.PopSpecial() }
 
 // Steal takes from the head on behalf of a thief.
 func (g *Growable) Steal() (Entry, bool) { return g.d.Steal() }
+
+// StealN takes up to len(dst) head entries under one critical section.
+func (g *Growable) StealN(dst []Entry) int { return g.d.StealN(dst) }

@@ -1,0 +1,194 @@
+package deque
+
+// Relaxed is the lock-reduced variant of the THE deque, after Castañeda &
+// Piña's observation that the owner-path synchronisation cost is not
+// fundamental. The thief side is untouched — Steal/StealN delegate to the
+// wrapped Deque, keeping the lock-ordered claim protocol, the StealAware
+// notification ordering and the starvation FSM exactly as they are — but
+// the owner's Push and Pop are fence-light:
+//
+//   - The owner caches T in a plain field (it is T's only writer), so Push
+//     and Pop never load it; the atomic T store remains, because it is the
+//     MEMBAR of the protocol — the one publication thieves order against.
+//   - The owner tracks a monotone lower bound of H (hCache), refreshed only
+//     from at-rest reads (under the owner lock, or its own PopSpecial
+//     re-normalisation), never from a racing thief's transient claim. The
+//     capacity check and the depth high-water pre-filter run against the
+//     bound, so the common Push performs zero atomic loads.
+//   - Pop still falls back to the owner lock in the conflict window (H
+//     caught up with T) — the one place owner and thief must serialise,
+//     because a steal's deposit registration (StealAware.OnStolen) must be
+//     ordered before the victim acts on the failed pop.
+//
+// The owner fast path is therefore two atomic stores per Push and one store
+// plus one load per Pop, against the THE deque's four and three. Nothing
+// here admits multiplicity: ownership of every entry is still linearised by
+// the claim protocol, so the variant targets k = 1 under the
+// multiplicity-tolerant checker (trace.CheckMultiplicity) that guards it —
+// the checker's k ≥ 2 allowance is headroom for genuinely fence-free
+// descendants, not a licence this implementation uses.
+//
+// The buffer doubles on overflow like Growable (growth happens on the
+// owner's Push under the owner lock); Push never reports overflow.
+type Relaxed struct {
+	d      *Deque
+	bottom int64 // owner's cached T; equals d.t between owner operations
+	hCache int64 // owner's monotone lower bound of H (at-rest reads only)
+}
+
+// NewRelaxed returns a lock-reduced growable deque with the given initial
+// capacity and max_stolen_num threshold.
+func NewRelaxed(initial, maxStolenNum int) *Relaxed {
+	if initial < 8 {
+		initial = 8
+	}
+	return &Relaxed{d: New(initial, maxStolenNum)}
+}
+
+// Cap returns the current capacity.
+func (r *Relaxed) Cap() int { return r.d.Cap() }
+
+// Size returns the owner-visible entry count.
+func (r *Relaxed) Size() int { return r.d.Size() }
+
+// MaxDepth returns the owner-observed high-water mark.
+func (r *Relaxed) MaxDepth() int64 { return r.d.maxDepth }
+
+// NeedTask reports the starvation flag.
+func (r *Relaxed) NeedTask() bool { return r.d.NeedTask() }
+
+// SetNeedTask overrides the flag.
+func (r *Relaxed) SetNeedTask(v bool) { r.d.SetNeedTask(v) }
+
+// StolenNum returns the failed-steal counter.
+func (r *Relaxed) StolenNum() int64 { return r.d.StolenNum() }
+
+// SetTrace installs the thief-side transition observer.
+func (r *Relaxed) SetTrace(fn TraceFn) { r.d.SetTrace(fn) }
+
+// SetFailSteal installs the fault-injection gate of the steal path.
+func (r *Relaxed) SetFailSteal(fn func() bool) { r.d.SetFailSteal(fn) }
+
+// Steal takes from the head on behalf of a thief (THE ordering, unchanged).
+func (r *Relaxed) Steal() (Entry, bool) { return r.d.Steal() }
+
+// StealN takes up to len(dst) head entries under one critical section.
+func (r *Relaxed) StealN(dst []Entry) int { return r.d.StealN(dst) }
+
+// Push appends e at the tail. Only the owner may call it. The fast path is
+// two atomic stores (slot, T) and no atomic loads: capacity and the depth
+// high-water mark are checked against the cached H bound, and the bound is
+// only refreshed under the owner lock, where no thief holds a transient
+// over-claim (a stale claim frozen into the cache would erode the two slots
+// of Push slack the claim windows rely on). It never reports overflow: a
+// full buffer doubles, as in Growable.
+func (r *Relaxed) Push(e Entry) bool {
+	d := r.d
+	b := r.bottom
+	if b-r.hCache >= d.cap-2 {
+		d.mu.Lock()
+		r.hCache = d.h.Load() // at rest: no thief claim is in flight
+		if b-r.hCache >= d.cap-2 {
+			r.growLocked()
+		}
+		d.mu.Unlock()
+	}
+	var box *entryBox
+	if n := len(d.free); n > 0 {
+		box = d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		box.e = e
+	} else {
+		box = &entryBox{e: e}
+	}
+	d.buf[b%d.cap].Store(box)
+	r.bottom = b + 1
+	d.t.Store(b + 1) // release: publishes the buffer write to thieves
+	// Depth high-water: the cached bound over-counts (H only grows), so it
+	// is a cheap pre-filter; the fresh reload can at worst read a thief's
+	// transient claim and under-count by the claim width, same as Deque.
+	if b+1-r.hCache > d.maxDepth {
+		if depth := b + 1 - d.h.Load(); depth > d.maxDepth {
+			d.maxDepth = depth
+		}
+	}
+	return true
+}
+
+// growLocked doubles the buffer, re-homing the live window [H, T). The
+// caller holds the owner lock, which excludes thieves; the owner cannot
+// race itself.
+func (r *Relaxed) growLocked() {
+	d := r.d
+	oldCap := d.cap
+	newCap := oldCap * 2
+	newBuf := makeBuf(int(newCap))
+	h, t := d.h.Load(), d.t.Load()
+	for i := h; i < t; i++ {
+		newBuf[i%newCap].Store(d.buf[i%oldCap].Load())
+	}
+	d.buf = newBuf
+	d.cap = newCap
+}
+
+// Pop removes and returns the tail entry. Only the owner may call it. The
+// fast path is one atomic store (T, the protocol's MEMBAR) and one atomic
+// load (H); the conflict window falls back to the owner lock exactly as
+// Deque.Pop does, re-normalising to empty on failure.
+func (r *Relaxed) Pop() (Entry, bool) {
+	d := r.d
+	b := r.bottom - 1
+	d.t.Store(b) // the MEMBAR: publish the claim before consulting H
+	r.bottom = b
+	h := d.h.Load()
+	if h > b {
+		d.t.Store(b + 1)
+		d.mu.Lock()
+		b = d.t.Load() - 1
+		d.t.Store(b)
+		r.bottom = b
+		h = d.h.Load()
+		if h > b {
+			d.t.Store(h) // normalise empty
+			r.bottom = h
+			r.hCache = h // at-rest read: safe to cache
+			d.mu.Unlock()
+			return nil, false
+		}
+		r.hCache = h
+		d.mu.Unlock()
+	}
+	box := d.buf[b%d.cap].Load()
+	e := box.e
+	box.e = nil
+	d.free = append(d.free, box)
+	return e, true
+}
+
+// PopSpecial removes the owner's special marker, reporting child theft (see
+// Deque.PopSpecial). Re-normalising H = T moves H downward, so the cached
+// bound is re-anchored to keep it a true lower bound.
+func (r *Relaxed) PopSpecial() (stolen bool) {
+	d := r.d
+	d.mu.Lock()
+	t := d.t.Load() - 1
+	d.t.Store(t)
+	r.bottom = t
+	if d.h.Load() > t {
+		d.h.Store(t) // re-normalise: the marker stays owned by the victim
+		r.hCache = t
+		d.mu.Unlock()
+		return true
+	}
+	d.mu.Unlock()
+	return false
+}
+
+// Reset empties the deque and clears the starvation signal and high-water
+// mark (see Deque.Reset). The grown buffer is kept.
+func (r *Relaxed) Reset() {
+	r.d.Reset()
+	r.bottom = 0
+	r.hCache = 0
+}

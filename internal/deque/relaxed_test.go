@@ -1,0 +1,249 @@
+package deque
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRelaxedPushPopLIFO(t *testing.T) {
+	d := NewRelaxed(16, 20)
+	for i := 0; i < 10; i++ {
+		if !d.Push(item(i)) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if got := d.Size(); got != 10 {
+		t.Fatalf("size = %d, want 10", got)
+	}
+	for i := 9; i >= 0; i-- {
+		e, ok := d.Pop()
+		if !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		if e.(*entry).id != i {
+			t.Fatalf("pop returned %d, want %d", e.(*entry).id, i)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+	// Emptiness is re-normalised: pushing again still works.
+	if !d.Push(item(99)) {
+		t.Fatal("push after empty pop failed")
+	}
+	if e, ok := d.Pop(); !ok || e.(*entry).id != 99 {
+		t.Fatalf("pop after re-push = %v/%v", e, ok)
+	}
+}
+
+func TestRelaxedNeverOverflows(t *testing.T) {
+	d := NewRelaxed(8, 20)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if !d.Push(item(i)) {
+			t.Fatalf("push %d reported overflow on a growable deque", i)
+		}
+	}
+	if d.Cap() < n {
+		t.Fatalf("capacity %d after %d pushes", d.Cap(), n)
+	}
+	if got := d.MaxDepth(); got != n {
+		t.Fatalf("max depth = %d, want %d", got, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		e, ok := d.Pop()
+		if !ok || e.(*entry).id != i {
+			t.Fatalf("pop %d after growth = %v/%v", i, e, ok)
+		}
+	}
+}
+
+func TestRelaxedKeepsWindowAcrossGrowth(t *testing.T) {
+	d := NewRelaxed(8, 20)
+	// Steal a prefix so the live window [H, T) starts off-origin, then grow.
+	for i := 0; i < 6; i++ {
+		d.Push(item(i))
+	}
+	for i := 0; i < 3; i++ {
+		e, ok := d.Steal()
+		if !ok || e.(*entry).id != i {
+			t.Fatalf("steal %d = %v/%v", i, e, ok)
+		}
+	}
+	for i := 6; i < 40; i++ {
+		d.Push(item(i))
+	}
+	// Everything from 3..39 must still come back, thief side FIFO.
+	for i := 3; i < 40; i++ {
+		e, ok := d.Steal()
+		if !ok || e.(*entry).id != i {
+			t.Fatalf("steal %d after growth = %v/%v", i, e, ok)
+		}
+	}
+}
+
+func TestRelaxedSpecialSemantics(t *testing.T) {
+	d := NewRelaxed(16, 20)
+	d.Push(specialItem(0))
+	// Marker alone: steal_specialtask fails, marker stays.
+	if _, ok := d.Steal(); ok {
+		t.Fatal("stole a childless special marker")
+	}
+	d.Push(item(1))
+	// Marker with child: the thief takes the child over the marker.
+	e, ok := d.Steal()
+	if !ok || e.(*entry).id != 1 {
+		t.Fatalf("steal over marker = %v/%v, want child 1", e, ok)
+	}
+	if stolen := d.PopSpecial(); !stolen {
+		t.Fatal("PopSpecial did not report the theft")
+	}
+	// Clean case: marker popped with nothing stolen.
+	d.Push(specialItem(2))
+	if stolen := d.PopSpecial(); stolen {
+		t.Fatal("PopSpecial reported a theft that never happened")
+	}
+	// The owner can keep using the deque after both re-normalisations.
+	d.Push(item(3))
+	if e, ok := d.Pop(); !ok || e.(*entry).id != 3 {
+		t.Fatalf("pop after PopSpecial = %v/%v", e, ok)
+	}
+}
+
+func TestRelaxedReset(t *testing.T) {
+	d := NewRelaxed(8, 3)
+	for i := 0; i < 5; i++ {
+		d.Push(item(i))
+	}
+	for i := 0; i < 4; i++ {
+		d.Steal()
+	}
+	for i := 0; i < 5; i++ {
+		d.Steal() // failures: raise the starvation signal
+	}
+	if !d.NeedTask() {
+		t.Fatal("need_task not raised")
+	}
+	d.Reset()
+	if d.Size() != 0 || d.NeedTask() || d.StolenNum() != 0 || d.MaxDepth() != 0 {
+		t.Fatalf("Reset left state: size=%d need=%v num=%d depth=%d",
+			d.Size(), d.NeedTask(), d.StolenNum(), d.MaxDepth())
+	}
+	// Owner-side caches were re-anchored too.
+	if !d.Push(item(9)) {
+		t.Fatal("push after reset failed")
+	}
+	if e, ok := d.Pop(); !ok || e.(*entry).id != 9 {
+		t.Fatalf("pop after reset = %v/%v", e, ok)
+	}
+}
+
+// TestRelaxedConcurrentStress mirrors the growable stress test: one owner
+// pushing and popping randomly, several thieves stealing, every entry
+// consumed exactly once. Run under -race this also proves the fence-light
+// owner path has no data race with the locked thief path.
+func TestRelaxedConcurrentStress(t *testing.T) {
+	d := NewRelaxed(8, 20)
+	const total = 30000
+	var consumed [total]atomic.Int32
+	var stolenCount atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			dst := make([]Entry, 4)
+			for {
+				if th%2 == 0 {
+					if e, ok := d.Steal(); ok {
+						consumed[e.(*entry).id].Add(1)
+						stolenCount.Add(1)
+						continue
+					}
+				} else {
+					if n := d.StealN(dst); n > 0 {
+						for i := 0; i < n; i++ {
+							consumed[dst[i].(*entry).id].Add(1)
+						}
+						stolenCount.Add(int64(n))
+						continue
+					}
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(th)
+	}
+	rng := rand.New(rand.NewSource(42))
+	popped := 0
+	for i := 0; i < total; i++ {
+		d.Push(item(i))
+		for rng.Intn(3) == 0 {
+			e, ok := d.Pop()
+			if !ok {
+				break
+			}
+			consumed[e.(*entry).id].Add(1)
+			popped++
+		}
+	}
+	for {
+		e, ok := d.Pop()
+		if !ok {
+			break
+		}
+		consumed[e.(*entry).id].Add(1)
+		popped++
+	}
+	close(stop)
+	wg.Wait()
+	if got := stolenCount.Load() + int64(popped); got != total {
+		t.Fatalf("consumed %d entries (%d stolen + %d popped), want %d", got, stolenCount.Load(), popped, total)
+	}
+	for id := range consumed {
+		if n := consumed[id].Load(); n != 1 {
+			t.Fatalf("entry %d consumed %d times", id, n)
+		}
+	}
+}
+
+// TestRelaxedPushPopZeroAllocs pins the owner fast path of the relaxed
+// variant to the same zero-allocation guarantee as the THE deque.
+func TestRelaxedPushPopZeroAllocs(t *testing.T) {
+	d := NewRelaxed(64, 20)
+	e := item(1)
+	d.Push(e)
+	d.Pop()
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.Push(e)
+		d.Pop()
+	})
+	if allocs != 0 {
+		t.Errorf("relaxed owner Push+Pop allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestRelaxedSetFailSteal(t *testing.T) {
+	d := NewRelaxed(16, 20)
+	d.Push(item(0))
+	d.SetFailSteal(func() bool { return true })
+	if _, ok := d.Steal(); ok {
+		t.Fatal("forced failure still stole")
+	}
+	if n := d.StealN(make([]Entry, 4)); n != 0 {
+		t.Fatal("forced failure still batch-stole")
+	}
+	if d.StolenNum() != 2 {
+		t.Fatalf("stolen_num = %d after two forced failures, want 2", d.StolenNum())
+	}
+	d.SetFailSteal(nil)
+	if _, ok := d.Steal(); !ok {
+		t.Fatal("steal failed after clearing the gate")
+	}
+}

@@ -1,0 +1,290 @@
+package deque
+
+import (
+	"sync"
+	"testing"
+)
+
+// stealN is a test helper: batch-steal up to max entries from d.
+func stealN(d WorkDeque, max int) []Entry {
+	dst := make([]Entry, max)
+	n := d.StealN(dst)
+	return dst[:n]
+}
+
+func TestStealNBatchFIFO(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		d    WorkDeque
+	}{
+		{"fixed", New(16, 20)},
+		{"growable", NewGrowable(16, 20)},
+		{"relaxed", NewRelaxed(16, 20)},
+	} {
+		d := mk.d
+		for i := 0; i < 8; i++ {
+			d.Push(item(i))
+		}
+		got := stealN(d, 3)
+		if len(got) != 3 {
+			t.Fatalf("%s: StealN took %d entries, want 3", mk.name, len(got))
+		}
+		for i, e := range got {
+			if e.(*entry).id != i {
+				t.Errorf("%s: batch[%d] = %d, want %d (head order)", mk.name, i, e.(*entry).id, i)
+			}
+			if e.(*entry).stolen.Load() != 1 {
+				t.Errorf("%s: OnStolen not called exactly once for %d", mk.name, i)
+			}
+		}
+		// The owner's view: 5 entries remain, poppable LIFO from the tail.
+		if got := d.Size(); got != 5 {
+			t.Fatalf("%s: size after batch = %d, want 5", mk.name, got)
+		}
+		e, ok := d.Pop()
+		if !ok || e.(*entry).id != 7 {
+			t.Fatalf("%s: pop after batch = %v/%v, want 7", mk.name, e, ok)
+		}
+	}
+}
+
+func TestStealNClampedToAvailable(t *testing.T) {
+	d := New(16, 20)
+	d.Push(item(0))
+	d.Push(item(1))
+	got := stealN(d, 8)
+	if len(got) != 2 {
+		t.Fatalf("StealN took %d, want 2 (all available)", len(got))
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("deque should be empty after the batch took everything")
+	}
+}
+
+func TestStealNEmptyFailsOnce(t *testing.T) {
+	d := New(16, 3)
+	var fails int
+	d.SetTrace(func(op TraceOp, stolenNum int64, needTask bool) {
+		if op == TraceStealFail {
+			fails++
+		}
+	})
+	if n := d.StealN(make([]Entry, 8)); n != 0 {
+		t.Fatalf("StealN on empty deque took %d", n)
+	}
+	if fails != 1 {
+		t.Fatalf("empty batch attempt recorded %d steal-fail transitions, want exactly 1", fails)
+	}
+	if d.StolenNum() != 1 {
+		t.Fatalf("stolen_num = %d after one failed batch, want 1", d.StolenNum())
+	}
+}
+
+func TestStealNStopsAtSpecialMarker(t *testing.T) {
+	d := New(16, 20)
+	d.Push(item(0))
+	d.Push(item(1))
+	d.Push(specialItem(2))
+	d.Push(item(3))
+	got := stealN(d, 8)
+	if len(got) != 2 || got[0].(*entry).id != 0 || got[1].(*entry).id != 1 {
+		t.Fatalf("batch = %v, want exactly the two entries before the marker", got)
+	}
+	// The marker is now the head: a second batch degrades to
+	// steal_specialtask and takes the marker's child.
+	got = stealN(d, 8)
+	if len(got) != 1 || got[0].(*entry).id != 3 {
+		t.Fatalf("batch over marker = %v, want the marker's child 3", got)
+	}
+	// The marker itself stays owned by the victim.
+	if stolen := d.PopSpecial(); !stolen {
+		t.Fatal("PopSpecial did not report the child theft")
+	}
+}
+
+func TestStealNHeadSpecialNoChildFails(t *testing.T) {
+	d := New(16, 20)
+	d.Push(specialItem(0))
+	if n := d.StealN(make([]Entry, 4)); n != 0 {
+		t.Fatalf("batch stole %d over a childless marker, want 0", n)
+	}
+	if d.StolenNum() != 1 {
+		t.Fatalf("stolen_num = %d, want 1", d.StolenNum())
+	}
+}
+
+// TestFailLockedTable pins the shared fail-path semantics Steal and StealN
+// both go through: the stolen_num counter, the need_task threshold and the
+// trace transition must evolve identically whether a failure came from an
+// organic empty deque, a forced injection, or a batch attempt. One step per
+// row; the table is replayed against both entry points.
+func TestFailLockedTable(t *testing.T) {
+	type step struct {
+		op       string // "push", "steal", "fail-steal" (forced), "check"
+		wantOK   bool   // for steal steps: success expected
+		wantNum  int64  // post-step stolen_num
+		wantNeed bool   // post-step need_task
+	}
+	script := []step{
+		{op: "steal", wantOK: false, wantNum: 1, wantNeed: false},
+		{op: "steal", wantOK: false, wantNum: 2, wantNeed: false},
+		{op: "fail-steal", wantOK: false, wantNum: 3, wantNeed: false}, // injected, same path
+		{op: "steal", wantOK: false, wantNum: 4, wantNeed: true},       // past max_stolen_num=3
+		{op: "steal", wantOK: false, wantNum: 5, wantNeed: true},
+		{op: "push"},
+		{op: "steal", wantOK: true, wantNum: 0, wantNeed: false}, // success clears both
+		{op: "fail-steal", wantOK: false, wantNum: 1, wantNeed: false},
+		{op: "push"},
+		{op: "steal", wantOK: true, wantNum: 0, wantNeed: false},
+	}
+	for _, mode := range []string{"steal", "stealN"} {
+		d := New(16, 3)
+		forced := false
+		d.SetFailSteal(func() bool { return forced })
+		var traced []TraceOp
+		d.SetTrace(func(op TraceOp, stolenNum int64, needTask bool) {
+			traced = append(traced, op)
+		})
+		id := 0
+		for i, s := range script {
+			switch s.op {
+			case "push":
+				d.Push(item(id))
+				id++
+				continue
+			case "fail-steal":
+				forced = true
+			case "steal":
+				forced = false
+			}
+			var ok bool
+			if mode == "steal" {
+				_, ok = d.Steal()
+			} else {
+				ok = d.StealN(make([]Entry, 4)) > 0
+			}
+			if ok != s.wantOK {
+				t.Fatalf("%s step %d (%s): ok = %v, want %v", mode, i, s.op, ok, s.wantOK)
+			}
+			if got := d.StolenNum(); got != s.wantNum {
+				t.Errorf("%s step %d (%s): stolen_num = %d, want %d", mode, i, s.op, got, s.wantNum)
+			}
+			if got := d.NeedTask(); got != s.wantNeed {
+				t.Errorf("%s step %d (%s): need_task = %v, want %v", mode, i, s.op, got, s.wantNeed)
+			}
+		}
+		// Trace symmetry: every failed attempt produced exactly one
+		// TraceStealFail and every success exactly one TraceStealOK,
+		// regardless of entry point.
+		fails, oks := 0, 0
+		for _, op := range traced {
+			switch op {
+			case TraceStealFail:
+				fails++
+			case TraceStealOK:
+				oks++
+			}
+		}
+		if fails != 6 || oks != 2 {
+			t.Errorf("%s: trace saw %d fails / %d oks, want 6/2", mode, fails, oks)
+		}
+	}
+}
+
+func TestStealNForcedFailureCountsOnce(t *testing.T) {
+	d := New(16, 20)
+	for i := 0; i < 8; i++ {
+		d.Push(item(i))
+	}
+	d.SetFailSteal(func() bool { return true })
+	if n := d.StealN(make([]Entry, 8)); n != 0 {
+		t.Fatalf("forced failure still stole %d entries", n)
+	}
+	if d.StolenNum() != 1 {
+		t.Fatalf("a forced batch failure bumped stolen_num to %d, want 1 (one attempt, one failure)", d.StolenNum())
+	}
+	d.SetFailSteal(nil)
+	if got := stealN(d, 8); len(got) != 8 {
+		t.Fatalf("after clearing the gate the batch took %d, want 8", len(got))
+	}
+}
+
+// TestStealNConcurrentWithOwner hammers batch thieves against a pushing and
+// popping owner: every entry must be consumed exactly once, by exactly one
+// side.
+func TestStealNConcurrentWithOwner(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		d    WorkDeque
+	}{
+		{"fixed", New(32768, 20)}, // capacity ≥ total: starved thieves must never overflow it
+		{"relaxed", NewRelaxed(64, 20)},
+	} {
+		d := mk.d
+		const total = 20000
+		var stolen, popped int64
+		seen := make([]int32, total)
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for th := 0; th < 3; th++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dst := make([]Entry, 5)
+				local := int64(0)
+				for {
+					n := d.StealN(dst)
+					for i := 0; i < n; i++ {
+						seen[dst[i].(*entry).id]++
+						local++
+					}
+					if n == 0 {
+						select {
+						case <-stop:
+							mu.Lock()
+							stolen += local
+							mu.Unlock()
+							return
+						default:
+						}
+					}
+				}
+			}()
+		}
+		for i := 0; i < total; i++ {
+			if !d.Push(item(i)) {
+				t.Fatalf("%s: push %d overflowed", mk.name, i)
+			}
+			if i%3 == 0 {
+				if e, ok := d.Pop(); ok {
+					seen[e.(*entry).id]++
+					popped++
+				}
+			}
+		}
+		for {
+			e, ok := d.Pop()
+			if !ok {
+				break
+			}
+			seen[e.(*entry).id]++
+			popped++
+		}
+		close(stop)
+		wg.Wait()
+		if got := stolen + popped; got != total {
+			t.Fatalf("%s: consumed %d entries (%d stolen + %d popped), want %d", mk.name, got, stolen, popped, total)
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("%s: entry %d consumed %d times", mk.name, id, n)
+			}
+		}
+	}
+}
+
+// mu guards the cross-goroutine counters of the concurrent tests above;
+// seen[] itself is safe because each id is consumed exactly once (what the
+// test asserts) — a double-consumption bug shows up as a count, and under
+// -race as the write race it truly is.
+var mu sync.Mutex

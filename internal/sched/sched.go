@@ -159,6 +159,19 @@ type Options struct {
 	// paper's related work cites). Fixed is the default because the paper
 	// treats overflow-proneness as an observable property.
 	GrowableDeque bool
+	// RelaxedDeque replaces the THE deque with the lock-reduced variant
+	// whose owner Push/Pop avoid the owner lock outside the conflict window
+	// (after Castañeda & Piña's relaxed work-stealing queues). Implies a
+	// growable buffer; takes precedence over GrowableDeque. Runs using it
+	// should be checked with the multiplicity-tolerant invariant checker
+	// (trace.CheckMultiplicity) rather than the strict one.
+	RelaxedDeque bool
+	// StealPolicy names the victim-selection/steal-amount strategy of the
+	// thief loop: "random" (default), "steal-half", "richest-first" or
+	// "shard-local". Empty means "random", the paper's baseline. Unknown
+	// names fall back to "random" at the runtime layer; front ends validate
+	// earlier.
+	StealPolicy string
 	// Profile enables the per-phase time breakdown (working, copying,
 	// deque management, polling, waiting). It costs a little extra
 	// bookkeeping, so performance figures leave it off.

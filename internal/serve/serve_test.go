@@ -287,6 +287,52 @@ func TestServeRejectsUnknowns(t *testing.T) {
 	if _, err := s.Submit(Request{Program: "fib", Engine: "serial"}); err == nil {
 		t.Fatal("serial engine accepted")
 	}
+	if _, err := s.Submit(Request{Program: "fib", StealPolicy: "round-robin"}); err == nil {
+		t.Fatal("unknown steal policy accepted")
+	}
+}
+
+// TestServeStealPolicies runs one checked job per steal policy on a
+// relaxed-deque service: the value must be right and the job's trace must
+// pass the (multiplicity-tolerant) invariant audit.
+func TestServeStealPolicies(t *testing.T) {
+	s := New(Config{
+		Workers:       4,
+		QueueCapacity: 16,
+		Check:         true,
+		Options:       sched.Options{RelaxedDeque: true},
+	})
+	defer s.Close()
+	oracle := fibOracle(12)
+	for _, policy := range wsrt.StealPolicyNames() {
+		job, err := s.Submit(Request{Program: "fib", N: 12, Engine: "adaptivetc", StealPolicy: policy})
+		if err != nil {
+			t.Fatalf("%s: submit: %v", policy, err)
+		}
+		<-job.Done()
+		state, res, err := job.Snapshot()
+		if err != nil || state != StateDone {
+			t.Fatalf("%s: state %v, err %v", policy, state, err)
+		}
+		if res.Value != oracle {
+			t.Errorf("%s: value %d, want %d", policy, res.Value, oracle)
+		}
+		if v := job.Violations(); v != nil {
+			t.Errorf("%s: invariant violations: %v", policy, v)
+		}
+	}
+	m := s.Snapshot()
+	if m.InvariantChecked != int64(len(wsrt.StealPolicyNames())) || m.InvariantViolations != 0 {
+		t.Fatalf("checked=%d violations=%d, want %d/0", m.InvariantChecked, m.InvariantViolations, len(wsrt.StealPolicyNames()))
+	}
+}
+
+func fibOracle(n int) int64 {
+	a, b := int64(0), int64(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
 }
 
 // TestHTTPAPI exercises the JSON API end to end over httptest.

@@ -56,6 +56,11 @@ type Request struct {
 	Engine string `json:"engine,omitempty"`
 	// TimeoutMS is the job deadline in milliseconds; zero means none.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// StealPolicy overrides the pool's victim-selection/steal-amount
+	// strategy for this job ("random", "steal-half", "richest-first",
+	// "shard-local"). Empty means the service-wide default
+	// (Config.Options.StealPolicy, itself defaulting to "random").
+	StealPolicy string `json:"steal_policy,omitempty"`
 }
 
 // Job is one submission's record.
@@ -298,6 +303,9 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	if !ok {
 		return nil, fmt.Errorf("serve: engine %q is not pool-capable (have %v)", engName, EngineNames())
 	}
+	if !wsrt.ValidStealPolicy(req.StealPolicy) {
+		return nil, fmt.Errorf("serve: unknown steal policy %q (have %v)", req.StealPolicy, wsrt.StealPolicyNames())
+	}
 
 	ctx, cancel := context.WithCancelCause(context.Background())
 	if req.TimeoutMS > 0 {
@@ -324,11 +332,12 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	}
 
 	spec := wsrt.JobSpec{
-		Prog:   prog,
-		Engine: mk(),
-		Ctx:    ctx,
-		Tracer: rec,
-		Faults: s.cfg.Faults,
+		Prog:        prog,
+		Engine:      mk(),
+		Ctx:         ctx,
+		Tracer:      rec,
+		Faults:      s.cfg.Faults,
+		StealPolicy: req.StealPolicy,
 	}
 	retries := s.cfg.AdmissionRetries
 	if retries == 0 {
@@ -443,14 +452,22 @@ func (s *Service) watch(job *Job, rec *trace.Recorder) {
 
 	var viol error
 	if rec != nil {
+		// A relaxed-deque pool is audited under bounded multiplicity: the
+		// lock-reduced owner path is allowed (by construction, never
+		// observed) to hand an entry to up to 2 consumers, so the strict
+		// exactly-once ceilings would mislabel it.
+		k := 1
+		if s.cfg.Options.RelaxedDeque {
+			k = 2
+		}
 		if state == StateDone {
 			// No external oracle at serve time: the run's value stands in
 			// for it, so this checks internal consistency (conservation,
 			// deposit accounting, completion uniqueness), not correctness
 			// against a serial run.
-			viol = rec.Check(res.Value, res.Value)
+			viol = rec.CheckMultiplicity(res.Value, res.Value, k)
 		} else {
-			viol = rec.CheckTruncated()
+			viol = rec.CheckTruncatedMultiplicity(k)
 		}
 		s.checked.Add(1)
 		if viol != nil {

@@ -29,6 +29,15 @@
 //	single-completion the run records exactly one root completion, its
 //	                  value matches the reported result, and the result
 //	                  matches the serial oracle.
+//
+// Two orthogonal relaxations compose with the catalogue. Truncation
+// (CheckTruncated) drops the "at least once" floors — an aborted run may
+// abandon pushed tasks, owed deposits and suspended frames. Bounded
+// multiplicity (CheckMultiplicity, CheckTruncatedMultiplicity) raises the
+// "at most once" ceilings to k — a relaxed deque may hand the same entry to
+// up to k consumers, so every exactly-once law becomes at-least-once,
+// at-most-k-times. Neither relaxation ever forgives lost work, unowed
+// deposits, wandering special markers, or a corrupted need_task FSM.
 package trace
 
 import (
@@ -183,6 +192,24 @@ func (r *Recorder) violationError(violations []error) error {
 // violated invariant (capped), or nil if the run upheld all of them.
 // finalValue is the run's reported result; wantValue is the serial oracle.
 func (r *Recorder) Check(finalValue, wantValue int64) error {
+	return r.CheckMultiplicity(finalValue, wantValue, 1)
+}
+
+// CheckMultiplicity is Check with a bounded-multiplicity allowance: every
+// "exactly once" law relaxes to "at least once, at most k times", the shape
+// a relaxed deque (Castañeda & Piña) is allowed to bend the protocol into.
+// k = 1 is exactly Check. What k relaxes: spawn-unique (a re-extracted
+// frame re-runs its spawn), conservation (a push may be consumed up to k
+// times), deposit-owed (each duplicated steal duplicates its credit's
+// deposit), suspend-once, single-completion and the special-marker
+// PopSpecial matching. What k does NOT relax: consumption without a push,
+// payment without a debt, markers leaving through the steal or ordinary-pop
+// path, the per-deque need_task FSM replay and steal-symmetry — losing work
+// or corrupting the starvation signal is a violation at any multiplicity.
+func (r *Recorder) CheckMultiplicity(finalValue, wantValue int64, k int) error {
+	if k < 1 {
+		k = 1
+	}
 	var violations []error
 	addf := func(format string, args ...any) {
 		if len(violations) < maxViolations {
@@ -196,58 +223,19 @@ func (r *Recorder) Check(finalValue, wantValue int64) error {
 
 	rp := r.replayWorkers()
 
-	if rp.completions != 1 {
-		addf("single-completion: %d root completions recorded, want exactly 1", rp.completions)
+	if rp.completions < 1 || rp.completions > k {
+		addf("single-completion: %d root completions recorded, want 1..%d", rp.completions, k)
 	}
 	for _, v := range rp.completed {
 		if v != finalValue {
 			addf("single-completion: completion event carries %d, run reported %d", v, finalValue)
 		}
 	}
-	if rp.rootDeposits > 1 {
-		addf("single-completion: %d deposits to the run root, want at most 1", rp.rootDeposits)
+	if rp.rootDeposits > k {
+		addf("single-completion: %d deposits to the run root, want at most %d", rp.rootDeposits, k)
 	}
 
-	for seq, t := range rp.tasks {
-		name := FormatSeq(seq)
-		if t.spawns != 1 {
-			addf("spawn-unique: task %s spawned %d times", name, t.spawns)
-			continue // counts below are meaningless without a unique identity
-		}
-		if t.kind == KindSpecial {
-			if t.steals != 0 {
-				addf("special-pinned: special marker %s was stolen %d times", name, t.steals)
-			}
-			if t.pops != 0 {
-				addf("special-pinned: special marker %s left through the ordinary pop %d times", name, t.pops)
-			}
-			if t.pushes != t.popSpecials {
-				addf("special-pinned: special marker %s pushed %d times but removed by PopSpecial %d times", name, t.pushes, t.popSpecials)
-			}
-			if t.suspends != 0 || t.finalizes != 0 {
-				addf("suspend-once: special marker %s suspends=%d finalizes=%d, want 0/0", name, t.suspends, t.finalizes)
-			}
-		} else {
-			if t.popSpecials != 0 {
-				addf("special-pinned: ordinary task %s removed via PopSpecial %d times", name, t.popSpecials)
-			}
-			if t.pushes != t.pops+t.steals {
-				addf("conservation: task %s pushed %d times, consumed %d times (%d pops + %d steals)",
-					name, t.pushes, t.pops+t.steals, t.pops, t.steals)
-			}
-			if t.suspends > 1 {
-				addf("suspend-once: task %s suspended %d times", name, t.suspends)
-			}
-			if t.finalizes > t.suspends {
-				addf("suspend-once: task %s finalised %d times but suspended %d times", name, t.finalizes, t.suspends)
-			}
-		}
-		if owed := t.credits + t.expects - t.cancels; t.deposits != owed {
-			addf("deposit-owed: task %s received %d deposits but was owed %d (%d steal credits + %d expects - %d cancels)",
-				name, t.deposits, owed, t.credits, t.expects, t.cancels)
-		}
-	}
-
+	r.checkTasks(rp, addf, k, false)
 	r.checkDeques(rp, addf)
 	return r.violationError(violations)
 }
@@ -265,6 +253,16 @@ func (r *Recorder) Check(finalValue, wantValue int64) error {
 // event by event (aborts happen only at poll points, never between a deque
 // transition and its worker-side record).
 func (r *Recorder) CheckTruncated() error {
+	return r.CheckTruncatedMultiplicity(1)
+}
+
+// CheckTruncatedMultiplicity is CheckTruncated with the bounded-multiplicity
+// allowance of CheckMultiplicity: upper bounds scale by k, the "at least
+// once" floors are dropped by truncation as usual.
+func (r *Recorder) CheckTruncatedMultiplicity(k int) error {
+	if k < 1 {
+		k = 1
+	}
 	var violations []error
 	addf := func(format string, args ...any) {
 		if len(violations) < maxViolations {
@@ -274,18 +272,27 @@ func (r *Recorder) CheckTruncated() error {
 
 	rp := r.replayWorkers()
 
-	if rp.completions > 1 {
-		addf("single-completion: %d root completions recorded, want at most 1", rp.completions)
+	if rp.completions > k {
+		addf("single-completion: %d root completions recorded, want at most %d", rp.completions, k)
 	}
-	if rp.rootDeposits > 1 {
-		addf("single-completion: %d deposits to the run root, want at most 1", rp.rootDeposits)
+	if rp.rootDeposits > k {
+		addf("single-completion: %d deposits to the run root, want at most %d", rp.rootDeposits, k)
 	}
 
+	r.checkTasks(rp, addf, k, true)
+	r.checkDeques(rp, addf)
+	return r.violationError(violations)
+}
+
+// checkTasks replays the per-task laws shared by the complete and truncated
+// checkers. k is the multiplicity allowance; truncated drops the "at least
+// once" floors (an aborted run may abandon work at any point).
+func (r *Recorder) checkTasks(rp *replay, addf func(string, ...any), k int, truncated bool) {
 	for seq, t := range rp.tasks {
 		name := FormatSeq(seq)
-		if t.spawns != 1 {
-			addf("spawn-unique: task %s spawned %d times", name, t.spawns)
-			continue
+		if t.spawns < 1 || t.spawns > k {
+			addf("spawn-unique: task %s spawned %d times, want 1..%d", name, t.spawns, k)
+			continue // counts below are meaningless without a unique identity
 		}
 		if t.kind == KindSpecial {
 			if t.steals != 0 {
@@ -294,8 +301,9 @@ func (r *Recorder) CheckTruncated() error {
 			if t.pops != 0 {
 				addf("special-pinned: special marker %s left through the ordinary pop %d times", name, t.pops)
 			}
-			if t.popSpecials > t.pushes {
-				addf("special-pinned: special marker %s pushed %d times but removed by PopSpecial %d times", name, t.pushes, t.popSpecials)
+			if t.popSpecials > k*t.pushes || (!truncated && t.popSpecials < t.pushes) {
+				addf("special-pinned: special marker %s pushed %d times but removed by PopSpecial %d times (multiplicity %d)",
+					name, t.pushes, t.popSpecials, k)
 			}
 			if t.suspends != 0 || t.finalizes != 0 {
 				addf("suspend-once: special marker %s suspends=%d finalizes=%d, want 0/0", name, t.suspends, t.finalizes)
@@ -304,23 +312,28 @@ func (r *Recorder) CheckTruncated() error {
 			if t.popSpecials != 0 {
 				addf("special-pinned: ordinary task %s removed via PopSpecial %d times", name, t.popSpecials)
 			}
-			if t.pops+t.steals > t.pushes {
-				addf("conservation: task %s pushed %d times but consumed %d times (%d pops + %d steals)",
-					name, t.pushes, t.pops+t.steals, t.pops, t.steals)
+			// Consumption without a push is a hard violation at any k
+			// (k * 0 pushes is still 0); losing a push is only legal on a
+			// truncated run.
+			if consumed := t.pops + t.steals; consumed > k*t.pushes || (!truncated && consumed < t.pushes) {
+				addf("conservation: task %s pushed %d times, consumed %d times (%d pops + %d steals, multiplicity %d)",
+					name, t.pushes, consumed, t.pops, t.steals, k)
 			}
-			if t.suspends > 1 {
-				addf("suspend-once: task %s suspended %d times", name, t.suspends)
+			if t.suspends > k {
+				addf("suspend-once: task %s suspended %d times, want at most %d", name, t.suspends, k)
 			}
 			if t.finalizes > t.suspends {
 				addf("suspend-once: task %s finalised %d times but suspended %d times", name, t.finalizes, t.suspends)
 			}
 		}
-		if owed := t.credits + t.expects - t.cancels; t.deposits > owed {
-			addf("deposit-owed: task %s received %d deposits but was owed only %d (%d steal credits + %d expects - %d cancels)",
-				name, t.deposits, owed, t.credits, t.expects, t.cancels)
+		owed := t.credits + t.expects - t.cancels
+		hi := k * owed
+		if hi < owed {
+			hi = owed // owed < 0 is itself nonsense; let the bound report it
+		}
+		if t.deposits > hi || (!truncated && t.deposits < owed) {
+			addf("deposit-owed: task %s received %d deposits but was owed %d (%d steal credits + %d expects - %d cancels, multiplicity %d)",
+				name, t.deposits, owed, t.credits, t.expects, t.cancels, k)
 		}
 	}
-
-	r.checkDeques(rp, addf)
-	return r.violationError(violations)
 }

@@ -188,6 +188,126 @@ func TestCheckCatchesViolations(t *testing.T) {
 	}
 }
 
+// duplicateSteal seeds the bounded-multiplicity shape into the clean run:
+// t1's single push is stolen a second time (deque log and worker log agree,
+// so steal-symmetry and the FSM replay stay exact), and the duplicated
+// steal's credit is paid by a second deposit, with the second executor
+// suspending again before it.
+func duplicateSteal(r *Recorder, t1 uint64) {
+	w1 := r.WorkerLog(1)
+	r.DequeHook(0)(deque.TraceStealOK, 0, false)
+	w1.Add(70, OpSteal, t1, 0, int64(t1))
+	w1.Add(71, OpSuspend, t1, 0, 0)
+	w1.Add(72, OpDeposit, t1, 3, 0)
+}
+
+func TestCheckMultiplicityToleratesBoundedDuplication(t *testing.T) {
+	r, t1 := cleanRun(2)
+	defer r.Release()
+	duplicateSteal(r, t1)
+	// The strict checker must reject the duplicated consumption...
+	err := r.Check(10, 10)
+	if err == nil {
+		t.Fatal("strict checker accepted a twice-consumed push")
+	}
+	if !strings.Contains(err.Error(), "conservation") {
+		t.Fatalf("strict verdict does not name conservation:\n%v", err)
+	}
+	// ...k = 2 must absorb it: consumed twice, suspended twice, deposited
+	// per credit, all within the multiplicity bound.
+	if err := r.CheckMultiplicity(10, 10, 2); err != nil {
+		t.Fatalf("k=2 checker rejected bounded duplication: %v", err)
+	}
+	// A third consumption exceeds k = 2.
+	duplicateSteal(r, t1)
+	if err := r.CheckMultiplicity(10, 10, 2); err == nil {
+		t.Fatal("k=2 checker accepted a thrice-consumed push")
+	}
+	if err := r.CheckMultiplicity(10, 10, 3); err != nil {
+		t.Fatalf("k=3 checker rejected triple consumption: %v", err)
+	}
+}
+
+func TestCheckMultiplicityK1IsCheck(t *testing.T) {
+	r, _ := cleanRun(2)
+	defer r.Release()
+	if err := r.CheckMultiplicity(10, 10, 1); err != nil {
+		t.Fatalf("k=1 rejected the clean run: %v", err)
+	}
+	// k below 1 clamps to 1 instead of vacuously passing everything.
+	r2, t1 := cleanRun(2)
+	defer r2.Release()
+	duplicateSteal(r2, t1)
+	if err := r2.CheckMultiplicity(10, 10, 0); err == nil {
+		t.Fatal("k=0 did not clamp to the strict checker")
+	}
+}
+
+// TestCheckMultiplicityHardLaws pins what no k may forgive: consumption
+// without a push, deposits nobody owed, and a worker/deque steal count
+// mismatch.
+func TestCheckMultiplicityHardLaws(t *testing.T) {
+	t.Run("steal without push", func(t *testing.T) {
+		r, _ := cleanRun(2)
+		defer r.Release()
+		w0, w1 := r.WorkerLog(0), r.WorkerLog(1)
+		s := w0.NextSeq()
+		w0.Add(60, OpSpawn, s, 1, 0)
+		r.DequeHook(0)(deque.TraceStealOK, 0, false)
+		w1.Add(61, OpSteal, s, 0, int64(s))
+		w1.Add(62, OpDeposit, s, 0, 0) // balance the credit: only conservation trips
+		err := r.CheckMultiplicity(10, 10, 4)
+		if err == nil || !strings.Contains(err.Error(), "conservation") {
+			t.Fatalf("k=4 forgave consumption without a push: %v", err)
+		}
+	})
+	t.Run("deposit nobody owed", func(t *testing.T) {
+		// k scales a debt, never invents one: a task with zero credits and
+		// zero expects (owed = 0) may receive no deposit at any k.
+		r, _ := cleanRun(2)
+		defer r.Release()
+		w0 := r.WorkerLog(0)
+		s := w0.NextSeq()
+		w0.Add(60, OpSpawn, s, 1, 0)
+		w0.Add(61, OpPush, s, 0, 0)
+		w0.Add(62, OpPop, s, 0, 0)
+		r.WorkerLog(1).Add(63, OpDeposit, s, 4, 0)
+		err := r.CheckMultiplicity(10, 10, 4)
+		if err == nil || !strings.Contains(err.Error(), "deposit-owed") {
+			t.Fatalf("k=4 forgave an unowed deposit: %v", err)
+		}
+	})
+	t.Run("steal-symmetry", func(t *testing.T) {
+		r, _ := cleanRun(2)
+		defer r.Release()
+		r.WorkerLog(1).Add(60, OpStealFail, 0, 0, 0)
+		err := r.CheckMultiplicity(10, 10, 4)
+		if err == nil || !strings.Contains(err.Error(), "steal-symmetry") {
+			t.Fatalf("k=4 forgave a steal-symmetry break: %v", err)
+		}
+	})
+}
+
+func TestCheckTruncatedMultiplicity(t *testing.T) {
+	r, t1 := cleanRun(2)
+	defer r.Release()
+	duplicateSteal(r, t1)
+	// Truncated + strict still rejects the duplication ceiling...
+	if err := r.CheckTruncated(); err == nil {
+		t.Fatal("truncated strict checker accepted a twice-consumed push")
+	}
+	// ...truncated + k=2 absorbs it.
+	if err := r.CheckTruncatedMultiplicity(2); err != nil {
+		t.Fatalf("truncated k=2 rejected bounded duplication: %v", err)
+	}
+	// Truncation drops the floors even under multiplicity: an abandoned
+	// push (never consumed) plus the duplication is still fine at k=2.
+	r.WorkerLog(0).Add(80, OpPush, t1, 0, 0)
+	if err := r.CheckTruncatedMultiplicity(2); err != nil {
+		t.Fatalf("truncated k=2 rejected an abandoned push: %v", err)
+	}
+}
+
 // chromeDoc mirrors the trace_event JSON object format.
 type chromeDoc struct {
 	TraceEvents []struct {

@@ -128,6 +128,11 @@ type JobSpec struct {
 	// point with an error wrapping context.DeadlineExceeded — converting a
 	// stalled worker into an orderly abort instead of a wedged shard.
 	Deadline time.Duration
+	// StealPolicy overrides the pool-wide steal strategy
+	// (PoolConfig.Options.StealPolicy) for this job: "random",
+	// "steal-half", "richest-first" or "shard-local". Empty means the pool
+	// default; unknown names fall back to "random".
+	StealPolicy string
 }
 
 // JobHandle is the submitter's view of an in-flight job.
@@ -564,16 +569,22 @@ func (p *Pool) startJob(job *poolJob, shard []int) {
 		job.deques[li] = p.deques[gi]
 		job.workers[li] = p.workers[gi]
 	}
+	policyName := job.spec.StealPolicy
+	if policyName == "" {
+		policyName = p.opt.StealPolicy
+	}
 	rt := &Runtime{
-		Prog:    job.spec.Prog,
-		Costs:   p.opt.CostsOrDefault(),
-		N:       width,
-		Deques:  job.deques,
-		Eng:     job.spec.Engine.NewExec(width, p.opt),
-		profile: job.spec.Profile,
-		tracer:  job.spec.Tracer,
-		faults:  job.spec.Faults,
-		stop:    &sched.Stop{},
+		Prog:        job.spec.Prog,
+		Costs:       p.opt.CostsOrDefault(),
+		N:           width,
+		Deques:      job.deques,
+		Eng:         job.spec.Engine.NewExec(width, p.opt),
+		profile:     job.spec.Profile,
+		tracer:      job.spec.Tracer,
+		faults:      job.spec.Faults,
+		stop:        &sched.Stop{},
+		stealPolicy: StealPolicyByName(policyName),
+		stealSeed:   stealSeed(p.opt),
 	}
 	if rt.tracer != nil {
 		rt.tracer.Init(width, int64(p.opt.MaxStolenNumOrDefault()))
@@ -680,6 +691,10 @@ func (p *Pool) workerLoop(i int) {
 			w.tr = job.rt.tracer.WorkerLog(run.local)
 		}
 		w.fi = job.rt.faults.Worker(run.local)
+		// The thief is rebuilt per job: its PRNG stream restarts from the
+		// pool seed and the worker's shard-local id, so a job's victim
+		// sequence does not depend on what ran on this worker before.
+		w.thief = job.rt.stealPolicy.NewThief(run.local, job.rt.N, job.rt.stealSeed)
 		w.runJob(true)
 		w.rt = nil
 		// The SYNCHED workspace pool holds program-typed workspaces; the

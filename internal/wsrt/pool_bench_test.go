@@ -3,6 +3,7 @@ package wsrt_test
 import (
 	"testing"
 
+	"adaptivetc/internal/cilk"
 	"adaptivetc/internal/core"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/vtime"
@@ -70,6 +71,42 @@ func BenchmarkPoolShardedThroughput(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPoolStealPolicies measures closed-loop job throughput on a
+// 4-worker resident pool running a steal-heavy Cilk job (a stealable
+// task at every spawn) for each steal policy on both deque variants.
+// ns/op is per completed job; BENCH_steal.json records a run.
+func BenchmarkPoolStealPolicies(b *testing.B) {
+	for _, relaxed := range []bool{false, true} {
+		variant := "the"
+		if relaxed {
+			variant = "relaxed"
+		}
+		for _, policy := range wsrt.StealPolicyNames() {
+			b.Run(variant+"/"+policy, func(b *testing.B) {
+				p := wsrt.NewPool(wsrt.PoolConfig{
+					Workers: 4, QueueCapacity: 8,
+					Options: sched.Options{GrowableDeque: true, RelaxedDeque: relaxed, StealPolicy: policy},
+				})
+				defer p.Close()
+				prog := fib.New(16)
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h, err := p.Submit(wsrt.JobSpec{Prog: prog, Engine: cilk.New()})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := h.Result()
+					if err != nil || res.Value != 987 {
+						b.Fatalf("value=%d err=%v", res.Value, err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -49,6 +49,21 @@ type Runtime struct {
 	done    atomic.Bool
 	value   atomic.Int64
 	failure atomic.Pointer[runError]
+
+	// stealPolicy is the job's resolved victim/amount strategy and
+	// stealSeed the seed its per-worker thief streams derive from. Both are
+	// set by whoever builds the runtime (Run, Pool.startJob).
+	stealPolicy StealPolicy
+	stealSeed   int64
+}
+
+// stealSeed normalises the run seed for thief-stream derivation, matching
+// PlatformOrDefault's Sim seeding (zero means 1).
+func stealSeed(opt sched.Options) int64 {
+	if opt.Seed == 0 {
+		return 1
+	}
+	return opt.Seed
 }
 
 type runError struct{ err error }
@@ -122,6 +137,21 @@ type Worker struct {
 	// follow the tracing discipline: one nil check on the hot path, body
 	// out of line.
 	fi *faults.Injector
+
+	// thief is this worker's steal strategy for the current job (victim
+	// order and steal amount). Built per job from the resolved StealPolicy
+	// so its PRNG stream restarts deterministically with each job's seed.
+	thief Thief
+
+	// intake holds the tail of a batch steal: StealN hands the thief up to
+	// MaxStealBatch frames in one critical section, the first is resumed
+	// immediately and the rest wait here. They are drained FIFO, one per
+	// thief-loop iteration, exactly like direct steals — and never pushed
+	// onto the worker's own deque, where a second-level steal would
+	// register a deposit debt nobody pays. stealBuf is the reusable
+	// destination array of the StealN call itself.
+	intake   []*Frame
+	stealBuf [MaxStealBatch]deque.Entry
 }
 
 // Rt returns the worker's runtime.
@@ -448,45 +478,62 @@ func (w *Worker) AddPoll(d int64) {
 
 // thiefLoop steals until the run completes. Each iteration polls the job's
 // stop flag, so an idle thief observes cancellation without waiting for a
-// task to abort under it.
+// task to abort under it. Victim order and steal amount come from the
+// worker's Thief (built from the job's StealPolicy); the intake buffer of a
+// previous batch steal drains first, one frame per iteration, so batched
+// work interleaves with the loop's poll points exactly like direct steals.
 func (w *Worker) thiefLoop() {
 	rt := w.rt
 	for !rt.done.Load() {
 		rt.stop.Check()
-		victim := w.ID
+		if n := len(w.intake); n > 0 {
+			f := w.intake[0]
+			copy(w.intake, w.intake[1:])
+			w.intake[n-1] = nil
+			w.intake = w.intake[:n-1]
+			w.resumeStolen(f)
+			w.Proc.Yield()
+			continue
+		}
+		victim, amount := w.ID, 1
 		if rt.N > 1 {
-			victim = w.Proc.Rand().Intn(rt.N - 1)
-			if victim >= w.ID {
-				victim++
-			}
+			victim, amount = w.thief.Pick(rt.Deques[:rt.N])
 		}
 		t0 := w.now()
+		// One Costs.Steal charge per attempt regardless of the amount: the
+		// batch shares one critical section, which is the whole point of
+		// stealing more than one entry.
 		w.Proc.Advance(rt.Costs.Steal)
-		e, ok := rt.Deques[victim].Steal()
+		var (
+			e  deque.Entry
+			ok bool
+		)
+		if amount <= 1 {
+			e, ok = rt.Deques[victim].Steal()
+		} else {
+			if amount > MaxStealBatch {
+				amount = MaxStealBatch
+			}
+			if n := rt.Deques[victim].StealN(w.stealBuf[:amount]); n > 0 {
+				e, ok = w.stealBuf[0], true
+				// Queue the tail head-order: dst[0] is the oldest frame,
+				// resumed now; the rest drain FIFO on later iterations.
+				for i := 1; i < n; i++ {
+					f := w.stealBuf[i].(*Frame)
+					w.stealBuf[i] = nil
+					w.noteStolen(f, victim)
+					w.intake = append(w.intake, f)
+				}
+				w.stealBuf[0] = nil
+			}
+		}
 		if w.rt.profile {
 			w.Stats.StealTime += w.Proc.Now() - t0
 		}
 		if ok {
-			w.Stats.Steals++
 			f := e.(*Frame)
-			if w.tr != nil {
-				// The theft registered one deposit: on f itself for a stolen
-				// continuation, on its parent for a help-first child.
-				credit := f
-				if f.Kind == KindChild && f.Parent != nil {
-					credit = f.Parent
-				}
-				w.tr.Add(w.Proc.Now(), trace.OpSteal, f.seq, int64(victim), int64(credit.seq))
-			}
-			v, completed := rt.Eng.Resume(w, f)
-			if completed {
-				// f's subtree is done and its sync saw no pending deposits,
-				// so the thief is its last owner: recycle it, then deliver
-				// its value (the parent link must be read first).
-				parent := f.Parent
-				w.FreeFrame(f)
-				w.Deposit(parent, v)
-			}
+			w.noteStolen(f, victim)
+			w.resumeStolen(f)
 		} else {
 			w.Stats.StealFails++
 			if w.tr != nil {
@@ -503,6 +550,40 @@ func (w *Worker) thiefLoop() {
 	}
 }
 
+// noteStolen accounts one stolen frame — counter and trace record — at
+// steal time, whether the frame is resumed immediately or parked in the
+// intake buffer. Recording the whole batch up front keeps the checker's
+// steal-symmetry law exact: the deque emitted one TraceStealOK per entry
+// inside StealN's critical section, so the worker must answer with one
+// OpSteal per entry, not per resume.
+func (w *Worker) noteStolen(f *Frame, victim int) {
+	w.Stats.Steals++
+	if w.tr != nil {
+		// The theft registered one deposit: on f itself for a stolen
+		// continuation, on its parent for a help-first child.
+		credit := f
+		if f.Kind == KindChild && f.Parent != nil {
+			credit = f.Parent
+		}
+		w.tr.Add(w.Proc.Now(), trace.OpSteal, f.seq, int64(victim), int64(credit.seq))
+	}
+}
+
+// resumeStolen runs a stolen frame to its completion or detachment and
+// delivers its value (the slow-version body shared by direct steals and
+// intake drains).
+func (w *Worker) resumeStolen(f *Frame) {
+	v, completed := w.rt.Eng.Resume(w, f)
+	if completed {
+		// f's subtree is done and its sync saw no pending deposits,
+		// so the thief is its last owner: recycle it, then deliver
+		// its value (the parent link must be read first).
+		parent := f.Parent
+		w.FreeFrame(f)
+		w.Deposit(parent, v)
+	}
+}
+
 // runJob is one worker's whole share of a job: run the root (worker 0),
 // then steal until the job completes. A sched.Abort panic — overflow,
 // cancellation — is recovered here and recorded as the job's failure.
@@ -512,6 +593,13 @@ func (w *Worker) thiefLoop() {
 // service down with it.
 func (w *Worker) runJob(swallowPanics bool) {
 	rt := w.rt
+	// A pool worker's intake can carry abandoned frames from an aborted
+	// previous job; they died with that job's runtime and must not leak
+	// into this one.
+	for i := range w.intake {
+		w.intake[i] = nil
+	}
+	w.intake = w.intake[:0]
 	start := w.Proc.Now()
 	defer func() {
 		w.Stats.WorkerTime += w.Proc.Now() - start
@@ -560,8 +648,12 @@ func collectStats(workers []*Worker, deques []deque.WorkDeque, profile bool) sch
 	return st
 }
 
-// newDeque builds one worker deque according to opt.
+// newDeque builds one worker deque according to opt. RelaxedDeque wins over
+// GrowableDeque (the relaxed variant grows by construction).
 func newDeque(opt sched.Options) deque.WorkDeque {
+	if opt.RelaxedDeque {
+		return deque.NewRelaxed(opt.DequeCapacityOrDefault(), opt.MaxStolenNumOrDefault())
+	}
 	if opt.GrowableDeque {
 		return deque.NewGrowable(opt.DequeCapacityOrDefault(), opt.MaxStolenNumOrDefault())
 	}
@@ -600,6 +692,8 @@ func Run(prog sched.Program, opt sched.Options, eng Engine, name string) (sched.
 	release := sched.WatchContext(opt.Ctx, rt.stop)
 	defer release()
 
+	rt.stealPolicy = StealPolicyByName(opt.StealPolicy)
+	rt.stealSeed = stealSeed(opt)
 	workers := make([]*Worker, n)
 	makespan := opt.PlatformOrDefault().Run(n, func(proc vtime.Proc) {
 		w := &Worker{ID: proc.ID(), Proc: proc, Deque: rt.Deques[proc.ID()], rt: rt}
@@ -607,6 +701,7 @@ func Run(prog sched.Program, opt sched.Options, eng Engine, name string) (sched.
 			w.tr = rt.tracer.WorkerLog(w.ID)
 		}
 		w.fi = rt.faults.Worker(w.ID)
+		w.thief = rt.stealPolicy.NewThief(w.ID, n, rt.stealSeed)
 		workers[w.ID] = w
 		w.runJob(false)
 	})

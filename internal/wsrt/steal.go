@@ -1,0 +1,257 @@
+package wsrt
+
+import (
+	"math/bits"
+
+	"adaptivetc/internal/deque"
+)
+
+// MaxStealBatch bounds how many entries one steal attempt may take. It also
+// sizes the per-worker batch buffer, so raising it costs every worker
+// MaxStealBatch words whether or not a batching policy is in use.
+const MaxStealBatch = 16
+
+// Thief is one worker's steal-side state for a job: each attempt asks it
+// which victim to rob and how many entries to take. Implementations are
+// confined to their worker (no synchronisation), may keep per-attempt state
+// (PRNG, attempt counters) and may consult the deques read-only (Size) —
+// the amount is a request, clamped by what the victim actually holds.
+type Thief interface {
+	// Pick returns the victim's index within deques and the number of
+	// entries to try for (1 for a classic single steal, up to
+	// MaxStealBatch for a batch). deques[self] is the thief's own deque
+	// and must not be picked when len(deques) > 1.
+	Pick(deques []deque.WorkDeque) (victim, amount int)
+}
+
+// StealPolicy is a victim-selection/steal-amount strategy, selected per run
+// via sched.Options.StealPolicy (and per job on a pool via
+// JobSpec.StealPolicy). A policy is a stateless factory; the per-worker
+// state lives in the Thief it builds.
+type StealPolicy interface {
+	Name() string
+	// NewThief builds worker id's thief for a run of n workers. The seed
+	// is the run seed; implementations derive a private stream from
+	// (seed, id) so schedules stay a pure function of the options.
+	NewThief(id, n int, seed int64) Thief
+}
+
+// splitmix64 is the same tiny PRNG the fault plane uses: one add and three
+// shift-xor-multiply rounds per draw, no allocation, trivially seedable per
+// stream. It replaces the shared Proc.Rand in the thief loop, fixing both
+// the per-steal interface-call cost and the modulo bias of Intn(n-1) for
+// worker counts that do not divide 2^63.
+type splitmix64 struct{ state uint64 }
+
+const golden64 = 0x9E3779B97F4A7C15
+
+// thiefStream tags the thief-loop PRNG streams, keeping them disjoint from
+// the fault plane's roleWorker/roleDeque/... streams under the same seed.
+const thiefStream = 0x9E37_F00D
+
+func newSplitmix(seed int64, id int) splitmix64 {
+	z := uint64(seed) ^ (uint64(thiefStream) << 32) ^ (uint64(id+1) * golden64)
+	// One scramble round so adjacent ids do not start in adjacent states.
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return splitmix64{state: z ^ (z >> 31)}
+}
+
+func (s *splitmix64) next() uint64 {
+	s.state += golden64
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns an unbiased draw from [0, n) via Lemire's multiply-shift
+// rejection method — no modulo, and the rejection loop runs ~never for the
+// small n of a victim pick.
+func (s *splitmix64) intn(n int) int {
+	v := uint64(n)
+	hi, lo := bits.Mul64(s.next(), v)
+	if lo < v {
+		thresh := -v % v
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.next(), v)
+		}
+	}
+	return int(hi)
+}
+
+// --- random: the paper's baseline -------------------------------------
+
+type randomPolicy struct{}
+
+func (randomPolicy) Name() string { return "random" }
+
+func (randomPolicy) NewThief(id, n int, seed int64) Thief {
+	return &randomThief{id: id, rng: newSplitmix(seed, id)}
+}
+
+type randomThief struct {
+	id  int
+	rng splitmix64
+}
+
+func (t *randomThief) Pick(deques []deque.WorkDeque) (int, int) {
+	v := t.rng.intn(len(deques) - 1)
+	if v >= t.id {
+		v++
+	}
+	return v, 1
+}
+
+// --- steal-half: batch half the victim's deque ------------------------
+
+type stealHalfPolicy struct{}
+
+func (stealHalfPolicy) Name() string { return "steal-half" }
+
+func (stealHalfPolicy) NewThief(id, n int, seed int64) Thief {
+	return &stealHalfThief{id: id, rng: newSplitmix(seed, id)}
+}
+
+type stealHalfThief struct {
+	id  int
+	rng splitmix64
+}
+
+func (t *stealHalfThief) Pick(deques []deque.WorkDeque) (int, int) {
+	v := t.rng.intn(len(deques) - 1)
+	if v >= t.id {
+		v++
+	}
+	amount := deques[v].Size() / 2
+	if amount < 1 {
+		// Empty or single-entry victim: attempt a single steal anyway so
+		// an organic failure still drives the victim's starvation FSM.
+		amount = 1
+	} else if amount > MaxStealBatch {
+		amount = MaxStealBatch
+	}
+	return v, amount
+}
+
+// --- richest-first: rob the deepest deque -----------------------------
+
+type richestPolicy struct{}
+
+func (richestPolicy) Name() string { return "richest-first" }
+
+func (richestPolicy) NewThief(id, n int, seed int64) Thief {
+	return &richestThief{id: id, rng: newSplitmix(seed, id)}
+}
+
+type richestThief struct {
+	id  int
+	rng splitmix64
+}
+
+func (t *richestThief) Pick(deques []deque.WorkDeque) (int, int) {
+	best, bestSize := -1, 0
+	for i, d := range deques {
+		if i == t.id {
+			continue
+		}
+		if s := d.Size(); s > bestSize {
+			best, bestSize = i, s
+		}
+	}
+	if best < 0 {
+		// Everyone looks empty: fall back to a random victim rather than a
+		// fixed one, so the organic failures spread across the deques and
+		// the need_task signal rises where the paper expects it.
+		best = t.rng.intn(len(deques) - 1)
+		if best >= t.id {
+			best++
+		}
+	}
+	return best, 1
+}
+
+// --- shard-local: prefer neighbours, occasionally go wide -------------
+
+// shardWindow is the neighbourhood width of the shard-local policy.
+const shardWindow = 4
+
+// wideEvery makes every wideEvery-th attempt ignore the neighbourhood, so
+// work still diffuses across a big shard instead of ping-ponging inside
+// aligned windows.
+const wideEvery = 4
+
+type shardLocalPolicy struct{}
+
+func (shardLocalPolicy) Name() string { return "shard-local" }
+
+func (shardLocalPolicy) NewThief(id, n int, seed int64) Thief {
+	return &shardLocalThief{id: id, rng: newSplitmix(seed, id)}
+}
+
+type shardLocalThief struct {
+	id       int
+	attempts int
+	rng      splitmix64
+}
+
+func (t *shardLocalThief) Pick(deques []deque.WorkDeque) (int, int) {
+	n := len(deques)
+	t.attempts++
+	// The deque slice is the steal domain (on a pool it is exactly the
+	// shard), so "shard-local" means the aligned shardWindow-wide run of
+	// indices around the thief — contiguous ids are contiguous workers of
+	// the same shard by construction of the shard allocator.
+	lo := (t.id / shardWindow) * shardWindow
+	hi := lo + shardWindow
+	if hi > n {
+		hi = n
+	}
+	if t.attempts%wideEvery == 0 || hi-lo <= 1 {
+		v := t.rng.intn(n - 1)
+		if v >= t.id {
+			v++
+		}
+		return v, 1
+	}
+	v := lo + t.rng.intn(hi-lo-1)
+	if v >= t.id {
+		v++
+	}
+	return v, 1
+}
+
+// --- registry ---------------------------------------------------------
+
+var stealPolicies = map[string]StealPolicy{
+	"random":        randomPolicy{},
+	"steal-half":    stealHalfPolicy{},
+	"richest-first": richestPolicy{},
+	"shard-local":   shardLocalPolicy{},
+}
+
+// StealPolicyByName resolves a policy name. The empty string and unknown
+// names resolve to "random" — front ends that want hard errors validate
+// with ValidStealPolicy before a run reaches this point.
+func StealPolicyByName(name string) StealPolicy {
+	if p, ok := stealPolicies[name]; ok {
+		return p
+	}
+	return randomPolicy{}
+}
+
+// ValidStealPolicy reports whether name is the empty default or a known
+// policy.
+func ValidStealPolicy(name string) bool {
+	if name == "" {
+		return true
+	}
+	_, ok := stealPolicies[name]
+	return ok
+}
+
+// StealPolicyNames returns the known policy names in a fixed order (for
+// usage strings and error messages).
+func StealPolicyNames() []string {
+	return []string{"random", "steal-half", "richest-first", "shard-local"}
+}
