@@ -1,23 +1,33 @@
 // Command adaptivetc-serve runs the resident scheduler service: one
 // long-lived work-stealing worker pool serving a stream of jobs over an
-// HTTP JSON API.
+// HTTP JSON API, with multi-tenant QoS admission in front of it.
 //
 // Usage:
 //
 //	adaptivetc-serve -addr :8080 -workers 4 -queue 256
 //	adaptivetc-serve -addr :8080 -workers 4 -max-concurrent-jobs 2   # 2 jobs at once on disjoint worker shards
 //	adaptivetc-serve -addr :8080 -check        # audit scheduler invariants per job
+//	adaptivetc-serve -tenant-rate 50 -tenant-quota 32                # per-tenant limits
+//	adaptivetc-serve -shard-policy slo -slo-target-ms 25             # p99-driven shard sizing
 //
 // API:
 //
-//	POST   /jobs       {"program":"nqueens-array","n":9,"engine":"adaptivetc","timeout_ms":5000}
+//	POST   /jobs       {"program":"nqueens-array","n":9,"engine":"adaptivetc",
+//	                    "timeout_ms":5000,"tenant":"frontend","priority":"interactive"}
+//	                   (X-Tenant header overrides the body's tenant)
 //	GET    /jobs/{id}  job status; value, stats and latency once terminal
 //	DELETE /jobs/{id}  cooperative cancellation
-//	GET    /metrics    throughput, in-flight, queue depth, p50/p99 latency
+//	GET    /metrics    throughput, queue depth, latency histogram, per-tenant/
+//	                   per-priority/per-engine breakdowns
 //	GET    /catalog    available programs and engines
+//	GET    /healthz    liveness
+//	GET    /readyz     readiness; 503 once draining
 //
-// A full admission queue answers 429 with Retry-After — the backpressure
-// contract adaptivetc-loadgen exercises.
+// A full admission queue, an exhausted tenant quota, or a drained token
+// bucket answers 429 with a Retry-After — the backpressure contract
+// adaptivetc-loadgen exercises. On SIGTERM/SIGINT the server drains: it
+// stops accepting jobs (readyz flips), finishes the backlog within
+// -drain-timeout, then exits.
 package main
 
 import (
@@ -41,13 +51,19 @@ func main() {
 	workers := flag.Int("workers", 4, "resident pool worker count")
 	queue := flag.Int("queue", 256, "admission queue capacity")
 	maxJobs := flag.Int("max-concurrent-jobs", 1, "jobs run concurrently, each on its own worker shard (clamped to -workers)")
-	shardPolicy := flag.String("shard-policy", "adaptive", "shard sizing policy: static (equal-width) or adaptive (grow when idle, split under load)")
+	shardPolicy := flag.String("shard-policy", "adaptive", "shard sizing policy: static (equal-width), adaptive (grow when idle, split under load), or slo (adaptive, but collapse to the widest shard while interactive p99 exceeds -slo-target-ms)")
+	sloTarget := flag.Float64("slo-target-ms", 50, "interactive-class p99 target for -shard-policy slo")
 	check := flag.Bool("check", false, "verify scheduler invariants on every job's trace")
 	seed := flag.Int64("seed", 1, "victim-selection seed")
 	growable := flag.Bool("growable-deque", true, "use growable deques (fixed deques can overflow on deep jobs)")
 	relaxed := flag.Bool("relaxed-deque", false, "use the lock-reduced deque variant (implies growable; invariant checks run in multiplicity-tolerant mode)")
 	stealPolicy := flag.String("steal-policy", "random",
 		fmt.Sprintf("default steal strategy for jobs that do not set one: %v", wsrt.StealPolicyNames()))
+	tenantQuota := flag.Int("tenant-quota", 0, "default per-tenant in-flight job cap (0 = unlimited)")
+	tenantRate := flag.Float64("tenant-rate", 0, "default per-tenant submission rate limit, jobs/s (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "default per-tenant rate-limit burst (0 = derived from -tenant-rate)")
+	retainJobs := flag.Int("retain-jobs", 0, "terminal job records kept for GET /jobs/{id} (0 = default 1024)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound on SIGTERM/SIGINT")
 	flag.Parse()
 
 	if !wsrt.ValidStealPolicy(*stealPolicy) {
@@ -61,7 +77,14 @@ func main() {
 		QueueCapacity:     *queue,
 		MaxConcurrentJobs: *maxJobs,
 		ShardPolicy:       *shardPolicy,
+		SLOTargetMS:       *sloTarget,
 		Check:             *check,
+		RetainJobs:        *retainJobs,
+		TenantDefaults: serve.TenantLimits{
+			MaxInFlight: *tenantQuota,
+			RatePerSec:  *tenantRate,
+			Burst:       *tenantBurst,
+		},
 		Options: sched.Options{
 			Seed:          *seed,
 			GrowableDeque: *growable,
@@ -74,14 +97,19 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
 
-	fmt.Printf("adaptivetc-serve: listening on %s (workers=%d queue=%d max-concurrent-jobs=%d shard-policy=%s steal-policy=%s relaxed-deque=%v check=%v)\n",
-		*addr, *workers, *queue, *maxJobs, *shardPolicy, *stealPolicy, *relaxed, *check)
+	fmt.Printf("adaptivetc-serve: listening on %s (workers=%d queue=%d max-concurrent-jobs=%d shard-policy=%s steal-policy=%s relaxed-deque=%v check=%v tenant-quota=%d tenant-rate=%.1f)\n",
+		*addr, *workers, *queue, *maxJobs, *shardPolicy, *stealPolicy, *relaxed, *check, *tenantQuota, *tenantRate)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Printf("adaptivetc-serve: %v, shutting down\n", sig)
+		fmt.Printf("adaptivetc-serve: %v, draining (up to %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := svc.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "adaptivetc-serve: drain incomplete: %v\n", err)
+		}
+		cancel()
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "adaptivetc-serve: %v\n", err)
@@ -96,8 +124,8 @@ func main() {
 	svc.Close()
 
 	m := svc.Snapshot()
-	fmt.Printf("adaptivetc-serve: served %d jobs (%d completed, %d cancelled, %d failed, %d rejected)\n",
-		m.Submitted, m.Completed, m.Cancelled, m.Failed, m.Rejected)
+	fmt.Printf("adaptivetc-serve: served %d jobs (%d completed, %d cancelled, %d failed, %d rejected, %d rate-limited, %d over-quota)\n",
+		m.Submitted, m.Completed, m.Cancelled, m.Failed, m.Rejected, m.RateLimited, m.QuotaRejected)
 	if m.InvariantChecked > 0 {
 		fmt.Printf("adaptivetc-serve: invariant checks: %d run, %d violations\n",
 			m.InvariantChecked, m.InvariantViolations)

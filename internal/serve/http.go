@@ -3,7 +3,9 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"adaptivetc/internal/sched"
@@ -13,11 +15,13 @@ import (
 
 // JobStatus is the JSON view of one job (POST /jobs and GET /jobs/{id}).
 type JobStatus struct {
-	ID      string    `json:"id"`
-	State   State     `json:"state"`
-	Program string    `json:"program"`
-	Engine  string    `json:"engine"`
-	Created time.Time `json:"created"`
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Program  string    `json:"program"`
+	Engine   string    `json:"engine"`
+	Tenant   string    `json:"tenant"`
+	Priority Priority  `json:"priority"`
+	Created  time.Time `json:"created"`
 
 	// Terminal-state fields.
 	Value       *int64  `json:"value,omitempty"`
@@ -40,11 +44,13 @@ func status(j *Job) JobStatus {
 		eng = "adaptivetc"
 	}
 	out := JobStatus{
-		ID:      j.ID,
-		State:   st,
-		Program: j.Req.Program,
-		Engine:  eng,
-		Created: j.Created,
+		ID:       j.ID,
+		State:    st,
+		Program:  j.Req.Program,
+		Engine:   eng,
+		Tenant:   j.tenant,
+		Priority: j.prio,
+		Created:  j.Created,
 	}
 	switch st {
 	case StateQueued, StateRunning:
@@ -70,11 +76,16 @@ func status(j *Job) JobStatus {
 
 // NewMux returns the service's HTTP API:
 //
-//	POST   /jobs       submit (Request body) → 202 JobStatus; 429 on full queue
+//	POST   /jobs       submit (Request body; X-Tenant header overrides
+//	                   req.Tenant) → 202 JobStatus; 429 + Retry-After on a
+//	                   full queue, tenant rate limit, or tenant quota; 503
+//	                   while draining or closed
 //	GET    /jobs/{id}  status and, once terminal, result → JobStatus
 //	DELETE /jobs/{id}  cancel → 202 JobStatus
 //	GET    /metrics    service counters → Metrics
 //	GET    /catalog    available programs and engines
+//	GET    /healthz    liveness: 200 while the process serves HTTP
+//	GET    /readyz     readiness: 200 until Drain/Close, then 503
 func NewMux(s *Service) *http.ServeMux {
 	mux := http.NewServeMux()
 
@@ -95,13 +106,21 @@ func NewMux(s *Service) *http.ServeMux {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		if t := r.Header.Get("X-Tenant"); t != "" {
+			req.Tenant = t
+		}
 		job, err := s.Submit(req)
+		var rej *RejectionError
 		switch {
+		case errors.As(err, &rej):
+			w.Header().Set("Retry-After", retryAfterSeconds(rej.RetryAfter))
+			writeErr(w, http.StatusTooManyRequests, err)
+			return
 		case errors.Is(err, wsrt.ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			writeErr(w, http.StatusTooManyRequests, err)
 			return
-		case errors.Is(err, wsrt.ErrPoolClosed):
+		case errors.Is(err, ErrDraining), errors.Is(err, wsrt.ErrPoolClosed):
 			writeErr(w, http.StatusServiceUnavailable, err)
 			return
 		case err != nil:
@@ -140,5 +159,27 @@ func NewMux(s *Service) *http.ServeMux {
 		})
 	})
 
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+
 	return mux
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 — the header has no sub-second form.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }

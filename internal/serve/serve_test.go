@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -639,24 +640,31 @@ func TestServeAdmissionRetryTransient(t *testing.T) {
 	}
 }
 
-// TestServeAdmissionRetryExhausted checks the other side of the contract:
-// under sustained saturation the retries run out, the caller sees
-// ErrQueueFull exactly once, and backpressure semantics survive.
-func TestServeAdmissionRetryExhausted(t *testing.T) {
+// TestServeAdmissionSustainedRejection checks the other side of the
+// contract: an accepted job is never spuriously failed by staging
+// pressure. Under a fault plan that rejects every pool submission, the
+// pump parks the job and retries with backoff until the job's own
+// deadline retires it as cancelled — the caller saw an accept, not a
+// rejection, and the pump survives to serve the next job.
+func TestServeAdmissionSustainedRejection(t *testing.T) {
 	s := New(Config{
 		Workers:          1,
 		QueueCapacity:    4,
-		AdmissionRetries: 1,
 		AdmissionBackoff: time.Millisecond,
 		Faults:           faults.New(faults.Spec{Seed: 1, Reject: 1}),
 	})
 	t.Cleanup(s.Close)
 
-	if _, err := s.Submit(Request{Program: "fib", N: 10}); !errors.Is(err, wsrt.ErrQueueFull) {
-		t.Fatalf("saturated submit: err=%v, want ErrQueueFull", err)
+	job, err := s.Submit(Request{Program: "fib", N: 10, TimeoutMS: 50})
+	if err != nil {
+		t.Fatalf("submit under sustained staging rejection: %v", err)
+	}
+	<-job.Done()
+	if state, _, jerr := job.Snapshot(); state != StateCancelled || !errors.Is(jerr, context.DeadlineExceeded) {
+		t.Fatalf("parked job: state=%s err=%v, want cancelled by deadline", state, jerr)
 	}
 	m := s.Snapshot()
-	if m.AdmissionRetries != 1 || m.Rejected != 1 {
-		t.Fatalf("retries=%d rejected=%d, want 1/1", m.AdmissionRetries, m.Rejected)
+	if m.AdmissionRetries < 1 || m.Rejected != 0 || m.Cancelled != 1 {
+		t.Fatalf("retries=%d rejected=%d cancelled=%d, want >=1/0/1", m.AdmissionRetries, m.Rejected, m.Cancelled)
 	}
 }

@@ -1,11 +1,14 @@
 // Package serve is the resident job service: the layer between the
 // long-lived scheduler pool (internal/wsrt.Pool) and the HTTP front end
 // (cmd/adaptivetc-serve). It owns job identity and lifecycle (queued →
-// running → done/failed/cancelled), per-job cancellation and deadlines,
-// service metrics (throughput, latency percentiles, rejections), and — in
-// check mode — a per-job trace recorder whose invariant verdict is folded
-// into the metrics, so a serving deployment continuously audits the
-// scheduler it runs on.
+// running → done/failed/cancelled), multi-tenant QoS admission (priority
+// classes under weighted-fair queueing, per-tenant quotas and rate
+// limits), per-job cancellation and deadlines, service metrics
+// (throughput, latency percentiles and histograms, per-tenant /
+// per-priority / per-engine breakdowns, rejections), graceful drain, and
+// — in check mode — a per-job trace recorder whose invariant verdict is
+// folded into the metrics, so a serving deployment continuously audits
+// the scheduler it runs on.
 package serve
 
 import (
@@ -54,6 +57,13 @@ type Request struct {
 	// "cilk-synched", "cutoff-programmer", "cutoff-library", "helpfirst",
 	// "slaw"). Empty means "adaptivetc".
 	Engine string `json:"engine,omitempty"`
+	// Tenant identifies the submitter for quotas, rate limits and fair
+	// sharing. Empty means DefaultTenant. The HTTP front end also accepts
+	// it as an X-Tenant header.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the QoS class: "interactive", "batch" (the default) or
+	// "background". Classes share the admission queue weighted-fair.
+	Priority string `json:"priority,omitempty"`
 	// TimeoutMS is the job deadline in milliseconds; zero means none.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// StealPolicy overrides the pool's victim-selection/steal-amount
@@ -69,8 +79,11 @@ type Job struct {
 	Req     Request
 	Created time.Time
 
+	tenant string
+	prio   Priority
+
 	cancel context.CancelCauseFunc
-	handle *wsrt.JobHandle
+	handle *wsrt.JobHandle // set by the pump once the pool accepts the job
 	done   chan struct{}
 
 	mu         sync.Mutex
@@ -99,6 +112,12 @@ func (j *Job) Violations() error {
 	return j.violations
 }
 
+// Tenant returns the tenant the job was attributed to.
+func (j *Job) Tenant() string { return j.tenant }
+
+// Priority returns the job's QoS class.
+func (j *Job) Priority() Priority { return j.prio }
+
 // Cancel requests cooperative cancellation of the job.
 func (j *Job) Cancel(cause error) { j.cancel(cause) }
 
@@ -110,15 +129,28 @@ var ErrCancelled = errors.New("serve: job cancelled by request")
 type Config struct {
 	// Workers is the pool size; zero means 1.
 	Workers int
-	// QueueCapacity bounds the admission queue; zero means 64.
+	// QueueCapacity bounds the admission backlog — jobs accepted but not
+	// yet running, across the weighted-fair queue and the pool staging
+	// slot; zero means 64. A full backlog rejects with wsrt.ErrQueueFull
+	// (HTTP 429).
 	QueueCapacity int
 	// MaxConcurrentJobs is the number of jobs the pool runs at once, each
 	// on its own disjoint worker shard; zero or one means the single-job
 	// pool. See wsrt.PoolConfig.
 	MaxConcurrentJobs int
-	// ShardPolicy sizes shards: "static" (equal-width, the default) or
-	// "adaptive" (grow when idle, split when jobs are waiting).
+	// ShardPolicy sizes shards: "static" (equal-width, the default),
+	// "adaptive" (grow when idle, split when jobs are waiting), or "slo"
+	// (adaptive, but collapse to the widest shard while the interactive
+	// class's live p99 exceeds SLOTargetMS).
 	ShardPolicy string
+	// SLOTargetMS is the interactive-class p99 target driving the "slo"
+	// shard policy; zero means 50ms. Ignored by the other policies.
+	SLOTargetMS float64
+	// TenantDefaults bounds tenants that have no entry in Tenants. The
+	// zero value is unlimited.
+	TenantDefaults TenantLimits
+	// Tenants overrides TenantDefaults per tenant name.
+	Tenants map[string]TenantLimits
 	// Options supplies pool-wide scheduling parameters (costs, deque
 	// capacity, seed). Platform/Ctx/Tracer are per-job or pool-fixed and
 	// ignored here.
@@ -132,15 +164,12 @@ type Config struct {
 	// GET /jobs/{id}; zero means 1024. Oldest terminal records are evicted
 	// first; live jobs are never evicted.
 	RetainJobs int
-	// AdmissionRetries bounds the in-process retries Submit makes when the
-	// pool reports a full admission queue, before surfacing ErrQueueFull to
-	// the caller (HTTP 429). Transient saturation — a burst draining within
-	// a millisecond — is thereby absorbed without weakening backpressure:
-	// the final rejection still counts once and still tells the client to
-	// back off. Zero means 2; negative disables retrying.
-	AdmissionRetries int
-	// AdmissionBackoff is the sleep before the first admission retry,
-	// doubling per attempt. Zero means 500µs.
+	// AdmissionBackoff is the pump's initial sleep when the pool's staging
+	// queue is full (or fault injection pretends it is), doubling per
+	// consecutive refusal up to a 100ms cap. Zero means 500µs. The pump
+	// retries until the job is cancelled or the service closes — a full
+	// staging slot is flow control, not rejection; rejection happens at
+	// the QueueCapacity bound in Submit.
 	AdmissionBackoff time.Duration
 	// Faults, when non-nil, threads the fault plan through the service:
 	// pool-level admission/shard faults plus per-job worker and deque
@@ -148,124 +177,114 @@ type Config struct {
 	Faults *faults.Plan
 }
 
-// latencyRing keeps the last N job latencies for percentile estimates.
-type latencyRing struct {
-	mu   sync.Mutex
-	buf  []int64
-	next int
-	full bool
-}
-
-func newLatencyRing(n int) *latencyRing { return &latencyRing{buf: make([]int64, n)} }
-
-func (l *latencyRing) add(d int64) {
-	l.mu.Lock()
-	l.buf[l.next] = d
-	l.next++
-	if l.next == len(l.buf) {
-		l.next, l.full = 0, true
-	}
-	l.mu.Unlock()
-}
-
-// percentiles returns the p50 and p99 of the retained window (0, 0 when
-// empty).
-func (l *latencyRing) percentiles() (p50, p99 int64) {
-	l.mu.Lock()
-	n := l.next
-	if l.full {
-		n = len(l.buf)
-	}
-	s := make([]int64, n)
-	copy(s, l.buf[:n])
-	l.mu.Unlock()
-	if n == 0 {
-		return 0, 0
-	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := func(p float64) int64 {
-		i := int(p * float64(n-1))
-		return s[i]
-	}
-	return idx(0.50), idx(0.99)
-}
-
-// Metrics is the service counter snapshot returned by GET /metrics.
-type Metrics struct {
-	Started             time.Time `json:"started"`
-	UptimeSeconds       float64   `json:"uptime_seconds"`
-	Workers             int       `json:"workers"`
-	MaxConcurrentJobs   int       `json:"max_concurrent_jobs"`
-	ShardPolicy         string    `json:"shard_policy"`
-	RunningJobs         int64     `json:"running_jobs"`
-	BusyWorkers         int64     `json:"busy_workers"`
-	WorkerOccupancy     float64   `json:"worker_occupancy"`
-	QueueCapacity       int       `json:"queue_capacity"`
-	QueueDepth          int       `json:"queue_depth"`
-	InFlight            int64     `json:"in_flight"`
-	Submitted           int64     `json:"submitted"`
-	Completed           int64     `json:"completed"`
-	Failed              int64     `json:"failed"`
-	Cancelled           int64     `json:"cancelled"`
-	Rejected            int64     `json:"rejected"`
-	AdmissionRetries    int64     `json:"admission_retries"`
-	QuarantinedJobs     int64     `json:"quarantined_jobs"`
-	ThroughputPerSecond float64   `json:"throughput_per_second"`
-	P50LatencyMS        float64   `json:"p50_latency_ms"`
-	P99LatencyMS        float64   `json:"p99_latency_ms"`
-	InvariantChecked    int64     `json:"invariant_checked"`
-	InvariantViolations int64     `json:"invariant_violations"`
-}
-
 // Service is the resident job service.
 type Service struct {
-	cfg  Config
-	pool *wsrt.Pool
+	cfg      Config
+	pool     *wsrt.Pool
+	capacity int
 
 	started time.Time
 	nextID  atomic.Int64
+
+	q    *wfq
+	quit chan struct{} // closed by Close; wakes the pump's backoff sleep
+	wake chan struct{} // capacity 1; nudges the pump when pool space frees
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string // terminal job ids in completion order, for eviction
 	closed bool
 
-	submitted  atomic.Int64
-	completed  atomic.Int64
-	failed     atomic.Int64
-	cancelled  atomic.Int64
-	rejected   atomic.Int64
-	retried    atomic.Int64
-	checked    atomic.Int64
-	violations atomic.Int64
-	latencies  *latencyRing
+	draining atomic.Bool
+	waiting  atomic.Int64 // accepted, not yet running (WFQ + staged)
+	inflight atomic.Int64 // accepted, not yet terminal
 
-	wg sync.WaitGroup // job watcher goroutines
+	submitted   atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	cancelled   atomic.Int64
+	rejected    atomic.Int64
+	rateLimited atomic.Int64
+	quotaRej    atomic.Int64
+	retried     atomic.Int64
+	checked     atomic.Int64
+	violations  atomic.Int64
+	latencies   *latencyRing
+	hist        *histogram
+
+	tenantsMu sync.Mutex
+	tenants   map[string]*tenantState
+	classes   map[Priority]*groupStat // fixed key set, built in New
+	enginesMu sync.Mutex
+	engines   map[string]*groupStat
+
+	wg sync.WaitGroup // pump + job watcher goroutines (start markers included)
 }
 
-// New builds the service and starts its pool.
+// New builds the service and starts its pool and admission pump.
 func New(cfg Config) *Service {
 	if cfg.RetainJobs <= 0 {
 		cfg.RetainJobs = 1024
 	}
-	return &Service{
-		cfg: cfg,
+	capacity := cfg.QueueCapacity
+	if capacity <= 0 {
+		capacity = 64
+	}
+	s := &Service{
+		cfg:      cfg,
+		capacity: capacity,
 		pool: wsrt.NewPool(wsrt.PoolConfig{
-			Workers:           cfg.Workers,
-			QueueCapacity:     cfg.QueueCapacity,
+			Workers: cfg.Workers,
+			// One staging slot: every job that is not literally next waits
+			// in the weighted-fair queue, where priority still matters.
+			QueueCapacity:     1,
 			MaxConcurrentJobs: cfg.MaxConcurrentJobs,
 			ShardPolicy:       wsrt.ShardPolicy(cfg.ShardPolicy),
 			Options:           cfg.Options,
 			Faults:            cfg.Faults,
 		}),
 		started:   time.Now(),
+		q:         newWFQ(),
+		quit:      make(chan struct{}),
+		wake:      make(chan struct{}, 1),
 		jobs:      make(map[string]*Job),
 		latencies: newLatencyRing(4096),
+		hist:      newHistogram(),
+		tenants:   make(map[string]*tenantState),
+		classes:   make(map[Priority]*groupStat, len(priorityOrder)),
+		engines:   make(map[string]*groupStat),
 	}
+	for _, p := range priorityOrder {
+		s.classes[p] = newGroupStat()
+	}
+	// The demand the pool's adaptive/SLO shard policies see must include
+	// the backlog held here, since only one job at a time is staged into
+	// the pool's own queue.
+	s.pool.SetExternalQueueDepth(func() int { return int(s.waiting.Load()) })
+	s.pool.SetShardAdvisor(s.adviseShard)
+	s.wg.Add(1)
+	go s.pump()
+	return s
 }
 
 // Pool exposes the underlying pool (tests).
 func (s *Service) Pool() *wsrt.Pool { return s.pool }
+
+// adviseShard is the "slo" shard policy: while the interactive class's
+// live p99 exceeds the target, collapse to one claim — the widest shard
+// the allocator can form, draining each job fastest — and otherwise fall
+// back to the adaptive split (one claim per waiting job).
+func (s *Service) adviseShard(waiting, slots, free int) int {
+	target := s.cfg.SLOTargetMS
+	if target <= 0 {
+		target = 50
+	}
+	_, p99 := s.classes[PriorityInteractive].lat.percentiles()
+	if float64(p99)/1e6 > target {
+		return 1
+	}
+	return waiting + 1
+}
 
 // resolveEngine maps an engine name to its pool-capable implementation.
 // Tascell and the serial reference are deliberately absent: their runtimes
@@ -288,8 +307,28 @@ func EngineNames() []string {
 	return names
 }
 
-// Submit validates req, builds its program, and enqueues it on the pool.
-// A full queue returns wsrt.ErrQueueFull (HTTP 429 upstream).
+// tenant returns (creating if needed) the named tenant's state.
+func (s *Service) tenant(name string) *tenantState {
+	s.tenantsMu.Lock()
+	defer s.tenantsMu.Unlock()
+	ts := s.tenants[name]
+	if ts == nil {
+		lim := s.cfg.TenantDefaults
+		if o, ok := s.cfg.Tenants[name]; ok {
+			lim = o
+		}
+		ts = newTenantState(lim)
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
+// Submit validates req, builds its program, runs the tenant's admission
+// checks, and enqueues the job on the weighted-fair queue. Rejections:
+// *RejectionError for a tenant rate limit or quota (HTTP 429 with a
+// per-tenant Retry-After), wsrt.ErrQueueFull for a full backlog (HTTP
+// 429), ErrDraining during drain (HTTP 503), wsrt.ErrPoolClosed after
+// Close.
 func (s *Service) Submit(req Request) (*Job, error) {
 	prog, err := registry.Build(req.Program, registry.Params{N: req.N, Size: req.Size, Reverse: req.Reverse})
 	if err != nil {
@@ -306,13 +345,21 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	if !wsrt.ValidStealPolicy(req.StealPolicy) {
 		return nil, fmt.Errorf("serve: unknown steal policy %q (have %v)", req.StealPolicy, wsrt.StealPolicyNames())
 	}
+	prio, err := ParsePriority(req.Priority)
+	if err != nil {
+		return nil, err
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 
 	ctx, cancel := context.WithCancelCause(context.Background())
 	if req.TimeoutMS > 0 {
 		var cancelTimeout context.CancelFunc
 		ctx, cancelTimeout = context.WithTimeoutCause(ctx, time.Duration(req.TimeoutMS)*time.Millisecond,
 			fmt.Errorf("serve: job exceeded its %dms deadline: %w", req.TimeoutMS, context.DeadlineExceeded))
-		// Chain the timer's release into the job cancel func; the watcher
+		// Chain the timer's release into the job cancel func; finalize
 		// calls it when the job ends, whatever the outcome.
 		orig := cancel
 		cancel = func(cause error) { orig(cause); cancelTimeout() }
@@ -322,6 +369,8 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		ID:      "j" + strconv.FormatInt(s.nextID.Add(1), 10),
 		Req:     req,
 		Created: time.Now(),
+		tenant:  tenant,
+		prio:    prio,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		state:   StateQueued,
@@ -330,57 +379,69 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	if s.cfg.Check {
 		rec = trace.NewRecorder()
 	}
+	it := &admItem{
+		job: job,
+		spec: wsrt.JobSpec{
+			Prog:        prog,
+			Engine:      mk(),
+			Ctx:         ctx,
+			Tracer:      rec,
+			Faults:      s.cfg.Faults,
+			StealPolicy: req.StealPolicy,
+		},
+	}
 
-	spec := wsrt.JobSpec{
-		Prog:        prog,
-		Engine:      mk(),
-		Ctx:         ctx,
-		Tracer:      rec,
-		Faults:      s.cfg.Faults,
-		StealPolicy: req.StealPolicy,
-	}
-	retries := s.cfg.AdmissionRetries
-	if retries == 0 {
-		retries = 2
-	} else if retries < 0 {
-		retries = 0
-	}
-	backoff := s.cfg.AdmissionBackoff
-	if backoff <= 0 {
-		backoff = 500 * time.Microsecond
-	}
-	for attempt := 0; ; attempt++ {
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			cancel(wsrt.ErrPoolClosed)
-			return nil, wsrt.ErrPoolClosed
-		}
-		h, err := s.pool.Submit(spec)
-		if err == nil {
-			job.handle = h
-			s.jobs[job.ID] = job
-			s.mu.Unlock()
-			break
-		}
+	ts := s.tenant(tenant)
+	cls := s.classes[prio]
+
+	// Admission checks and the enqueue are one critical section, so the
+	// capacity and quota bounds cannot be overshot by concurrent submits.
+	s.mu.Lock()
+	if s.closed {
 		s.mu.Unlock()
-		if !errors.Is(err, wsrt.ErrQueueFull) || attempt >= retries {
-			cancel(err)
-			if errors.Is(err, wsrt.ErrQueueFull) {
-				s.rejected.Add(1)
-			}
-			return nil, err
-		}
-		// Transient saturation: back off briefly (outside the service lock,
-		// so concurrent submissions proceed) and retry. The final rejection
-		// above counts once, keeping 429 semantics intact.
-		s.retried.Add(1)
-		time.Sleep(backoff << attempt)
+		cancel(wsrt.ErrPoolClosed)
+		return nil, wsrt.ErrPoolClosed
 	}
+	if s.draining.Load() {
+		s.mu.Unlock()
+		cancel(ErrDraining)
+		return nil, ErrDraining
+	}
+	if q := ts.limits.MaxInFlight; q > 0 && ts.inflight.Load() >= int64(q) {
+		s.mu.Unlock()
+		rej := &RejectionError{Tenant: tenant, Reason: "quota", RetryAfter: time.Second}
+		s.quotaRej.Add(1)
+		ts.quotaRejected.Add(1)
+		cancel(rej)
+		return nil, rej
+	}
+	if ok, retryAfter := ts.bucket.take(time.Now()); !ok {
+		s.mu.Unlock()
+		rej := &RejectionError{Tenant: tenant, Reason: "rate-limit", RetryAfter: retryAfter}
+		s.rateLimited.Add(1)
+		ts.rateLimited.Add(1)
+		cancel(rej)
+		return nil, rej
+	}
+	if s.waiting.Load() >= int64(s.capacity) {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		ts.rejected.Add(1)
+		cancel(wsrt.ErrQueueFull)
+		return nil, wsrt.ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.waiting.Add(1)
+	s.inflight.Add(1)
+	ts.inflight.Add(1)
+	ts.queued.Add(1)
+	cls.queued.Add(1)
+	s.mu.Unlock()
 
 	s.submitted.Add(1)
-	s.wg.Add(1)
-	go s.watch(job, rec)
+	ts.submitted.Add(1)
+	cls.submitted.Add(1)
+	s.q.push(it)
 	return job, nil
 }
 
@@ -402,37 +463,177 @@ func (s *Service) Cancel(id string) (*Job, bool) {
 	return j, true
 }
 
-// watch follows one job to its terminal state, folding the outcome into
-// the service metrics and, in check mode, running the invariant checker.
-func (s *Service) watch(job *Job, rec *trace.Recorder) {
+// pump is the admission pump: the single consumer of the weighted-fair
+// queue. It stages jobs into the pool one at a time; a full staging slot
+// puts the job back at the head of its tenant queue and backs off, so a
+// higher-priority arrival can overtake while the pump waits.
+func (s *Service) pump() {
 	defer s.wg.Done()
+	attempt := 0
+	for {
+		it, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		job := it.job
+		if ctx := it.spec.Ctx; ctx != nil && ctx.Err() != nil {
+			// Cancelled while queued: never reaches the pool.
+			s.retireQueued(it, context.Cause(ctx))
+			attempt = 0
+			continue
+		}
+		if s.isClosed() {
+			s.retireQueued(it, wsrt.ErrPoolClosed)
+			continue
+		}
+		h, err := s.pool.Submit(it.spec)
+		switch {
+		case err == nil:
+			attempt = 0
+			job.handle = h
+			// Two slots: the watcher and its start marker. The pump holds
+			// its own slot while adding, so the counter cannot be at zero
+			// concurrently with Close's Wait.
+			s.wg.Add(2)
+			go s.watch(it)
+		case errors.Is(err, wsrt.ErrQueueFull):
+			// The staging slot is taken (or fault injection says so). Not a
+			// rejection — the job was accepted at Submit — so park it back
+			// at the head of its queue and wait for space.
+			s.q.pushFront(it)
+			s.retried.Add(1)
+			s.sleepOrWake(admissionBackoff(s.cfg.AdmissionBackoff, attempt))
+			attempt++
+		default:
+			s.retireQueued(it, err)
+			attempt = 0
+		}
+	}
+}
+
+// sleepOrWake sleeps for d unless a finishing job (wake) or shutdown
+// (quit) interrupts.
+func (s *Service) sleepOrWake(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.wake:
+	case <-s.quit:
+	}
+}
+
+// wakePump nudges the pump out of its backoff sleep (non-blocking).
+func (s *Service) wakePump() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Service) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// retireQueued finishes a job that never reached the pool (cancelled in
+// the queue, service closed, or the pool refused it terminally).
+func (s *Service) retireQueued(it *admItem, err error) {
+	res := sched.Result{Engine: it.spec.Engine.Name(), Program: it.job.Req.Program}
+	res.Stats.QueueWait = time.Since(it.job.Created).Nanoseconds()
+	s.finalize(it.job, it.spec.Tracer, res, err)
+}
+
+// watch follows one pool-accepted job to its terminal state. The start
+// marker moves the job queued → running as soon as the pool picks it up;
+// it is wg-tracked like the watcher itself (its slot pre-added by the
+// pump), so Close cannot return while either still runs.
+func (s *Service) watch(it *admItem) {
+	defer s.wg.Done()
+	job := it.job
 	go func() {
-		// Mark running as soon as the pool picks the job up. The goroutine
-		// exits with the watcher: Started is closed by the pool on job
-		// start, and a job drained by Close never starts but does finish.
+		defer s.wg.Done()
+		// Started is closed by the pool on job start; a job drained by
+		// Close never starts but does finish, which releases this marker.
 		select {
 		case <-job.handle.Started():
-			job.mu.Lock()
-			if job.state == StateQueued {
-				job.state = StateRunning
-			}
-			job.mu.Unlock()
+			s.markRunning(job)
 		case <-job.handle.Done():
 		}
 	}()
 	res, err := job.handle.Result()
+	s.finalize(job, it.spec.Tracer, res, err)
+}
+
+// markRunning transitions a job queued → running and moves the gauges
+// with it. The job's state mutex orders it against finalize: whichever
+// runs first wins, and the loser sees the state it left behind.
+func (s *Service) markRunning(job *Job) {
+	job.mu.Lock()
+	moved := job.state == StateQueued
+	if moved {
+		job.state = StateRunning
+	}
+	job.mu.Unlock()
+	if !moved {
+		return
+	}
+	s.waiting.Add(-1)
+	ts := s.tenant(job.tenant)
+	cls := s.classes[job.prio]
+	ts.queued.Add(-1)
+	cls.queued.Add(-1)
+	ts.running.Add(1)
+	cls.running.Add(1)
+	// The job left the staging slot, so the pump can stage the next one.
+	s.wakePump()
+}
+
+// engine returns (creating if needed) the per-engine breakdown stats.
+func (s *Service) engine(name string) *groupStat {
+	if name == "" {
+		name = "adaptivetc"
+	}
+	s.enginesMu.Lock()
+	defer s.enginesMu.Unlock()
+	g := s.engines[name]
+	if g == nil {
+		g = newGroupStat()
+		s.engines[name] = g
+	}
+	return g
+}
+
+// finalize settles one job: classify the outcome, fold it into the
+// global and per-tenant/priority/engine metrics, run the invariant
+// checker in check mode, publish the terminal record, and release the
+// job's admission footprint. Every job passes through here exactly once,
+// whether it ran on the pool or died in the queue.
+func (s *Service) finalize(job *Job, rec *trace.Recorder, res sched.Result, err error) {
 	job.cancel(nil) // release the context watcher and any deadline timer
+
+	ts := s.tenant(job.tenant)
+	cls := s.classes[job.prio]
+	eng := s.engine(job.Req.Engine)
 
 	state := StateDone
 	switch {
 	case err == nil:
 		s.completed.Add(1)
+		ts.completed.Add(1)
+		cls.completed.Add(1)
+		eng.completed.Add(1)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrCancelled):
 		state = StateCancelled
 		s.cancelled.Add(1)
+		ts.cancelled.Add(1)
+		cls.cancelled.Add(1)
 	default:
 		state = StateFailed
 		s.failed.Add(1)
+		ts.failed.Add(1)
+		cls.failed.Add(1)
 	}
 	// Latency accounting by outcome. Completed jobs record the full
 	// submit-to-done latency — queue wait is part of what their clients
@@ -443,11 +644,19 @@ func (s *Service) watch(job *Job, rec *trace.Recorder) {
 	// kicks in — precisely when honest latency numbers matter most. Jobs
 	// that never started (cancelled while queued, drained by Close) held no
 	// workers and contribute nothing.
+	var sample int64 = -1
 	switch {
 	case err == nil:
-		s.latencies.add(time.Since(job.Created).Nanoseconds())
+		sample = time.Since(job.Created).Nanoseconds()
 	case res.Makespan > 0:
-		s.latencies.add(res.Makespan)
+		sample = res.Makespan
+	}
+	if sample >= 0 {
+		s.latencies.add(sample)
+		s.hist.observe(sample)
+		ts.lat.add(sample)
+		cls.lat.add(sample)
+		eng.lat.add(sample)
 	}
 
 	var viol error
@@ -477,10 +686,25 @@ func (s *Service) watch(job *Job, rec *trace.Recorder) {
 	}
 
 	job.mu.Lock()
+	prev := job.state
 	job.state, job.res, job.err, job.violations = state, res, err, viol
 	job.mu.Unlock()
+	// Release the admission footprint according to how far the job got.
+	// The state mutex totally orders this against markRunning, so the
+	// waiting counter and the queued/running gauges settle exactly once.
+	if prev == StateRunning {
+		ts.running.Add(-1)
+		cls.running.Add(-1)
+	} else {
+		s.waiting.Add(-1)
+		ts.queued.Add(-1)
+		cls.queued.Add(-1)
+	}
+	ts.inflight.Add(-1)
+	s.inflight.Add(-1)
 	close(job.done)
 	s.retire(job.ID)
+	s.wakePump()
 }
 
 // retire records id as terminal and evicts the oldest terminal records
@@ -496,6 +720,33 @@ func (s *Service) retire(id string) {
 	}
 }
 
+// Ready reports whether the service accepts new jobs: true until Drain or
+// Close begins. GET /readyz renders it.
+func (s *Service) Ready() bool {
+	return !s.draining.Load() && !s.isClosed()
+}
+
+// Drain gracefully winds the service down: new submissions are rejected
+// with ErrDraining (and /readyz flips not-ready) while queued and running
+// jobs finish. It returns nil once every accepted job has settled, or the
+// context's error if that expires first; either way the service stays
+// drained — the expected follow-up is Close.
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
 // Snapshot returns the current service metrics.
 func (s *Service) Snapshot() Metrics {
 	up := time.Since(s.started)
@@ -504,25 +755,35 @@ func (s *Service) Snapshot() Metrics {
 	m := Metrics{
 		Started:             s.started,
 		UptimeSeconds:       up.Seconds(),
+		Draining:            s.draining.Load(),
 		Workers:             s.pool.Workers(),
 		MaxConcurrentJobs:   s.pool.MaxConcurrentJobs(),
 		ShardPolicy:         string(s.pool.ShardPolicy()),
 		RunningJobs:         s.pool.RunningJobs(),
 		BusyWorkers:         s.pool.BusyWorkers(),
-		QueueCapacity:       s.pool.QueueCapacity(),
-		QueueDepth:          s.pool.QueueDepth(),
-		InFlight:            s.pool.InFlight(),
+		QueueCapacity:       s.capacity,
+		QueueDepth:          int(s.waiting.Load()),
+		InFlight:            s.inflight.Load(),
 		Submitted:           s.submitted.Load(),
 		Completed:           completed,
 		Failed:              s.failed.Load(),
 		Cancelled:           s.cancelled.Load(),
 		Rejected:            s.rejected.Load(),
+		RateLimited:         s.rateLimited.Load(),
+		QuotaRejected:       s.quotaRej.Load(),
 		AdmissionRetries:    s.retried.Load(),
 		QuarantinedJobs:     s.pool.Quarantined(),
 		P50LatencyMS:        float64(p50) / 1e6,
 		P99LatencyMS:        float64(p99) / 1e6,
 		InvariantChecked:    s.checked.Load(),
 		InvariantViolations: s.violations.Load(),
+		LatencyHistogram:    s.hist.snapshot(),
+	}
+	if s.pool.ShardPolicy() == wsrt.ShardSLO {
+		m.SLOTargetMS = s.cfg.SLOTargetMS
+		if m.SLOTargetMS <= 0 {
+			m.SLOTargetMS = 50
+		}
 	}
 	if up > 0 {
 		m.ThroughputPerSecond = float64(completed) / up.Seconds()
@@ -530,11 +791,34 @@ func (s *Service) Snapshot() Metrics {
 	if m.Workers > 0 {
 		m.WorkerOccupancy = float64(m.BusyWorkers) / float64(m.Workers)
 	}
+	s.tenantsMu.Lock()
+	if len(s.tenants) > 0 {
+		m.Tenants = make(map[string]GroupMetrics, len(s.tenants))
+		for name, ts := range s.tenants {
+			m.Tenants[name] = ts.snapshot()
+		}
+	}
+	s.tenantsMu.Unlock()
+	m.Priorities = make(map[string]GroupMetrics, len(priorityOrder))
+	for _, p := range priorityOrder {
+		m.Priorities[string(p)] = s.classes[p].snapshot()
+	}
+	s.enginesMu.Lock()
+	if len(s.engines) > 0 {
+		m.Engines = make(map[string]GroupMetrics, len(s.engines))
+		for name, g := range s.engines {
+			m.Engines[name] = g.snapshot()
+		}
+	}
+	s.enginesMu.Unlock()
 	return m
 }
 
-// Close shuts the service down: in-flight work finishes or is drained by
-// the pool, every watcher completes, and further submissions fail.
+// Close shuts the service down: queued jobs are retired with
+// wsrt.ErrPoolClosed, in-flight work finishes or is drained by the pool,
+// every watcher (and start marker) completes, and further submissions
+// fail. For a graceful shutdown that finishes the backlog instead of
+// failing it, call Drain first.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -543,6 +827,8 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	close(s.quit)
+	s.q.close() // the pump drains the backlog, retiring every queued job
 	s.pool.Close()
 	s.wg.Wait()
 }

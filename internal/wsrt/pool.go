@@ -218,7 +218,9 @@ type Pool struct {
 	quit     chan struct{}
 	joined   sync.WaitGroup // dispatcher + workers
 
-	policy atomic.Int32 // 0 = static, 1 = adaptive
+	policy  atomic.Int32 // 0 = static, 1 = adaptive, 2 = slo
+	advisor atomic.Value // advisorBox: SLO shard-width advisor
+	extQ    atomic.Value // extQueueBox: waiting jobs held outside the pool
 
 	mu     sync.Mutex // guards Submit/Close handshake
 	closed bool
@@ -289,19 +291,66 @@ func (p *Pool) MaxConcurrentJobs() int { return p.maxJobs }
 // shards already handed out keep their width, only future allocations are
 // affected.
 func (p *Pool) SetShardPolicy(pol ShardPolicy) {
-	if pol == ShardAdaptive {
+	switch pol {
+	case ShardAdaptive:
 		p.policy.Store(1)
-	} else {
+	case ShardSLO:
+		p.policy.Store(2)
+	default:
 		p.policy.Store(0)
 	}
 }
 
 // ShardPolicy returns the current shard sizing policy.
 func (p *Pool) ShardPolicy() ShardPolicy {
-	if p.policy.Load() == 1 {
+	switch p.policy.Load() {
+	case 1:
 		return ShardAdaptive
+	case 2:
+		return ShardSLO
 	}
 	return ShardStatic
+}
+
+// ShardAdvisor decides, for the ShardSLO policy, how many concurrent jobs
+// the free workers should be split between when the next shard is formed.
+// waiting is the number of jobs queued behind the one being placed
+// (pool queue plus any external admission queue registered with
+// SetExternalQueueDepth), slots the open job slots, free the free worker
+// count. The return value is clamped to [1, slots]; a serving layer
+// typically returns 1 (widest shard, fastest drain) while a latency SLO is
+// being missed and waiting+1 (the adaptive split) otherwise.
+type ShardAdvisor func(waiting, slots, free int) int
+
+// advisorBox/extQueueBox keep atomic.Value's concrete type stable.
+type advisorBox struct{ fn ShardAdvisor }
+type extQueueBox struct{ fn func() int }
+
+// SetShardAdvisor installs the ShardSLO sizing callback. It is consulted
+// only by the dispatcher goroutine, at shard-formation time, and only
+// while the policy is ShardSLO; a nil or absent advisor makes ShardSLO
+// behave like ShardAdaptive. Safe to call while jobs are running.
+func (p *Pool) SetShardAdvisor(fn ShardAdvisor) { p.advisor.Store(advisorBox{fn}) }
+
+// SetExternalQueueDepth registers a callback reporting jobs that are
+// waiting for this pool but held outside its own admission queue — a
+// serving layer's priority queue, say. The dispatcher folds it into the
+// waiting count that drives the adaptive and SLO shard policies, so a
+// front end that stages jobs into the pool one at a time does not starve
+// the split heuristics of their demand signal.
+func (p *Pool) SetExternalQueueDepth(fn func() int) { p.extQ.Store(extQueueBox{fn}) }
+
+// waitingJobs returns the demand signal for shard sizing: queued here plus
+// queued in any registered external admission queue. The external count
+// may include jobs already staged into this pool's queue, so the sum can
+// overcount slightly; the policies only need a monotone demand signal, not
+// an exact census.
+func (p *Pool) waitingJobs() int {
+	w := len(p.queue)
+	if b, ok := p.extQ.Load().(extQueueBox); ok && b.fn != nil {
+		w += b.fn()
+	}
+	return w
 }
 
 // QueueDepth returns the number of jobs waiting for admission right now.
@@ -504,7 +553,14 @@ func (p *Pool) tryStart(alloc *shardAlloc, job *poolJob) bool {
 		// if no shard could be formed and retries on its fault tick.
 		return false
 	}
-	shard := alloc.grab(p.ShardPolicy(), len(p.queue))
+	policy := p.ShardPolicy()
+	waiting := p.waitingJobs()
+	var shard []int
+	if b, ok := p.advisor.Load().(advisorBox); ok && b.fn != nil && policy == ShardSLO {
+		shard = alloc.grabClaims(b.fn(waiting, alloc.maxJobs-alloc.running, len(alloc.free)))
+	} else {
+		shard = alloc.grab(policy, waiting)
+	}
 	if shard == nil {
 		return false
 	}

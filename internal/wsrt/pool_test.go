@@ -618,3 +618,63 @@ func waitSettled(t *testing.T, p *wsrt.Pool) {
 	}
 	t.Fatalf("pool never settled: busy=%d running=%d", p.BusyWorkers(), p.RunningJobs())
 }
+
+// TestPoolSLOAdvisor exercises the SLO shard policy end to end: without
+// an advisor the pool falls back to adaptive sizing (a lone job grows to
+// the whole pool); with an advisor installed, the advisor's claim count
+// sizes the shard, and the demand it sees includes the external queue
+// depth the serving layer reports.
+func TestPoolSLOAdvisor(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{
+		Workers: 4, MaxConcurrentJobs: 2, ShardPolicy: wsrt.ShardSLO,
+		QueueCapacity: 8, Options: sched.Options{GrowableDeque: true},
+	})
+	defer p.Close()
+	if got := p.ShardPolicy(); got != wsrt.ShardSLO {
+		t.Fatalf("ShardPolicy = %q, want slo", got)
+	}
+
+	h, err := p.Submit(wsrt.JobSpec{Prog: fib.New(10), Engine: atc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := h.Result(); err != nil || len(res.Shard) != 4 {
+		t.Fatalf("advisorless slo shard = %v err=%v, want the whole pool", res.Shard, err)
+	}
+
+	var mu sync.Mutex
+	var seenWaiting []int
+	p.SetExternalQueueDepth(func() int { return 7 })
+	p.SetShardAdvisor(func(waiting, slots, free int) int {
+		mu.Lock()
+		seenWaiting = append(seenWaiting, waiting)
+		mu.Unlock()
+		return 2
+	})
+	h2, err := p.Submit(wsrt.JobSpec{Prog: fib.New(10), Engine: atc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h2.Result()
+	if err != nil || res.Value != 55 {
+		t.Fatalf("advised job: value=%d err=%v, want 55", res.Value, err)
+	}
+	if len(res.Shard) != 2 {
+		t.Fatalf("advised shard = %v, want width 2 (4 free / 2 claims)", res.Shard)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seenWaiting) == 0 || seenWaiting[0] < 7 {
+		t.Fatalf("advisor saw waiting=%v, want >= the external depth 7", seenWaiting)
+	}
+}
+
+// TestPoolSetShardPolicySLO flips a running pool to the SLO policy.
+func TestPoolSetShardPolicySLO(t *testing.T) {
+	p := wsrt.NewPool(wsrt.PoolConfig{Workers: 2, QueueCapacity: 4})
+	defer p.Close()
+	p.SetShardPolicy(wsrt.ShardSLO)
+	if got := p.ShardPolicy(); got != wsrt.ShardSLO {
+		t.Fatalf("ShardPolicy after flip = %q, want slo", got)
+	}
+}

@@ -26,11 +26,19 @@ const (
 	// jobs are waiting behind it the free workers are split between the
 	// waiters (the shard splits), up to MaxConcurrentJobs ways.
 	ShardAdaptive ShardPolicy = "adaptive"
+	// ShardSLO delegates the sizing decision to a ShardAdvisor installed
+	// with Pool.SetShardAdvisor: the advisor sees live demand (waiting
+	// jobs, open slots, free workers) and returns how many concurrent jobs
+	// the free set should be split between — typically driven by an
+	// SLO signal such as a priority class's live p99 rather than only the
+	// idle/waiting counts the adaptive policy uses. Without an advisor it
+	// behaves exactly like ShardAdaptive.
+	ShardSLO ShardPolicy = "slo"
 )
 
 // valid reports whether p names a known policy.
 func (p ShardPolicy) valid() bool {
-	return p == ShardStatic || p == ShardAdaptive
+	return p == ShardStatic || p == ShardAdaptive || p == ShardSLO
 }
 
 // shardAlloc owns the pool's free-worker set and hands out disjoint shards.
@@ -62,13 +70,26 @@ func (a *shardAlloc) grab(policy ShardPolicy, waiting int) []int {
 	if a.running >= a.maxJobs || len(a.free) == 0 {
 		return nil
 	}
-	slots := a.maxJobs - a.running
-	claims := slots
-	if policy == ShardAdaptive {
+	claims := a.maxJobs - a.running
+	if policy == ShardAdaptive || policy == ShardSLO {
 		claims = waiting + 1
-		if claims > slots {
-			claims = slots
-		}
+	}
+	return a.grabClaims(claims)
+}
+
+// grabClaims forms a shard sized to split the free workers between claims
+// concurrent jobs (clamped to the open slots and to at least one). It is
+// the common tail of grab and the entry point for the SLO policy, whose
+// advisor computes claims from a live latency signal instead of counts.
+func (a *shardAlloc) grabClaims(claims int) []int {
+	if a.running >= a.maxJobs || len(a.free) == 0 {
+		return nil
+	}
+	if slots := a.maxJobs - a.running; claims > slots {
+		claims = slots
+	}
+	if claims < 1 {
+		claims = 1
 	}
 	width := len(a.free) / claims
 	if width < 1 {

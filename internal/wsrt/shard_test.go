@@ -212,3 +212,55 @@ func TestShardAllocFlipMidHeal(t *testing.T) {
 		t.Fatalf("full free set after heals: got %v, want all 4 workers", got)
 	}
 }
+
+// TestShardAllocSLOWithoutAdvisor checks the fallback contract: a pool
+// set to the SLO policy but given no advisor behaves exactly like the
+// adaptive policy — grow on an idle pool, split when jobs wait.
+func TestShardAllocSLOWithoutAdvisor(t *testing.T) {
+	a := newShardAlloc(4, 2)
+	grown := a.grab(ShardSLO, 0)
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(grown, want) {
+		t.Fatalf("idle slo shard = %v, want %v", grown, want)
+	}
+	a.release(grown)
+	split := a.grab(ShardSLO, 1)
+	if want := []int{0, 1}; !reflect.DeepEqual(split, want) {
+		t.Fatalf("slo shard with one waiter = %v, want %v", split, want)
+	}
+}
+
+// TestShardAllocGrabClaims pins the clamping contract of the advisor
+// entry point: claims below one grow to the whole free set, claims above
+// the open slots are cut down to them, and exhaustion returns nil.
+func TestShardAllocGrabClaims(t *testing.T) {
+	a := newShardAlloc(8, 4)
+	whole := a.grabClaims(0) // < 1 clamps to 1: the whole pool
+	if len(whole) != 8 {
+		t.Fatalf("grabClaims(0) width = %d, want 8", len(whole))
+	}
+	a.release(whole)
+
+	first := a.grabClaims(100) // clamped to the 4 open slots: width 2
+	if len(first) != 2 {
+		t.Fatalf("grabClaims(100) width = %d, want 2", len(first))
+	}
+	rest := a.grabClaims(1) // one claim: everything still free
+	if len(rest) != 6 {
+		t.Fatalf("grabClaims(1) width = %d, want 6", len(rest))
+	}
+	if s := a.grabClaims(1); s != nil {
+		t.Fatalf("grabClaims with no free workers = %v, want nil", s)
+	}
+}
+
+// TestShardPolicyValid pins the policy name set.
+func TestShardPolicyValid(t *testing.T) {
+	for _, p := range []ShardPolicy{ShardStatic, ShardAdaptive, ShardSLO} {
+		if !p.valid() {
+			t.Fatalf("policy %q should be valid", p)
+		}
+	}
+	if ShardPolicy("p99").valid() {
+		t.Fatal("unknown policy accepted")
+	}
+}
