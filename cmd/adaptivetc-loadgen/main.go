@@ -20,11 +20,19 @@
 // shares); each submission carries its tenant (X-Tenant) and priority, and
 // the report breaks latency down per priority class.
 //
+// Multi-node targets: -addr repeats. Submissions round-robin across the
+// targets and the report (and -json file) breaks counts and latency down
+// per node — the shape a cluster-tier benchmark needs. -addr-weights
+// skews the round-robin (e.g. "4,1" sends 80% of arrivals to the first
+// node) to manufacture the hot/cold imbalance forwarding should fix.
+//
 // Usage:
 //
 //	adaptivetc-loadgen -addr http://localhost:8080 -concurrency 8 -duration 10s
 //	adaptivetc-loadgen -mode open -arrival poisson -rate 50 -duration 10s \
 //	    -tenants "frontend:interactive:1,analytics:batch:1" -json out.json
+//	adaptivetc-loadgen -addr http://127.0.0.1:8331 -addr http://127.0.0.1:8332 \
+//	    -addr-weights 4,1 -mode open -rate 40 -duration 10s
 //
 // The report prints completed/cancelled/failed/rejected/lost counts,
 // throughput, overall and per-priority p50/p90/p99 latency, and the
@@ -64,6 +72,101 @@ type counters struct {
 	lost         atomic.Int64 // poll saw 404: the record was evicted
 	pollTimeouts atomic.Int64
 	dropped      atomic.Int64 // open loop: arrival past -max-outstanding
+}
+
+// addrList is the repeatable -addr flag.
+type addrList []string
+
+func (a *addrList) String() string { return strings.Join(*a, ",") }
+func (a *addrList) Set(v string) error {
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			*a = append(*a, p)
+		}
+	}
+	return nil
+}
+
+// targetRing spreads submissions across the -addr targets in a weighted
+// round-robin: a weights vector like 4,1 repeats node 0 four times per
+// cycle — the skew knob cluster benchmarks use.
+type targetRing struct {
+	slots []string
+	next  atomic.Int64
+}
+
+func newTargetRing(addrs []string, weights string) (*targetRing, error) {
+	r := &targetRing{}
+	if weights == "" {
+		r.slots = addrs
+		return r, nil
+	}
+	parts := strings.Split(weights, ",")
+	if len(parts) != len(addrs) {
+		return nil, fmt.Errorf("loadgen: %d -addr targets but %d -addr-weights", len(addrs), len(parts))
+	}
+	for i, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("loadgen: bad weight %q", p)
+		}
+		for k := 0; k < w; k++ {
+			r.slots = append(r.slots, addrs[i])
+		}
+	}
+	return r, nil
+}
+
+func (r *targetRing) pick() string {
+	return r.slots[int(r.next.Add(1)-1)%len(r.slots)]
+}
+
+// nodeSet collects the per-target breakdown for multi-addr runs.
+type nodeSet struct {
+	mu sync.Mutex
+	m  map[string]*nodeAgg
+}
+
+type nodeAgg struct {
+	submitted, completed, cancelled, failed, rejected, errors int64
+	lat                                                       []time.Duration
+}
+
+func newNodeSet() *nodeSet { return &nodeSet{m: make(map[string]*nodeAgg)} }
+
+func (ns *nodeSet) record(addr, outcome string, d time.Duration) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	a := ns.m[addr]
+	if a == nil {
+		a = &nodeAgg{}
+		ns.m[addr] = a
+	}
+	a.submitted++
+	switch outcome {
+	case "done":
+		a.completed++
+		a.lat = append(a.lat, d)
+	case "cancelled":
+		a.cancelled++
+	case "failed":
+		a.failed++
+	case "rejected":
+		a.rejected++
+	default:
+		a.errors++
+	}
+}
+
+// nodeReport is the per-target slice of the -json report.
+type nodeReport struct {
+	Submitted int64            `json:"submitted"`
+	Completed int64            `json:"completed"`
+	Cancelled int64            `json:"cancelled"`
+	Failed    int64            `json:"failed"`
+	Rejected  int64            `json:"rejected"`
+	Errors    int64            `json:"errors"`
+	Latency   percentileReport `json:"latency"`
 }
 
 // tenantSpec is one entry of the -tenants mix.
@@ -256,11 +359,15 @@ type report struct {
 	ThroughputPerS  float64                     `json:"throughput_per_sec"`
 	Latency         percentileReport            `json:"latency"`
 	ByPriority      map[string]percentileReport `json:"by_priority,omitempty"`
+	ByNode          map[string]nodeReport       `json:"by_node,omitempty"`
 	Server          json.RawMessage             `json:"server_metrics,omitempty"`
+	ServerByNode    map[string]json.RawMessage  `json:"server_metrics_by_node,omitempty"`
 }
 
 func main() {
-	addr := flag.String("addr", "http://localhost:8080", "serve base URL")
+	var addrs addrList
+	flag.Var(&addrs, "addr", "serve base URL; repeat (or comma-separate) for multi-node round-robin")
+	addrWeights := flag.String("addr-weights", "", "comma-separated round-robin weights, one per -addr (skews the node mix)")
 	mode := flag.String("mode", "closed", "load model: closed (submitters) or open (arrival process)")
 	concurrency := flag.Int("concurrency", 4, "closed loop: submitter count")
 	rate := flag.Float64("rate", 20, "open loop: mean arrival rate, jobs/s")
@@ -277,9 +384,19 @@ func main() {
 	jsonPath := flag.String("json", "", "write the machine-readable report to this file")
 	flag.Parse()
 
+	if len(addrs) == 0 {
+		addrs = addrList{"http://localhost:8080"}
+	}
 	// Accept the same bare host:port that adaptivetc-serve -addr takes.
-	if !strings.Contains(*addr, "://") {
-		*addr = "http://" + *addr
+	for i, a := range addrs {
+		if !strings.Contains(a, "://") {
+			addrs[i] = "http://" + a
+		}
+	}
+	ring, err := newTargetRing(addrs, *addrWeights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	progMix := strings.Split(*programs, ",")
 	engMix := strings.Split(*engines, ",")
@@ -292,13 +409,14 @@ func main() {
 
 	var cnt counters
 	lat := newLatencySet()
+	nodes := newNodeSet()
 	start := time.Now()
 	switch *mode {
 	case "closed":
-		runClosed(client, *addr, progMix, engMix, mix, *n, *timeoutMS, *concurrency, *duration, *seed, &cnt, lat)
+		runClosed(client, ring, progMix, engMix, mix, *n, *timeoutMS, *concurrency, *duration, *seed, &cnt, lat, nodes)
 	case "open":
-		runOpen(client, *addr, progMix, engMix, mix, *n, *timeoutMS, *rate, *arrival, *period,
-			*maxOutstanding, *duration, *seed, &cnt, lat)
+		runOpen(client, ring, progMix, engMix, mix, *n, *timeoutMS, *rate, *arrival, *period,
+			*maxOutstanding, *duration, *seed, &cnt, lat, nodes)
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (closed|open)\n", *mode)
 		os.Exit(2)
@@ -331,9 +449,29 @@ func main() {
 		rep.ByPriority[p] = summarize(samples)
 	}
 	lat.mu.Unlock()
-	rep.Server = fetchServerMetrics(client, *addr)
+	nodes.mu.Lock()
+	if len(addrs) > 1 {
+		rep.ByNode = make(map[string]nodeReport, len(nodes.m))
+		for a, agg := range nodes.m {
+			rep.ByNode[a] = nodeReport{
+				Submitted: agg.submitted, Completed: agg.completed, Cancelled: agg.cancelled,
+				Failed: agg.failed, Rejected: agg.rejected, Errors: agg.errors,
+				Latency: summarize(agg.lat),
+			}
+		}
+	}
+	nodes.mu.Unlock()
+	rep.Server = fetchServerMetrics(client, addrs[0])
+	if len(addrs) > 1 {
+		rep.ServerByNode = make(map[string]json.RawMessage, len(addrs))
+		for _, a := range addrs {
+			if m := fetchServerMetrics(client, a); m != nil {
+				rep.ServerByNode[a] = m
+			}
+		}
+	}
 
-	printReport(*addr, rep)
+	printReport(addrs[0], rep)
 	if *jsonPath != "" {
 		blob, _ := json.MarshalIndent(rep, "", "  ")
 		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
@@ -349,9 +487,9 @@ func main() {
 
 // runClosed is the closed-loop model: each submitter chains jobs
 // back-to-back, so offered load adapts to (and hides) server slowness.
-func runClosed(client *http.Client, addr string, progMix, engMix []string, mix []tenantSpec,
+func runClosed(client *http.Client, ring *targetRing, progMix, engMix []string, mix []tenantSpec,
 	n int, timeoutMS int64, concurrency int, duration time.Duration, seed int64,
-	cnt *counters, lat *latencySet) {
+	cnt *counters, lat *latencySet, nodes *nodeSet) {
 	deadline := time.Now().Add(duration)
 	var wg sync.WaitGroup
 	for c := 0; c < concurrency; c++ {
@@ -367,7 +505,9 @@ func runClosed(client *http.Client, addr string, progMix, engMix []string, mix [
 					n:       n, timeoutMS: timeoutMS,
 					tenant: ten.name, priority: ten.priority,
 				}
+				addr := ring.pick()
 				d, outcome := runOne(client, addr, req, time.Now(), cnt)
+				nodes.record(addr, outcome, d)
 				if outcome == "done" {
 					lat.add(ten.priority, d)
 				}
@@ -381,10 +521,10 @@ func runClosed(client *http.Client, addr string, progMix, engMix []string, mix [
 // process regardless of server state, and each job's latency clock starts
 // at its intended arrival time, so server-induced queueing is charged to
 // the server rather than silently thinning the sample.
-func runOpen(client *http.Client, addr string, progMix, engMix []string, mix []tenantSpec,
+func runOpen(client *http.Client, ring *targetRing, progMix, engMix []string, mix []tenantSpec,
 	n int, timeoutMS int64, rate float64, arrival string, period time.Duration,
 	maxOutstanding int, duration time.Duration, seed int64,
-	cnt *counters, lat *latencySet) {
+	cnt *counters, lat *latencySet, nodes *nodeSet) {
 	if rate <= 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: open loop needs -rate > 0")
 		os.Exit(2)
@@ -416,11 +556,13 @@ func runOpen(client *http.Client, addr string, progMix, engMix []string, mix []t
 			n:       n, timeoutMS: timeoutMS,
 			tenant: ten.name, priority: ten.priority,
 		}
+		addr := ring.pick()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-outstanding }()
 			d, outcome := runOne(client, addr, req, intended, cnt)
+			nodes.record(addr, outcome, d)
 			if outcome == "done" {
 				lat.add(req.priority, d)
 			}
@@ -453,6 +595,16 @@ func printReport(addr string, rep report) {
 	for _, p := range prios {
 		r := rep.ByPriority[p]
 		fmt.Printf("  priority=%-11s p50=%.2fms p90=%.2fms p99=%.2fms (n=%d)\n", p, r.P50MS, r.P90MS, r.P99MS, r.Count)
+	}
+	nodeAddrs := make([]string, 0, len(rep.ByNode))
+	for a := range rep.ByNode {
+		nodeAddrs = append(nodeAddrs, a)
+	}
+	sort.Strings(nodeAddrs)
+	for _, a := range nodeAddrs {
+		r := rep.ByNode[a]
+		fmt.Printf("  node=%s submitted=%d completed=%d rejected=%d errors=%d p99=%.2fms\n",
+			a, r.Submitted, r.Completed, r.Rejected, r.Errors, r.Latency.P99MS)
 	}
 	var m struct {
 		Workers             int     `json:"workers"`
@@ -566,8 +718,9 @@ func runOne(client *http.Client, addr string, req submitReq, start time.Time, cn
 		case "failed":
 			cnt.failed.Add(1)
 			return time.Since(start), "failed"
-		case "queued", "running":
-			// still in flight
+		case "queued", "running", "forwarded":
+			// still in flight ("forwarded": executing on a cluster peer,
+			// the origin node settles the record when the peer finishes)
 		default:
 			cnt.httpErrs.Add(1)
 			return 0, "error"

@@ -28,6 +28,13 @@
 // adaptivetc-loadgen exercises. On SIGTERM/SIGINT the server drains: it
 // stops accepting jobs (readyz flips), finishes the backlog within
 // -drain-timeout, then exits.
+//
+// Cluster mode: -peers joins this node to a group of serve processes that
+// gossip load, forward queued jobs hot→cold, and let idle nodes steal
+// from a peer's backlog (see internal/cluster):
+//
+//	adaptivetc-serve -addr :8331 -node-id http://127.0.0.1:8331 \
+//	    -peers http://127.0.0.1:8332
 package main
 
 import (
@@ -38,9 +45,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"adaptivetc/internal/cluster"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/serve"
 	"adaptivetc/internal/wsrt"
@@ -64,6 +73,11 @@ func main() {
 	tenantBurst := flag.Int("tenant-burst", 0, "default per-tenant rate-limit burst (0 = derived from -tenant-rate)")
 	retainJobs := flag.Int("retain-jobs", 0, "terminal job records kept for GET /jobs/{id} (0 = default 1024)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound on SIGTERM/SIGINT")
+	peers := flag.String("peers", "", "comma-separated peer base URLs; non-empty joins the cluster tier")
+	nodeID := flag.String("node-id", "", "this node's advertised base URL (cluster mode; defaults from -addr)")
+	gossipInterval := flag.Duration("gossip-interval", 100*time.Millisecond, "cluster load-exchange interval")
+	forwardThreshold := flag.Int("forward-threshold", 4, "minimum load gap before forwarding queued jobs to a colder peer")
+	forwardBatch := flag.Int("forward-batch", 4, "max jobs moved per rebalance or steal")
 	flag.Parse()
 
 	if !wsrt.ValidStealPolicy(*stealPolicy) {
@@ -93,12 +107,40 @@ func main() {
 		},
 	})
 
-	server := &http.Server{Addr: *addr, Handler: serve.NewMux(svc)}
+	mux := serve.NewMux(svc)
+	var node *cluster.Node
+	if *peers != "" {
+		self := *nodeID
+		if self == "" {
+			self = "http://127.0.0.1" + *addr
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimSuffix(p, "/"))
+			}
+		}
+		node = cluster.NewNode(cluster.Config{
+			Self:             strings.TrimSuffix(self, "/"),
+			Peers:            peerList,
+			GossipInterval:   *gossipInterval,
+			ForwardThreshold: *forwardThreshold,
+			Batch:            *forwardBatch,
+		}, svc, nil)
+		cluster.Mount(mux, node)
+		node.Start()
+	}
+
+	server := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
 
 	fmt.Printf("adaptivetc-serve: listening on %s (workers=%d queue=%d max-concurrent-jobs=%d shard-policy=%s steal-policy=%s relaxed-deque=%v check=%v tenant-quota=%d tenant-rate=%.1f)\n",
 		*addr, *workers, *queue, *maxJobs, *shardPolicy, *stealPolicy, *relaxed, *check, *tenantQuota, *tenantRate)
+	if node != nil {
+		fmt.Printf("adaptivetc-serve: cluster node %s with %d peer(s), gossip every %v, forward-threshold %d\n",
+			node.Snapshot().Self, len(strings.Split(*peers, ",")), *gossipInterval, *forwardThreshold)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -113,6 +155,9 @@ func main() {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "adaptivetc-serve: %v\n", err)
+			if node != nil {
+				node.Stop()
+			}
 			svc.Close()
 			os.Exit(1)
 		}
@@ -121,11 +166,18 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = server.Shutdown(ctx)
+	if node != nil {
+		node.Stop()
+	}
 	svc.Close()
 
 	m := svc.Snapshot()
 	fmt.Printf("adaptivetc-serve: served %d jobs (%d completed, %d cancelled, %d failed, %d rejected, %d rate-limited, %d over-quota)\n",
 		m.Submitted, m.Completed, m.Cancelled, m.Failed, m.Rejected, m.RateLimited, m.QuotaRejected)
+	if node != nil {
+		fmt.Printf("adaptivetc-serve: cluster: forwarded_out=%d forwarded_in=%d forward_rejected=%d\n",
+			m.ForwardedOut, m.ForwardedIn, m.ForwardRejected)
+	}
 	if m.InvariantChecked > 0 {
 		fmt.Printf("adaptivetc-serve: invariant checks: %d run, %d violations\n",
 			m.InvariantChecked, m.InvariantViolations)

@@ -1,0 +1,491 @@
+// The real-transport cluster node: three periodic loops (gossip pull,
+// hot-side rebalance, idle-side steal) plus the synchronous
+// forward-on-full hook installed into the service's Submit path.
+//
+// Decision rules (DESIGN.md §15):
+//
+//   - Forward (push) when this node is hot: LoadScore - coldest peer's
+//     score >= ForwardThreshold. The hot node sheds the *tail* of its
+//     backlog (serve.ExtractQueued takes reverse service order), at most
+//     Batch jobs per tick, and only to a peer it has a fresh load view of.
+//   - Steal (pull) when this node is idle: LoadScore == 0 and some peer's
+//     score >= StealMinScore. The thief asks; the victim extracts and
+//     forwards through the same path, so dedupe and accounting are shared.
+//   - Forward-on-full: a client submission that misses the local capacity
+//     bound goes to the least-loaded non-draining peer whose score is
+//     below this node's, before the client ever sees a 429.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivetc/internal/sched"
+	"adaptivetc/internal/serve"
+)
+
+// Config configures a Node.
+type Config struct {
+	// Self is this node's advertised base URL (peers reach it there).
+	Self string
+	// Peers are the other nodes' base URLs.
+	Peers []string
+	// GossipInterval paces the load-exchange, rebalance and steal loops.
+	// Zero means 100ms.
+	GossipInterval time.Duration
+	// ForwardThreshold is the minimum load-score gap (self − coldest peer)
+	// before the rebalance loop sheds work. Zero means 4.
+	ForwardThreshold int
+	// Batch bounds jobs moved per rebalance tick or steal request. Zero
+	// means 4.
+	Batch int
+	// StealMinScore is the minimum victim score worth a steal request.
+	// Zero means 2.
+	StealMinScore int
+	// RPCTimeout bounds job-placement calls (forward, steal). Zero means
+	// 1s. Deliberately independent of GossipInterval: gossip can run at
+	// millisecond cadence with stale views being harmless, but a
+	// placement call racing CPU-saturated workers needs real headroom.
+	RPCTimeout time.Duration
+}
+
+func (c Config) gossipInterval() time.Duration {
+	if c.GossipInterval <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.GossipInterval
+}
+
+func (c Config) forwardThreshold() int {
+	if c.ForwardThreshold <= 0 {
+		return 4
+	}
+	return c.ForwardThreshold
+}
+
+func (c Config) batch() int {
+	if c.Batch <= 0 {
+		return 4
+	}
+	return c.Batch
+}
+
+func (c Config) stealMinScore() int {
+	if c.StealMinScore <= 0 {
+		return 2
+	}
+	return c.StealMinScore
+}
+
+func (c Config) rpcTimeout() time.Duration {
+	if c.RPCTimeout <= 0 {
+		return time.Second
+	}
+	return c.RPCTimeout
+}
+
+// peerView is the last load report received from one peer.
+type peerView struct {
+	report LoadReport
+	at     time.Time
+	ok     bool
+}
+
+// Node ties one serve.Service into a cluster.
+type Node struct {
+	cfg Config
+	svc *serve.Service
+	tr  Transport
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	peers map[string]peerView
+
+	// Dedupe of inbound forwards: token → local job id, bounded FIFO.
+	dedupeMu  sync.Mutex
+	dedupe    map[string]string
+	dedupeLog []string
+
+	gossipOK      atomic.Int64
+	gossipFail    atomic.Int64
+	rebalancedOut atomic.Int64 // jobs shed by the rebalance loop
+	stealRequests atomic.Int64 // steal requests this node sent
+	stealMoved    atomic.Int64 // jobs received through those requests
+	stealServed   atomic.Int64 // jobs shed when peers stole from us
+	forwardFailed atomic.Int64 // forward attempts no peer accepted
+}
+
+// NewNode builds a cluster node around svc. tr nil means the HTTP
+// transport. Call Start to join the cluster.
+func NewNode(cfg Config, svc *serve.Service, tr Transport) *Node {
+	if tr == nil {
+		tr = NewHTTPTransport(0)
+	}
+	n := &Node{
+		cfg:    cfg,
+		svc:    svc,
+		tr:     tr,
+		quit:   make(chan struct{}),
+		peers:  make(map[string]peerView, len(cfg.Peers)),
+		dedupe: make(map[string]string),
+	}
+	return n
+}
+
+// Service returns the node's service.
+func (n *Node) Service() *serve.Service { return n.svc }
+
+// Start installs the forward-on-full hook and launches the gossip,
+// rebalance and steal loops.
+func (n *Node) Start() {
+	n.svc.SetForwarder(n.forwardOnFull)
+	n.wg.Add(3)
+	go n.gossipLoop()
+	go n.rebalanceLoop()
+	go n.stealLoop()
+}
+
+// Stop uninstalls the hook and stops the loops. In-flight remote watchers
+// belong to the service and settle through its own drain/close.
+func (n *Node) Stop() {
+	n.svc.SetForwarder(nil)
+	close(n.quit)
+	n.wg.Wait()
+}
+
+// gossipLoop pulls every peer's load view each interval. Pull keeps the
+// protocol one-directional and trivially idempotent: a node that misses a
+// round just serves a slightly stale view.
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.gossipInterval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case <-tick.C:
+		}
+		for _, peer := range n.cfg.Peers {
+			// rpcTimeout, not the gossip interval: at millisecond cadence on
+			// a saturated host a single slow round would mark a healthy peer
+			// unusable exactly when forward-on-full needs it. A tick that
+			// overruns just delays the next round (NewTicker drops ticks).
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.rpcTimeout())
+			r, err := n.tr.Load(ctx, peer)
+			cancel()
+			n.mu.Lock()
+			if err != nil {
+				n.gossipFail.Add(1)
+				// Keep the stale report but mark it unusable; a partitioned
+				// peer must not keep attracting forwards on old numbers.
+				v := n.peers[peer]
+				v.ok = false
+				n.peers[peer] = v
+			} else {
+				n.gossipOK.Add(1)
+				n.peers[peer] = peerView{report: r, at: time.Now(), ok: true}
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// peerViews returns the usable peer reports, sorted by ascending score
+// with the peer URL as deterministic tie-break.
+func (n *Node) peerViews() []peerView {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]peerView, 0, len(n.peers))
+	for _, v := range n.peers {
+		if v.ok && !v.report.Draining {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].report.Score != out[j].report.Score {
+			return out[i].report.Score < out[j].report.Score
+		}
+		return out[i].report.Node < out[j].report.Node
+	})
+	return out
+}
+
+// rebalanceLoop sheds queued work while this node is hot relative to the
+// coldest peer.
+func (n *Node) rebalanceLoop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.gossipInterval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case <-tick.C:
+		}
+		views := n.peerViews()
+		if len(views) == 0 {
+			continue
+		}
+		cold := views[0]
+		gap := n.svc.LoadScore() - cold.report.Score
+		if gap < n.cfg.forwardThreshold() {
+			continue
+		}
+		// Shed at most half the gap: moving more would just invert it.
+		shed := gap / 2
+		if b := n.cfg.batch(); shed > b {
+			shed = b
+		}
+		for _, rj := range n.svc.ExtractQueued(shed) {
+			if n.forwardRemoteJob(rj, cold.report.Node) {
+				n.rebalancedOut.Add(1)
+			}
+		}
+	}
+}
+
+// stealLoop pulls work while this node is idle and some peer is backed up.
+func (n *Node) stealLoop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.gossipInterval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case <-tick.C:
+		}
+		if n.svc.LoadScore() > 0 || !n.svc.Ready() {
+			continue
+		}
+		views := n.peerViews()
+		if len(views) == 0 {
+			continue
+		}
+		hot := views[len(views)-1]
+		if hot.report.Score < n.cfg.stealMinScore() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.rpcTimeout())
+		reply, err := n.tr.Steal(ctx, hot.report.Node, StealRequest{Thief: n.cfg.Self, Max: n.cfg.batch()})
+		cancel()
+		n.stealRequests.Add(1)
+		if err == nil {
+			n.stealMoved.Add(int64(reply.Moved))
+		}
+	}
+}
+
+// forwardOnFull is the hook Submit calls on a capacity miss: place the
+// request on the least-loaded peer that is measurably colder than us.
+func (n *Node) forwardOnFull(req serve.Request) (*serve.Forwarded, error) {
+	self := n.svc.LoadScore()
+	for _, v := range n.peerViews() {
+		if v.report.Score >= self {
+			break // sorted ascending: nobody colder remains
+		}
+		peer := v.report.Node
+		fr := ForwardRequest{Req: req, Origin: n.cfg.Self, Token: newToken(n.cfg.Self)}
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.rpcTimeout())
+		reply, err := n.tr.Forward(ctx, peer, fr)
+		cancel()
+		if err != nil {
+			continue
+		}
+		return &serve.Forwarded{Node: peer, JobID: reply.JobID, Wait: n.waitRemote(peer, reply.JobID)}, nil
+	}
+	n.forwardFailed.Add(1)
+	return nil, errors.New("cluster: no peer can take the job")
+}
+
+// tokenSeq disambiguates forward-on-full tokens, which have no local job
+// id yet at send time.
+var tokenSeq atomic.Int64
+
+func newToken(self string) string {
+	return fmt.Sprintf("%s/onfull-%d", self, tokenSeq.Add(1))
+}
+
+// forwardRemoteJob ships one extracted job to peer; on any failure the job
+// goes back to the head of its local queue. Reports whether it was placed.
+func (n *Node) forwardRemoteJob(rj *serve.RemoteJob, peer string) bool {
+	fr := ForwardRequest{
+		Req:    rj.Request(),
+		Origin: n.cfg.Self,
+		Token:  n.cfg.Self + "/" + rj.ID(),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.rpcTimeout())
+	reply, err := n.tr.Forward(ctx, peer, fr)
+	cancel()
+	if err != nil {
+		n.forwardFailed.Add(1)
+		rj.Requeue()
+		return false
+	}
+	rj.Placed(peer, reply.JobID, n.waitRemote(peer, reply.JobID))
+	return true
+}
+
+// waitRemote returns the watcher the service runs for a forwarded job:
+// poll the peer until the job is terminal, with exponential poll backoff;
+// honour ctx by best-effort cancelling the remote job.
+func (n *Node) waitRemote(peer, jobID string) func(ctx context.Context) (sched.Result, error) {
+	return func(ctx context.Context) (sched.Result, error) {
+		poll := 2 * time.Millisecond
+		const maxPoll = 250 * time.Millisecond
+		var misses int
+		for {
+			st, err := n.tr.Status(ctx, peer, jobID)
+			switch {
+			case err == nil:
+				misses = 0
+				switch st.State {
+				case serve.StateDone, serve.StateFailed, serve.StateCancelled:
+					return resultFromStatus(st)
+				}
+			case ctx.Err() != nil:
+				// The local job was cancelled (or the service is closing):
+				// tell the peer, then settle with the local cause.
+				cctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				_ = n.tr.Cancel(cctx, peer, jobID)
+				cancel()
+				return sched.Result{}, context.Cause(ctx)
+			default:
+				// Transport error: the peer may be restarting or partitioned.
+				// A bounded number of consecutive misses fails the job with
+				// an explicit error instead of wedging the record forever.
+				misses++
+				if misses > 100 {
+					return sched.Result{}, fmt.Errorf("cluster: lost contact with %s polling job %s: %w", peer, jobID, err)
+				}
+			}
+			select {
+			case <-ctx.Done():
+				// Loop once more; the ctx.Err branch settles it.
+			case <-time.After(poll):
+			}
+			if poll < maxPoll {
+				poll *= 2
+			}
+		}
+	}
+}
+
+// resultFromStatus converts a terminal remote JobStatus into the local
+// result/err pair finalize classifies.
+func resultFromStatus(st serve.JobStatus) (sched.Result, error) {
+	res := sched.Result{Engine: st.Engine, Program: st.Program, Makespan: int64(st.MakespanMS * 1e6)}
+	if st.Value != nil {
+		res.Value = *st.Value
+	}
+	if st.Stats != nil {
+		res.Stats = *st.Stats
+	}
+	switch st.State {
+	case serve.StateDone:
+		return res, nil
+	case serve.StateCancelled:
+		return res, fmt.Errorf("cluster: remote job cancelled (%s): %w", st.Error, serve.ErrCancelled)
+	default:
+		return res, fmt.Errorf("cluster: remote job failed: %s", st.Error)
+	}
+}
+
+// acceptForward is the peer-side inbound path (shared by the HTTP handler):
+// dedupe on the token, then admit through SubmitForwarded.
+func (n *Node) acceptForward(fr ForwardRequest) (ForwardReply, error) {
+	n.dedupeMu.Lock()
+	if id, ok := n.dedupe[fr.Token]; ok {
+		n.dedupeMu.Unlock()
+		return ForwardReply{JobID: id, Dup: true}, nil
+	}
+	n.dedupeMu.Unlock()
+	job, err := n.svc.SubmitForwarded(fr.Req, fr.Origin)
+	if err != nil {
+		return ForwardReply{}, err
+	}
+	n.dedupeMu.Lock()
+	n.dedupe[fr.Token] = job.ID
+	n.dedupeLog = append(n.dedupeLog, fr.Token)
+	const dedupeCap = 4096
+	for len(n.dedupeLog) > dedupeCap {
+		delete(n.dedupe, n.dedupeLog[0])
+		n.dedupeLog = n.dedupeLog[1:]
+	}
+	n.dedupeMu.Unlock()
+	return ForwardReply{JobID: job.ID}, nil
+}
+
+// serveSteal is the victim-side steal handler: extract and forward to the
+// thief through the normal forwarding path.
+func (n *Node) serveSteal(req StealRequest) StealReply {
+	max := req.Max
+	if b := n.cfg.batch(); max <= 0 || max > b {
+		max = b
+	}
+	moved := 0
+	for _, rj := range n.svc.ExtractQueued(max) {
+		if n.forwardRemoteJob(rj, req.Thief) {
+			moved++
+		}
+	}
+	n.stealServed.Add(int64(moved))
+	return StealReply{Moved: moved}
+}
+
+// loadReport renders this node's gossiped view.
+func (n *Node) loadReport() LoadReport {
+	m := n.svc.Snapshot()
+	return LoadReport{
+		Node:         n.cfg.Self,
+		Score:        m.LoadScore,
+		Busy:         m.BusyWorkers,
+		Queue:        m.QueueDepth,
+		ForwardedNow: m.ForwardedNow,
+		Draining:     m.Draining,
+	}
+}
+
+// Stats is the node's own counter snapshot (mounted at /cluster/stats).
+type Stats struct {
+	Self          string         `json:"self"`
+	Peers         map[string]any `json:"peers,omitempty"`
+	GossipOK      int64          `json:"gossip_ok"`
+	GossipFail    int64          `json:"gossip_fail"`
+	RebalancedOut int64          `json:"rebalanced_out"`
+	StealRequests int64          `json:"steal_requests"`
+	StealMoved    int64          `json:"steal_moved"`
+	StealServed   int64          `json:"steal_served"`
+	ForwardFailed int64          `json:"forward_failed"`
+}
+
+// Snapshot returns the node's counters and last known peer views.
+func (n *Node) Snapshot() Stats {
+	st := Stats{
+		Self:          n.cfg.Self,
+		GossipOK:      n.gossipOK.Load(),
+		GossipFail:    n.gossipFail.Load(),
+		RebalancedOut: n.rebalancedOut.Load(),
+		StealRequests: n.stealRequests.Load(),
+		StealMoved:    n.stealMoved.Load(),
+		StealServed:   n.stealServed.Load(),
+		ForwardFailed: n.forwardFailed.Load(),
+	}
+	n.mu.Lock()
+	if len(n.peers) > 0 {
+		st.Peers = make(map[string]any, len(n.peers))
+		for url, v := range n.peers {
+			st.Peers[url] = map[string]any{"score": v.report.Score, "ok": v.ok}
+		}
+	}
+	n.mu.Unlock()
+	return st
+}

@@ -86,10 +86,53 @@ type Spec struct {
 	// StarveBurst is the number of consecutive starved allocations once
 	// Starve fires (default 1).
 	StarveBurst int
+
+	// Network fault roles, consumed by the cluster tier (internal/cluster):
+	// the Sim transport draws one decision per message from a per-link
+	// stream, so a whole N-node cluster soak replays byte-identically from
+	// its seed. The single-process fault roles above never consult these.
+
+	// NetDrop is the per-message probability that a cluster message
+	// (gossip, forward, steal, ack) is lost in flight.
+	NetDrop float64
+	// NetDelay is the per-message probability of an extra latency spike of
+	// NetDelayNS on top of the link's base cost.
+	NetDelay float64
+	// NetDelayNS is the injected latency spike. Default 300µs.
+	NetDelayNS int64
+	// NetDup is the per-message probability that the message is delivered
+	// twice — the at-least-once hazard the forwarding layer's dedupe must
+	// absorb.
+	NetDup float64
+	// Partition is the per-probe (gossip-tick) probability that a node
+	// drops off the network — every message to or from it is lost — for
+	// PartitionNS.
+	Partition float64
+	// PartitionNS is how long an injected partition isolates the node.
+	// Default 5ms of virtual time.
+	PartitionNS int64
 }
 
 // enabled reports whether any fault has a non-zero rate.
 func (s Spec) enabled() bool {
+	return s.StealFail > 0 || s.Stall > 0 || s.DepositDelay > 0 ||
+		s.Panic > 0 || s.Overflow > 0 || s.Reject > 0 || s.Starve > 0 ||
+		s.netEnabled()
+}
+
+// netEnabled reports whether any network fault has a non-zero rate.
+func (s Spec) netEnabled() bool {
+	return s.NetDrop > 0 || s.NetDelay > 0 || s.NetDup > 0 || s.Partition > 0
+}
+
+// NetEnabled reports whether the spec injects any network fault — the
+// chaos harness routes such scenarios to its cluster campaigns.
+func (s Spec) NetEnabled() bool { return s.netEnabled() }
+
+// ProcessEnabled reports whether the spec injects any single-process fault
+// (everything but the network roles) — the sim and pool chaos campaigns
+// skip scenarios that are network-only.
+func (s Spec) ProcessEnabled() bool {
 	return s.StealFail > 0 || s.Stall > 0 || s.DepositDelay > 0 ||
 		s.Panic > 0 || s.Overflow > 0 || s.Reject > 0 || s.Starve > 0
 }
@@ -120,6 +163,12 @@ func New(spec Spec) *Plan {
 	if spec.DepositDelayNS <= 0 {
 		spec.DepositDelayNS = 5_000
 	}
+	if spec.NetDelayNS <= 0 {
+		spec.NetDelayNS = 300_000
+	}
+	if spec.PartitionNS <= 0 {
+		spec.PartitionNS = 5_000_000
+	}
 	return &Plan{spec: spec}
 }
 
@@ -136,6 +185,8 @@ const (
 	roleDeque
 	roleAdmission
 	roleShard
+	roleLink
+	rolePartition
 )
 
 // stream derives the splitmix64 state for one (role, slot) stream.
@@ -194,6 +245,30 @@ func (p *Plan) ShardAlloc() *Injector {
 	return p.injector(roleShard, 0)
 }
 
+// Link returns the per-link message-fault stream for directed link slot i
+// (the cluster tier keys it src*nodes+dst), or nil when no message fault
+// (drop/delay/duplicate) is configured. Each directed link owns a private
+// stream, so the fate of A→B traffic never correlates with B→A.
+func (p *Plan) Link(i int) *Injector {
+	if p == nil {
+		return nil
+	}
+	s := p.spec
+	if s.NetDrop <= 0 && s.NetDelay <= 0 && s.NetDup <= 0 {
+		return nil
+	}
+	return p.injector(roleLink, i)
+}
+
+// Partitioner returns node i's partition stream — probed once per gossip
+// tick by the Sim cluster — or nil when Partition is zero.
+func (p *Plan) Partitioner(i int) *Injector {
+	if p == nil || p.spec.Partition <= 0 {
+		return nil
+	}
+	return p.injector(rolePartition, i)
+}
+
 func (p *Plan) injector(role, slot int) *Injector {
 	s := p.spec
 	return &Injector{
@@ -209,6 +284,12 @@ func (p *Plan) injector(role, slot int) *Injector {
 		reject:       threshold(s.Reject),
 		starve:       threshold(s.Starve),
 		starveBurst:  s.StarveBurst,
+		netDrop:      threshold(s.NetDrop),
+		netDelay:     threshold(s.NetDelay),
+		netDelayNS:   s.NetDelayNS,
+		netDup:       threshold(s.NetDup),
+		partition:    threshold(s.Partition),
+		partitionNS:  s.PartitionNS,
 	}
 }
 
@@ -248,6 +329,13 @@ type Injector struct {
 	starve      uint64
 	starveBurst int
 	starveLeft  int
+
+	netDrop     uint64
+	netDelay    uint64
+	netDelayNS  int64
+	netDup      uint64
+	partition   uint64
+	partitionNS int64
 }
 
 // next is splitmix64: deterministic, full-period, cheap.
@@ -323,6 +411,31 @@ func (in *Injector) StarveShard() bool {
 	return false
 }
 
+// DropMessage decides whether the current message is lost in flight.
+func (in *Injector) DropMessage() bool { return in.hit(in.netDrop) }
+
+// ExtraDelayNS returns the injected latency spike for the current message
+// (0: delivered at the link's base cost).
+func (in *Injector) ExtraDelayNS() int64 {
+	if in.hit(in.netDelay) {
+		return in.netDelayNS
+	}
+	return 0
+}
+
+// DuplicateMessage decides whether the current message is delivered twice.
+func (in *Injector) DuplicateMessage() bool { return in.hit(in.netDup) }
+
+// PartitionNS returns how long the node is isolated starting at this probe
+// (0: stays connected). One probe per gossip tick keeps the decision count
+// — and with it the replayed stream — independent of message volume.
+func (in *Injector) PartitionNS() int64 {
+	if in.hit(in.partition) {
+		return in.partitionNS
+	}
+	return 0
+}
+
 // PanicValue is the value an injected program panic throws, so tests and
 // the chaos harness can tell an injected panic from a real program bug.
 type PanicValue struct {
@@ -356,6 +469,17 @@ var scenarios = map[string]Spec{
 		Panic: 0.0005, Overflow: 0.0002,
 		Reject: 0.05, Starve: 0.1, StarveBurst: 2,
 	},
+	// Network scenarios, consumed by the cluster campaigns. Rates are sized
+	// so a small Sim cluster both loses enough messages to exercise the
+	// retry/dedupe machinery and still converges quickly.
+	"net-drop":  {NetDrop: 0.25},
+	"net-delay": {NetDelay: 0.4, NetDelayNS: 400_000},
+	"net-dup":   {NetDup: 0.3},
+	"partition": {Partition: 0.15, PartitionNS: 4_000_000},
+	"net-mixed": {
+		NetDrop: 0.1, NetDelay: 0.2, NetDelayNS: 250_000,
+		NetDup: 0.1, Partition: 0.05, PartitionNS: 2_500_000,
+	},
 }
 
 // Scenarios lists the curated scenario names, sorted.
@@ -363,6 +487,32 @@ func Scenarios() []string {
 	names := make([]string, 0, len(scenarios))
 	for n := range scenarios {
 		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProcessScenarios lists the scenario names that inject single-process
+// faults, sorted — the set the sim and pool chaos campaigns iterate.
+func ProcessScenarios() []string {
+	var names []string
+	for n, s := range scenarios {
+		if s.ProcessEnabled() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NetScenarios lists the scenario names that inject network faults, sorted
+// — the set the cluster chaos campaigns iterate.
+func NetScenarios() []string {
+	var names []string
+	for n, s := range scenarios {
+		if s.NetEnabled() {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names

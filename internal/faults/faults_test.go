@@ -179,6 +179,96 @@ func TestScenarios(t *testing.T) {
 	}
 }
 
+// Link and partition streams follow the same replay and nil-when-off
+// contracts as the process-side streams.
+func TestNetStreams(t *testing.T) {
+	p := New(Spec{Seed: 21, NetDrop: 0.2, NetDelay: 0.3, NetDup: 0.1, Partition: 0.4})
+	a, b := p.Link(5), p.Link(5)
+	if a == nil || b == nil {
+		t.Fatal("net plan returned nil link injector")
+	}
+	for i := 0; i < 10_000; i++ {
+		if av, bv := a.DropMessage(), b.DropMessage(); av != bv {
+			t.Fatalf("step %d: DropMessage diverged: %v vs %v", i, av, bv)
+		}
+		if av, bv := a.ExtraDelayNS(), b.ExtraDelayNS(); av != bv {
+			t.Fatalf("step %d: ExtraDelayNS diverged: %d vs %d", i, av, bv)
+		}
+		if av, bv := a.DuplicateMessage(), b.DuplicateMessage(); av != bv {
+			t.Fatalf("step %d: DuplicateMessage diverged: %v vs %v", i, av, bv)
+		}
+	}
+	pa, pb := p.Partitioner(2), p.Partitioner(2)
+	for i := 0; i < 1000; i++ {
+		if av, bv := pa.PartitionNS(), pb.PartitionNS(); av != bv {
+			t.Fatalf("step %d: PartitionNS diverged: %d vs %d", i, av, bv)
+		}
+	}
+	// Opposite directions of the same node pair are independent streams.
+	const nodes = 3
+	ab, ba := p.Link(0*nodes+1), p.Link(1*nodes+0)
+	same, n := 0, 1000
+	for i := 0; i < n; i++ {
+		if ab.DropMessage() == ba.DropMessage() {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("A→B and B→A link streams fully correlated over %d draws", n)
+	}
+	// Net-only faults must not wake the process-side hooks, and vice versa.
+	netOnly := New(Spec{Seed: 21, NetDrop: 0.5})
+	if netOnly.Worker(0) != nil || netOnly.DequeHook(0) != nil ||
+		netOnly.Admission() != nil || netOnly.ShardAlloc() != nil {
+		t.Fatal("net-only plan handed out a process-side hook")
+	}
+	if !netOnly.Enabled() || !netOnly.Spec().NetEnabled() || netOnly.Spec().ProcessEnabled() {
+		t.Fatal("net-only plan misclassified")
+	}
+	procOnly := New(Spec{Seed: 21, Panic: 0.5})
+	if procOnly.Link(0) != nil || procOnly.Partitioner(0) != nil {
+		t.Fatal("process-only plan handed out a net hook")
+	}
+	var nilPlan *Plan
+	if nilPlan.Link(0) != nil || nilPlan.Partitioner(0) != nil {
+		t.Fatal("nil plan handed out a net hook")
+	}
+}
+
+// The scenario catalogue must partition cleanly between the process and
+// cluster campaigns, with the expected net presets present.
+func TestScenarioSplit(t *testing.T) {
+	net, proc := NetScenarios(), ProcessScenarios()
+	if len(net) == 0 || len(proc) == 0 {
+		t.Fatalf("empty split: net=%v proc=%v", net, proc)
+	}
+	inNet := make(map[string]bool, len(net))
+	for _, n := range net {
+		inNet[n] = true
+	}
+	for _, want := range []string{"net-drop", "net-delay", "net-dup", "partition", "net-mixed"} {
+		if !inNet[want] {
+			t.Fatalf("net scenario %q missing from NetScenarios(): %v", want, net)
+		}
+	}
+	for _, n := range proc {
+		s, err := Scenario(n, 1)
+		if err != nil || !s.ProcessEnabled() {
+			t.Fatalf("process scenario %q: err=%v processEnabled=%v", n, err, s.ProcessEnabled())
+		}
+	}
+	if len(net)+len(proc) < len(Scenarios()) {
+		t.Fatalf("split lost scenarios: %d net + %d proc < %d total", len(net), len(proc), len(Scenarios()))
+	}
+	s, err := Scenario("partition", 7)
+	if err != nil || s.PartitionNS == 0 {
+		t.Fatalf("partition scenario: err=%v spec=%+v", err, s)
+	}
+	if d := New(s).Spec().NetDelayNS; d != 300_000 {
+		t.Fatalf("NetDelayNS default not applied: %d", d)
+	}
+}
+
 // An empirical sanity check that thresholds land near their rates.
 func TestRateCalibration(t *testing.T) {
 	in := New(Spec{Seed: 5, Panic: 0.25}).Worker(0)

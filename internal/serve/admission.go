@@ -75,16 +75,23 @@ var ErrDraining = errors.New("serve: draining: not accepting new jobs")
 // RetryAfter is the tenant-specific back-off hint: for a rate limit, the
 // time until the token bucket refills a whole token; for a quota, a flat
 // second, since quota headroom returns only when one of the tenant's own
-// jobs finishes.
+// jobs finishes. A cluster-mode capacity rejection (Reason "capacity")
+// also carries this type so the client sees *this* node's Retry-After
+// hint — never a peer's — and wraps wsrt.ErrQueueFull for errors.Is.
 type RejectionError struct {
 	Tenant     string
-	Reason     string // "rate-limit" or "quota"
+	Reason     string // "rate-limit", "quota" or "capacity"
 	RetryAfter time.Duration
+	cause      error
 }
 
 func (e *RejectionError) Error() string {
 	return fmt.Sprintf("serve: tenant %q rejected (%s), retry after %v", e.Tenant, e.Reason, e.RetryAfter)
 }
+
+// Unwrap exposes the underlying sentinel (wsrt.ErrQueueFull for capacity
+// rejections), keeping existing errors.Is call sites working.
+func (e *RejectionError) Unwrap() error { return e.cause }
 
 // TenantLimits bounds one tenant's use of the service. The zero value is
 // unlimited.
@@ -284,6 +291,56 @@ func (q *wfq) pop() (it *admItem, ok bool) {
 	best.credit -= total
 	q.size--
 	return best.pop(), true
+}
+
+// popBack removes the item that would be served last: the tail of a tenant
+// FIFO in the lowest-priority class with queued work. The cluster tier
+// extracts here — shedding the work that would wait longest keeps a
+// forward from stealing an interactive job out from under its SLO.
+func (c *wfqClass) popBack() *admItem {
+	for i := len(c.rr) - 1; i >= 0; i-- {
+		t := c.rr[i]
+		if len(t.items) == 0 {
+			continue
+		}
+		it := t.items[len(t.items)-1]
+		t.items = t.items[:len(t.items)-1]
+		c.size--
+		if len(t.items) == 0 {
+			delete(c.tens, t.name)
+			c.rr = append(c.rr[:i], c.rr[i+1:]...)
+			if len(c.rr) == 0 {
+				c.rrNext = 0
+			} else {
+				c.rrNext %= len(c.rr)
+			}
+		}
+		return it
+	}
+	return nil
+}
+
+// extractBack removes up to max items in reverse service order (lowest
+// class first, tenant-FIFO tails first). It never blocks; an empty queue
+// returns nil.
+func (q *wfq) extractBack(max int) []*admItem {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*admItem
+	for len(out) < max && q.size > 0 {
+		for i := len(priorityOrder) - 1; i >= 0; i-- {
+			c := q.classes[priorityOrder[i]]
+			if c.size == 0 {
+				continue
+			}
+			if it := c.popBack(); it != nil {
+				q.size--
+				out = append(out, it)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // depth returns the number of queued items.

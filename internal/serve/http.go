@@ -23,6 +23,12 @@ type JobStatus struct {
 	Priority Priority  `json:"priority"`
 	Created  time.Time `json:"created"`
 
+	// Cluster fields: Origin is the peer that forwarded the job here;
+	// ForwardedTo/RemoteID point at the peer a forwarded job went to.
+	Origin      string `json:"origin,omitempty"`
+	ForwardedTo string `json:"forwarded_to,omitempty"`
+	RemoteID    string `json:"remote_id,omitempty"`
+
 	// Terminal-state fields.
 	Value       *int64  `json:"value,omitempty"`
 	Error       string  `json:"error,omitempty"`
@@ -51,9 +57,13 @@ func status(j *Job) JobStatus {
 		Tenant:   j.tenant,
 		Priority: j.prio,
 		Created:  j.Created,
+		Origin:   j.origin,
 	}
+	j.mu.Lock()
+	out.ForwardedTo, out.RemoteID = j.remoteNode, j.remoteID
+	j.mu.Unlock()
 	switch st {
-	case StateQueued, StateRunning:
+	case StateQueued, StateRunning, StateForwarded:
 		return out
 	}
 	if err != nil {

@@ -184,7 +184,13 @@ type Metrics struct {
 	WorkerOccupancy     float64   `json:"worker_occupancy"`
 	QueueCapacity       int       `json:"queue_capacity"`
 	QueueDepth          int       `json:"queue_depth"`
+	ExternalQueueDepth  int       `json:"external_queue_depth"`
+	LoadScore           int       `json:"load_score"`
 	InFlight            int64     `json:"in_flight"`
+	ForwardedOut        int64     `json:"forwarded_out"`
+	ForwardedIn         int64     `json:"forwarded_in"`
+	ForwardRejected     int64     `json:"forward_rejected"`
+	ForwardedNow        int64     `json:"forwarded_now"`
 	Submitted           int64     `json:"submitted"`
 	Completed           int64     `json:"completed"`
 	Failed              int64     `json:"failed"`
@@ -201,7 +207,19 @@ type Metrics struct {
 	InvariantViolations int64     `json:"invariant_violations"`
 
 	LatencyHistogram LatencyHistogram        `json:"latency_histogram"`
+	Shards           []ShardMetrics          `json:"shards,omitempty"`
 	Tenants          map[string]GroupMetrics `json:"tenants,omitempty"`
 	Priorities       map[string]GroupMetrics `json:"priorities,omitempty"`
 	Engines          map[string]GroupMetrics `json:"engines,omitempty"`
+}
+
+// ShardMetrics is the occupancy view of one live worker shard: which
+// global workers a running job is bound to and what fraction of the pool
+// that is. The aggregate worker_occupancy cannot distinguish one wide job
+// from many narrow ones; the cluster load view (and capacity planning)
+// wants the breakdown.
+type ShardMetrics struct {
+	Workers   []int   `json:"workers"`
+	Width     int     `json:"width"`
+	Occupancy float64 `json:"occupancy"`
 }

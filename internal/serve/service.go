@@ -42,6 +42,9 @@ const (
 	StateFailed State = "failed"
 	// StateCancelled: cancelled by the submitter or its deadline.
 	StateCancelled State = "cancelled"
+	// StateForwarded: handed to a cluster peer; this node tracks the remote
+	// outcome and the record settles here when the peer finishes it.
+	StateForwarded State = "forwarded"
 )
 
 // Request describes one job submission.
@@ -86,11 +89,15 @@ type Job struct {
 	handle *wsrt.JobHandle // set by the pump once the pool accepts the job
 	done   chan struct{}
 
+	origin string // peer node that forwarded the job here, if any
+
 	mu         sync.Mutex
 	state      State
 	res        sched.Result
 	err        error
 	violations error // invariant verdict from check mode, nil if clean
+	remoteNode string // peer the job was forwarded to, if any
+	remoteID   string // the job's id on that peer
 }
 
 // Done is closed when the job has reached a terminal state and its record
@@ -212,6 +219,12 @@ type Service struct {
 	latencies   *latencyRing
 	hist        *histogram
 
+	forwarder    atomic.Value // forwarderBox: cluster forward-on-full hook
+	forwardedOut atomic.Int64 // jobs this node placed on peers
+	forwardedIn  atomic.Int64 // jobs accepted from peers
+	forwardRej   atomic.Int64 // peer submissions refused for capacity
+	forwardedNow atomic.Int64 // gauge: forwarded, peer outcome pending
+
 	tenantsMu sync.Mutex
 	tenants   map[string]*tenantState
 	classes   map[Priority]*groupStat // fixed key set, built in New
@@ -323,13 +336,11 @@ func (s *Service) tenant(name string) *tenantState {
 	return ts
 }
 
-// Submit validates req, builds its program, runs the tenant's admission
-// checks, and enqueues the job on the weighted-fair queue. Rejections:
-// *RejectionError for a tenant rate limit or quota (HTTP 429 with a
-// per-tenant Retry-After), wsrt.ErrQueueFull for a full backlog (HTTP
-// 429), ErrDraining during drain (HTTP 503), wsrt.ErrPoolClosed after
-// Close.
-func (s *Service) Submit(req Request) (*Job, error) {
+// buildJob validates req, builds its program and engine, and constructs
+// the job record, its cancellation context and its admission item —
+// everything Submit and SubmitForwarded share before their admission
+// checks diverge.
+func (s *Service) buildJob(req Request) (*admItem, error) {
 	prog, err := registry.Build(req.Program, registry.Params{N: req.N, Size: req.Size, Reverse: req.Reverse})
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -379,7 +390,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	if s.cfg.Check {
 		rec = trace.NewRecorder()
 	}
-	it := &admItem{
+	return &admItem{
 		job: job,
 		spec: wsrt.JobSpec{
 			Prog:        prog,
@@ -389,46 +400,59 @@ func (s *Service) Submit(req Request) (*Job, error) {
 			Faults:      s.cfg.Faults,
 			StealPolicy: req.StealPolicy,
 		},
-	}
+	}, nil
+}
 
-	ts := s.tenant(tenant)
-	cls := s.classes[prio]
+// Submit validates req, builds its program, runs the tenant's admission
+// checks, and enqueues the job on the weighted-fair queue. Rejections:
+// *RejectionError for a tenant rate limit or quota (HTTP 429 with a
+// per-tenant Retry-After), wsrt.ErrQueueFull for a full backlog (HTTP
+// 429), ErrDraining during drain (HTTP 503), wsrt.ErrPoolClosed after
+// Close. In cluster mode a full backlog first tries the installed
+// forwarder (see SetForwarder); only if no peer takes the job does the
+// client see the 429 — counted once, here, with this node's Retry-After.
+func (s *Service) Submit(req Request) (*Job, error) {
+	it, err := s.buildJob(req)
+	if err != nil {
+		return nil, err
+	}
+	job := it.job
+	ts := s.tenant(job.tenant)
+	cls := s.classes[job.prio]
 
 	// Admission checks and the enqueue are one critical section, so the
 	// capacity and quota bounds cannot be overshot by concurrent submits.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		cancel(wsrt.ErrPoolClosed)
+		job.cancel(wsrt.ErrPoolClosed)
 		return nil, wsrt.ErrPoolClosed
 	}
 	if s.draining.Load() {
 		s.mu.Unlock()
-		cancel(ErrDraining)
+		job.cancel(ErrDraining)
 		return nil, ErrDraining
 	}
 	if q := ts.limits.MaxInFlight; q > 0 && ts.inflight.Load() >= int64(q) {
 		s.mu.Unlock()
-		rej := &RejectionError{Tenant: tenant, Reason: "quota", RetryAfter: time.Second}
+		rej := &RejectionError{Tenant: job.tenant, Reason: "quota", RetryAfter: time.Second}
 		s.quotaRej.Add(1)
 		ts.quotaRejected.Add(1)
-		cancel(rej)
+		job.cancel(rej)
 		return nil, rej
 	}
 	if ok, retryAfter := ts.bucket.take(time.Now()); !ok {
 		s.mu.Unlock()
-		rej := &RejectionError{Tenant: tenant, Reason: "rate-limit", RetryAfter: retryAfter}
+		rej := &RejectionError{Tenant: job.tenant, Reason: "rate-limit", RetryAfter: retryAfter}
 		s.rateLimited.Add(1)
 		ts.rateLimited.Add(1)
-		cancel(rej)
+		job.cancel(rej)
 		return nil, rej
 	}
 	if s.waiting.Load() >= int64(s.capacity) {
 		s.mu.Unlock()
-		s.rejected.Add(1)
-		ts.rejected.Add(1)
-		cancel(wsrt.ErrQueueFull)
-		return nil, wsrt.ErrQueueFull
+		// Outside the lock: the forwarder does network I/O.
+		return s.forwardOrReject(it, ts, cls)
 	}
 	s.jobs[job.ID] = job
 	s.waiting.Add(1)
@@ -692,10 +716,15 @@ func (s *Service) finalize(job *Job, rec *trace.Recorder, res sched.Result, err 
 	// Release the admission footprint according to how far the job got.
 	// The state mutex totally orders this against markRunning, so the
 	// waiting counter and the queued/running gauges settle exactly once.
-	if prev == StateRunning {
+	// A forwarded job released its queue slot when it left for the peer
+	// (Placed / adoptForwarded); only its pending gauge remains.
+	switch prev {
+	case StateRunning:
 		ts.running.Add(-1)
 		cls.running.Add(-1)
-	} else {
+	case StateForwarded:
+		s.forwardedNow.Add(-1)
+	default:
 		s.waiting.Add(-1)
 		ts.queued.Add(-1)
 		cls.queued.Add(-1)
@@ -763,7 +792,12 @@ func (s *Service) Snapshot() Metrics {
 		BusyWorkers:         s.pool.BusyWorkers(),
 		QueueCapacity:       s.capacity,
 		QueueDepth:          int(s.waiting.Load()),
+		ExternalQueueDepth:  s.q.depth(),
 		InFlight:            s.inflight.Load(),
+		ForwardedOut:        s.forwardedOut.Load(),
+		ForwardedIn:         s.forwardedIn.Load(),
+		ForwardRejected:     s.forwardRej.Load(),
+		ForwardedNow:        s.forwardedNow.Load(),
 		Submitted:           s.submitted.Load(),
 		Completed:           completed,
 		Failed:              s.failed.Load(),
@@ -790,6 +824,14 @@ func (s *Service) Snapshot() Metrics {
 	}
 	if m.Workers > 0 {
 		m.WorkerOccupancy = float64(m.BusyWorkers) / float64(m.Workers)
+	}
+	m.LoadScore = m.QueueDepth + int(m.BusyWorkers)
+	for _, shard := range s.pool.LiveShards() {
+		m.Shards = append(m.Shards, ShardMetrics{
+			Workers:   shard,
+			Width:     len(shard),
+			Occupancy: float64(len(shard)) / float64(m.Workers),
+		})
 	}
 	s.tenantsMu.Lock()
 	if len(s.tenants) > 0 {

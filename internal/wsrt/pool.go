@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -225,6 +226,9 @@ type Pool struct {
 	mu     sync.Mutex // guards Submit/Close handshake
 	closed bool
 
+	liveMu sync.Mutex            // guards live
+	live   map[*poolJob][]int    // running jobs' shards, for occupancy views
+
 	inflight    atomic.Int64 // jobs submitted and not yet finished
 	running     atomic.Int64 // jobs currently occupying a shard
 	busy        atomic.Int64 // workers currently bound to a job
@@ -262,6 +266,7 @@ func NewPool(cfg PoolConfig) *Pool {
 		queue:    make(chan *poolJob, cfg.queueCapacityOrDefault()),
 		finished: make(chan *poolJob, maxJobs),
 		quit:     make(chan struct{}),
+		live:     make(map[*poolJob][]int),
 		admitFI:  cfg.Faults.Admission(),
 		shardFI:  cfg.Faults.ShardAlloc(),
 	}
@@ -374,6 +379,22 @@ func (p *Pool) BusyWorkers() int64 { return p.busy.Load() }
 
 // Served returns the number of jobs finished since the pool started.
 func (p *Pool) Served() int64 { return p.served.Load() }
+
+// LiveShards returns the worker groups currently bound to running jobs,
+// sorted by their first (lowest) global worker id so the view is stable
+// across scrapes. Each inner slice is a copy.
+func (p *Pool) LiveShards() [][]int {
+	p.liveMu.Lock()
+	out := make([][]int, 0, len(p.live))
+	for _, shard := range p.live {
+		s := make([]int, len(shard))
+		copy(s, shard)
+		out = append(out, s)
+	}
+	p.liveMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
 
 // Quarantined returns the number of jobs that failed by a panic in their
 // program or engine. Each such job was contained to its own shard: the
@@ -582,6 +603,9 @@ func (p *Pool) retire(job *poolJob, err error) {
 // counter already ticked in finishJob, before the job's handle resolved,
 // so Served() never lags a Result() return.
 func (p *Pool) reclaim(alloc *shardAlloc, job *poolJob) {
+	p.liveMu.Lock()
+	delete(p.live, job)
+	p.liveMu.Unlock()
 	alloc.release(job.shard)
 	p.busy.Add(-int64(len(job.shard)))
 	p.running.Add(-1)
@@ -665,6 +689,9 @@ func (p *Pool) startJob(job *poolJob, shard []int) {
 	}
 	job.rt = rt
 	job.wg.Add(width)
+	p.liveMu.Lock()
+	p.live[job] = shard
+	p.liveMu.Unlock()
 	p.running.Add(1)
 	p.busy.Add(int64(width))
 	job.h.shard = shard
