@@ -14,6 +14,9 @@ import (
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/trace"
 	"adaptivetc/internal/wsrt"
+	"adaptivetc/problems/bnb"
+	"adaptivetc/problems/dagflow"
+	"adaptivetc/problems/firstsol"
 	"adaptivetc/problems/knight"
 	"adaptivetc/problems/nqueens"
 )
@@ -323,6 +326,165 @@ func TestChaosPoolCrossJobPanic(t *testing.T) {
 	}
 
 	pool.Close()
+	waitForGoroutines(t, base)
+}
+
+// TestChaosNewFamilies extends the chaos table to the shared-state
+// families: the dataflow DAG (dependency counters in per-run state) and
+// branch-and-bound (the shared incumbent bound) under steal-burst, panic
+// and mixed fault scenarios. The same contract applies — completed runs
+// must produce the schedule-independent family value with a clean trace,
+// aborted runs must surface a known class with a truncation-clean trace —
+// and it is worth testing separately because an abort here tears down
+// workers holding un-reverted claims and un-published bounds; the trace
+// laws prove the wreckage is still consistent.
+func TestChaosNewFamilies(t *testing.T) {
+	base := runtime.NumGoroutine()
+	families := []struct {
+		name string
+		p    adaptivetc.Program
+		// panicSeeds pins, per engine, a seed at which the 0.002-rate
+		// panic scenario fires mid-run (found by scan, deterministic on
+		// Sim).
+		panicSeeds map[string]int64
+	}{
+		{
+			name: "dag-stencil-6x6",
+			p:    dagflow.NewStencil(6, 6),
+			panicSeeds: map[string]int64{
+				"cilk": 7, "cilk-synched": 11, "cutoff-programmer": 135,
+				"cutoff-library": 7, "adaptivetc": 7, "helpfirst": 11, "slaw": 11,
+			},
+		},
+		{
+			name: "bnb-knapsack-12",
+			p:    bnb.NewKnapsack(12, 0, 20100424),
+			panicSeeds: map[string]int64{
+				"cilk": 1, "cilk-synched": 1, "cutoff-programmer": 73,
+				"cutoff-library": 1, "adaptivetc": 1, "helpfirst": 1, "slaw": 1,
+			},
+		},
+	}
+	scenarios := []string{"steal-burst", "panic", "mixed"}
+	for _, fam := range families {
+		invariantOracleValue = chaosOracle(t, fam.p)
+		panicAborts := 0
+		for _, eng := range tracedEngines {
+			for si, scen := range scenarios {
+				seeds := []int64{20100424 + int64(si*1009), 20100424 + int64(si*1009+101)}
+				if scen == "panic" {
+					seeds = append(seeds, fam.panicSeeds[eng.name])
+				}
+				for _, seed := range seeds {
+					spec, err := faults.Scenario(scen, seed)
+					if err != nil {
+						t.Fatalf("scenario %s: %v", scen, err)
+					}
+					out, runErr := runChaos(eng.mk(), fam.p, spec, 4, seed)
+					tuple := fmt.Sprintf("sim/w4/%s/%s/%s/%d", eng.name, fam.name, scen, seed)
+					switch {
+					case runErr == nil:
+						if out.Value != invariantOracleValue {
+							t.Fatalf("%s: wrong value %d, want %d", tuple, out.Value, invariantOracleValue)
+						}
+						if scen == "steal-burst" {
+							continue
+						}
+					case chaosAbortOK(runErr):
+						if scen == "steal-burst" {
+							t.Fatalf("%s: steal-burst only perturbs the schedule, must not abort: %v", tuple, runErr)
+						}
+						if scen == "panic" {
+							panicAborts++
+						}
+					default:
+						t.Fatalf("%s: outside the chaos contract: %v", tuple, runErr)
+					}
+				}
+			}
+		}
+		if panicAborts < len(tracedEngines) {
+			t.Errorf("%s: panic scenario aborted %d runs, want >= %d (one per pinned trigger seed); injection or pin has rotted",
+				fam.name, panicAborts, len(tracedEngines))
+		}
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestChaosFirstSolution runs the first-solution family under the same
+// fault scenarios with its own verdict: a completed run has no oracle value
+// — the schedule picks the winner — so it must instead carry a *valid
+// witness* and a truncation-clean trace (the winner cancels siblings
+// mid-tree even on a fault-free run). Aborts keep the usual contract.
+func TestChaosFirstSolution(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := firstsol.NewSAT(12, 0, 20100424)
+	panicSeeds := map[string]int64{
+		"cilk": 11, "cilk-synched": 11, "cutoff-programmer": 73,
+		"cutoff-library": 11, "adaptivetc": 2, "helpfirst": 11, "slaw": 11,
+	}
+	run := func(e adaptivetc.Engine, spec faults.Spec, seed int64) (int64, error) {
+		rec := trace.NewRecorder()
+		defer rec.Release()
+		res, runErr := func() (res sched.Result, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if pv, ok := r.(faults.PanicValue); ok {
+						err = errors.Join(wsrt.ErrJobPanicked, errors.New(pv.String()))
+						return
+					}
+					panic(r)
+				}
+			}()
+			return e.Run(p, adaptivetc.Options{
+				Workers: 4, Seed: seed, Tracer: rec,
+				Faults: faults.New(spec), FirstSolution: true,
+			})
+		}()
+		if runErr != nil && !chaosAbortOK(runErr) {
+			return res.Value, runErr
+		}
+		if cerr := rec.CheckTruncated(); cerr != nil {
+			return res.Value, cerr
+		}
+		return res.Value, runErr
+	}
+	panicAborts := 0
+	for _, eng := range tracedEngines {
+		for si, scen := range []string{"steal-burst", "panic", "mixed"} {
+			seeds := []int64{20100424 + int64(si*1009), 20100424 + int64(si*1009+101)}
+			if scen == "panic" {
+				seeds = append(seeds, panicSeeds[eng.name])
+			}
+			for _, seed := range seeds {
+				spec, err := faults.Scenario(scen, seed)
+				if err != nil {
+					t.Fatalf("scenario %s: %v", scen, err)
+				}
+				v, runErr := run(eng.mk(), spec, seed)
+				tuple := fmt.Sprintf("sim/w4/%s/first-sat/%s/%d", eng.name, scen, seed)
+				switch {
+				case runErr == nil:
+					if !p.Verify(v) {
+						t.Fatalf("%s: completed with invalid witness %d", tuple, v)
+					}
+				case chaosAbortOK(runErr):
+					if scen == "steal-burst" {
+						t.Fatalf("%s: steal-burst must not abort: %v", tuple, runErr)
+					}
+					if scen == "panic" {
+						panicAborts++
+					}
+				default:
+					t.Fatalf("%s: outside the chaos contract: %v", tuple, runErr)
+				}
+			}
+		}
+	}
+	if panicAborts < len(tracedEngines) {
+		t.Errorf("panic scenario aborted %d first-solution runs, want >= %d; injection or pin has rotted",
+			panicAborts, len(tracedEngines))
+	}
 	waitForGoroutines(t, base)
 }
 

@@ -733,7 +733,7 @@ func main() {
 	workers := flag.Int("workers", 4, "workers per case (pool size in pool mode)")
 	jobs := flag.Int("jobs", 16, "jobs per pool campaign")
 	enginesCSV := flag.String("engines", strings.Join(engineNames(), ","), "engines to soak")
-	programsCSV := flag.String("programs", "nqueens-array=6,fib=14,knight=4", "programs (name or name=N)")
+	programsCSV := flag.String("programs", "nqueens-array=6,fib=14,knight=4,dag-layered=4,bnb-knapsack=12", "programs (name or name=N)")
 	scenariosCSV := flag.String("scenarios", strings.Join(faults.Scenarios(), ","), "fault scenarios")
 	replayTuple := flag.String("replay", "", "replay one case tuple and exit")
 	clusterBench := flag.Bool("cluster-bench", false, "run the forwarding on/off latency comparison and print JSON")

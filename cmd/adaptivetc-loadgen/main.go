@@ -375,7 +375,7 @@ func main() {
 	period := flag.Duration("arrival-period", time.Second, "open loop: bursty/diurnal modulation period")
 	maxOutstanding := flag.Int("max-outstanding", 256, "open loop: in-flight cap; arrivals past it are dropped")
 	duration := flag.Duration("duration", 10*time.Second, "load duration")
-	programs := flag.String("programs", "nqueens-array,fib,knight", "comma-separated program mix")
+	programs := flag.String("programs", "nqueens-array,fib,knight,dag-stencil,bnb-tsp,first-nqueens", "comma-separated program mix")
 	engines := flag.String("engines", "adaptivetc,cilk,slaw", "comma-separated engine mix")
 	tenants := flag.String("tenants", "", "tenant mix: name:priority:weight,... (default one batch tenant)")
 	n := flag.Int("n", 0, "problem size override (0 = per-family default)")

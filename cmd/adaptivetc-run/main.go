@@ -10,8 +10,10 @@
 // Programs (see -list): nqueens-array, nqueens-compute, sudoku-balanced,
 // sudoku-input1, sudoku-input2, sudoku-empty4, strimko, knight, pentomino,
 // fib, comp, tree1, tree2, tree3 (use -reverse for the right-heavy
-// mirrors), and the mini-language programs atc-nqueens, atc-fib,
-// atc-latin, atc-knight.
+// mirrors), the mini-language programs atc-nqueens, atc-fib, atc-latin,
+// atc-knight, and the post-paper families dag-layered, dag-stencil,
+// bnb-knapsack, bnb-tsp, first-nqueens, first-sat (two-knob families
+// take -m; first-* run with first-solution-wins semantics).
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	list := flag.Bool("list", false, "list program names and exit")
 	progName := flag.String("prog", "nqueens-array", "program to run")
 	n := flag.Int("n", 10, "problem size parameter (board size, removals, givens, …)")
+	m := flag.Int("m", 0, "secondary size parameter of two-knob families (DAG width, knapsack capacity, SAT clauses; 0 = family default)")
 	size := flag.Int64("size", 100000, "synthetic tree leaf count")
 	reverse := flag.Bool("reverse", false, "mirror a synthetic tree (L→R)")
 	engineName := flag.String("engine", "adaptivetc", "engine: serial, cilk, cilk-synched, tascell, adaptivetc, cutoff-programmer, cutoff-library, helpfirst, slaw")
@@ -52,7 +55,7 @@ func main() {
 		}
 		return
 	}
-	prog, err := experiments.BuildProgram(*progName, *n, *size, *reverse)
+	prog, err := experiments.BuildProgramM(*progName, *n, *m, *size, *reverse)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adaptivetc-run: %v\n", err)
 		os.Exit(2)
@@ -79,6 +82,10 @@ func main() {
 		ForceCutoff:  *forceCutoff,
 		StealPolicy:  *stealPolicy,
 		RelaxedDeque: *relaxed,
+		// First-solution families carry their mode in registry metadata:
+		// the run stops at the first claimed witness instead of summing
+		// the whole tree.
+		FirstSolution: experiments.FirstSolution(*progName),
 	}
 	if *real {
 		opt.Platform = adaptivetc.NewRealPlatform(*seed)

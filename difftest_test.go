@@ -33,6 +33,19 @@ var diffSizes = map[string]registry.Params{
 	"atc-fib":         {N: 12},
 	"atc-latin":       {N: 4},
 	"atc-knight":      {N: 4},
+	// Dataflow DAGs and branch-and-bound communicate through shared per-run
+	// state (dependency counters, the incumbent bound), yet their values are
+	// engine- and schedule-independent by construction — so they ride the
+	// same value-equality rows as the search families. The first-solution
+	// families run here in normal mode, where Value is the order-independent
+	// sum of all solution witnesses; their first-solution semantics get
+	// dedicated rows in TestDifferentialFirstSolution.
+	"dag-layered":   {N: 4, M: 3},
+	"dag-stencil":   {N: 4, M: 5},
+	"bnb-knapsack":  {N: 12},
+	"bnb-tsp":       {N: 6},
+	"first-nqueens": {N: 6},
+	"first-sat":     {N: 10},
 }
 
 // diffEngines are the seven pool-capable schedulers: every engine the

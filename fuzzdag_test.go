@@ -1,0 +1,105 @@
+package adaptivetc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptivetc"
+	"adaptivetc/problems/dagflow"
+)
+
+// FuzzDAG fuzzes the dependency-counting ready layer itself: the fuzzer
+// chooses a DAG shape (either a seeded layered graph or an explicit edge
+// list decoded from the input bytes), an engine, a worker count and a
+// schedule seed, and every run must satisfy the dataflow contract —
+//
+//   - Value equals the sum of all node scores (every node's emit leaf
+//     counted exactly once, no matter which predecessor won each claim);
+//   - the post-run audit shows claims==1 and emits==1 for every node
+//     (exactly-once execution);
+//   - the claim stamps are a topological witness: stamp(u) < stamp(v) for
+//     every edge u→v, i.e. no node ever started before all of its
+//     predecessors had.
+//
+// The curated probes in testdata/fuzz/FuzzDAG pin a diamond DAG decoded
+// from explicit edges, a deep layered graph on the most steal-happy worker
+// count, and a single-chain DAG (zero parallelism — every claim is won by
+// the only predecessor) so the corpus covers both claim-race extremes.
+func FuzzDAG(f *testing.F) {
+	f.Add([]byte{0, 3, 7, 1, 4, 0})                      // small layered, adaptivetc
+	f.Add([]byte{3, 2, 1, 0, 5, 1, 2, 3, 4, 5, 6, 7, 8}) // explicit edges, cutoff-programmer
+	f.Add([]byte{6, 4, 13, 1, 6, 2})                     // wider layered, slaw, 4 workers
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) < 5 {
+			t.Skip()
+		}
+		mk := diffEngines()[int(in[0])%7]
+		workers := 2 + int(in[1])%3
+		seed := int64(in[2])
+		var p *dagflow.Program
+		if in[3]%2 == 1 {
+			layers := 1 + int(in[4])%6
+			width := 1 + int(in[4]/6)%4
+			p = dagflow.NewLayered(layers, width, seed+1)
+		} else {
+			// Explicit shape: node count from in[4], then byte pairs as
+			// candidate edges kept when they respect the topological
+			// numbering. Duplicate edges are deliberately legal — each
+			// edge instance contributes one pending count and one claim
+			// attempt.
+			n := 2 + int(in[4])%12
+			succs := make([][]int32, n)
+			scores := make([]int64, n)
+			for v := 0; v < n; v++ {
+				scores[v] = 1 + int64(in[(v+3)%len(in)]%9)
+			}
+			for i := 5; i+1 < len(in); i += 2 {
+				u, v := int(in[i])%n, int(in[i+1])%n
+				if u < v {
+					succs[u] = append(succs[u], int32(v))
+				}
+			}
+			p = dagflow.NewFromEdges(fmt.Sprintf("dag-fuzz(n=%d)", n), succs, scores)
+		}
+		want := p.WantValue()
+
+		audit := func(label string, got int64) {
+			t.Helper()
+			if got != want {
+				t.Errorf("%s: value %d, want Σ scores = %d", label, got, want)
+			}
+			a := p.LastRun()
+			if a == nil {
+				t.Fatalf("%s: no run state recorded", label)
+			}
+			for v := range a.Claims {
+				if a.Claims[v] != 1 {
+					t.Errorf("%s: node %d claimed %d times, want exactly 1", label, v, a.Claims[v])
+				}
+				if a.Emits[v] != 1 {
+					t.Errorf("%s: node %d emitted %d leaves, want exactly 1", label, v, a.Emits[v])
+				}
+			}
+			for _, e := range p.Edges() {
+				if a.Stamps[e[0]] >= a.Stamps[e[1]] {
+					t.Errorf("%s: edge %d→%d claimed out of order (stamps %d ≥ %d) — node started before a predecessor",
+						label, e[0], e[1], a.Stamps[e[0]], a.Stamps[e[1]])
+				}
+			}
+		}
+
+		serial, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{})
+		if err != nil {
+			t.Fatalf("serial: %v", err)
+		}
+		audit("serial", serial.Value)
+
+		eng := mk()
+		res, err := eng.Run(p, adaptivetc.Options{Workers: workers, Seed: seed})
+		if err != nil {
+			t.Fatalf("%s workers=%d seed=%d: %v", eng.Name(), workers, seed, err)
+		}
+		audit(fmt.Sprintf("%s workers=%d seed=%d", eng.Name(), workers, seed), res.Value)
+	})
+}

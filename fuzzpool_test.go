@@ -10,7 +10,10 @@ import (
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/trace"
 	"adaptivetc/internal/wsrt"
+	"adaptivetc/problems/bnb"
+	"adaptivetc/problems/dagflow"
 	"adaptivetc/problems/fib"
+	"adaptivetc/problems/firstsol"
 	"adaptivetc/problems/nqueens"
 )
 
@@ -25,8 +28,12 @@ import (
 // byte additionally arms pool-level admission/shard-allocator faults; a
 // high first byte switches the pool to the lock-reduced deque variant
 // (audited with the k=2 multiplicity-tolerant checker), and each job's
-// steal policy is drawn from its op byte. The seed corpus doubles as a
-// regression suite in plain `go test` runs.
+// steal policy is drawn from its op byte. Submitted programs are drawn
+// from five families — classic search (fib, n-queens), the shared-state
+// families (dataflow DAG, branch-and-bound knapsack) and first-solution
+// SAT, whose jobs race the fuzzer's cancellations and are judged by a
+// witness predicate under truncation laws rather than a fixed value. The
+// seed corpus doubles as a regression suite in plain `go test` runs.
 func FuzzPoolConcurrent(f *testing.F) {
 	f.Add([]byte{2, 1, 0, 5, 10})
 	f.Add([]byte{0, 2, 0, 0, 3, 2, 0, 7, 1, 0})
@@ -43,9 +50,30 @@ func FuzzPoolConcurrent(f *testing.F) {
 	f.Add([]byte{0x82, 2, 0, 6, 12, 18, 0, 6, 12, 18, 2, 3})
 	f.Add([]byte{0x81, 2, 7, 10, 7, 10, 7, 10, 2})    // steal-half under panic quarantine
 	f.Add([]byte{0x83, 1, 7, 11, 7, 11, 7, 11, 2, 9}) // steal-half under overflow + steal noise
+	// Shared-state families: concurrent DAG + BnB jobs on one pool (the
+	// per-position index walks all five families), first-solution jobs
+	// racing cancellation (op%6==2 right after a first-sat submit), and a
+	// first-solution job under a certain-panic plan.
+	f.Add([]byte{2, 2, 0, 1, 6, 7, 12, 13, 18, 19, 24})
+	f.Add([]byte{3, 1, 24, 2, 24, 2, 24, 2, 24, 2})
+	f.Add([]byte{0x82, 2, 4, 24, 10, 24, 2, 5, 24, 11})
 
 	fibProg, queensProg := fib.New(10), nqueens.NewArray(5)
 	const fibWant, queensWant = 55, 10
+	// The shared-state families: a wavefront DAG and a knapsack whose values
+	// are schedule-independent by construction (dagflow/bnb package docs),
+	// plus a planted-satisfiable first-solution SAT instance. One instance
+	// each, deliberately shared by every concurrent job that draws it — the
+	// per-run state allocated in Root() is what makes that legal.
+	dagProg := dagflow.NewStencil(3, 4)
+	knapProg := bnb.NewKnapsack(9, 0, 20100424)
+	satProg := firstsol.NewSAT(8, 0, 20100424)
+	dagWant := dagProg.WantValue()
+	knapRes, err := adaptivetc.NewSerial().Run(knapProg, adaptivetc.Options{})
+	if err != nil {
+		f.Fatalf("knapsack oracle: %v", err)
+	}
+	knapWant := knapRes.Value
 
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) < 3 {
@@ -86,6 +114,8 @@ func FuzzPoolConcurrent(f *testing.F) {
 			h        *wsrt.JobHandle
 			rec      *trace.Recorder
 			want     int64
+			verify   func(int64) bool // first-solution witness predicate
+			first    bool             // submitted with JobSpec.FirstSolution
 			cancel   context.CancelFunc
 			panicked bool // submitted with a certain-panic fault plan
 		}
@@ -101,9 +131,24 @@ func FuzzPoolConcurrent(f *testing.F) {
 				if len(jobs) >= 24 {
 					continue
 				}
+				// The family is drawn per position: two classic search
+				// programs, the two shared-state families, and a
+				// first-solution job — which has no fixed want value, only
+				// a witness predicate, and is audited under truncation
+				// laws (its losing workers are cancelled by design).
 				prog, want := sched.Program(fibProg), int64(fibWant)
-				if (int(op)+i)%2 == 1 {
+				var verify func(int64) bool
+				first := false
+				switch (int(op) + i) % 5 {
+				case 1:
 					prog, want = queensProg, queensWant
+				case 2:
+					prog, want = dagProg, dagWant
+				case 3:
+					prog, want = knapProg, knapWant
+				case 4:
+					prog, first = satProg, true
+					verify = satProg.Verify
 				}
 				eng := engines[(int(op)/6+i)%len(engines)]().(wsrt.PoolEngine)
 				// Fault schedules are drawn from the fuzz input too: a
@@ -127,7 +172,7 @@ func FuzzPoolConcurrent(f *testing.F) {
 				policy := wsrt.StealPolicyNames()[(int(op)/6)%len(wsrt.StealPolicyNames())]
 				rec := trace.NewRecorder()
 				ctx, cancel := context.WithCancel(context.Background())
-				h, err := pool.Submit(wsrt.JobSpec{Prog: prog, Engine: eng, Ctx: ctx, Tracer: rec, Faults: plan, StealPolicy: policy})
+				h, err := pool.Submit(wsrt.JobSpec{Prog: prog, Engine: eng, Ctx: ctx, Tracer: rec, Faults: plan, StealPolicy: policy, FirstSolution: first})
 				if err != nil {
 					rec.Release()
 					cancel()
@@ -136,7 +181,7 @@ func FuzzPoolConcurrent(f *testing.F) {
 					}
 					continue
 				}
-				jobs = append(jobs, &jobRec{h: h, rec: rec, want: want, cancel: cancel, panicked: panicked})
+				jobs = append(jobs, &jobRec{h: h, rec: rec, want: want, verify: verify, first: first, cancel: cancel, panicked: panicked})
 			case 2: // cancel an earlier job (idempotent if already done)
 				if len(jobs) > 0 {
 					jobs[int(op)%len(jobs)].cancel()
@@ -167,11 +212,25 @@ func FuzzPoolConcurrent(f *testing.F) {
 				if j.panicked {
 					t.Errorf("job %d: certain-panic fault plan but the job completed", i)
 				}
-				if res.Value != j.want {
-					t.Errorf("job %d: value %d, want %d", i, res.Value, j.want)
-				}
-				if cerr := j.rec.CheckMultiplicity(res.Value, j.want, multiplicity); cerr != nil {
-					t.Errorf("job %d invariants: %v", i, cerr)
+				if j.first {
+					// A completed first-solution job on a satisfiable
+					// instance must carry a valid witness (a clean run
+					// can only end by claiming one), and its trace is
+					// audited under truncation laws: the winner's claim
+					// cancels siblings mid-tree by design.
+					if !j.verify(res.Value) {
+						t.Errorf("job %d: invalid first-solution witness %d", i, res.Value)
+					}
+					if cerr := j.rec.CheckTruncatedMultiplicity(multiplicity); cerr != nil {
+						t.Errorf("job %d first-solution invariants: %v", i, cerr)
+					}
+				} else {
+					if res.Value != j.want {
+						t.Errorf("job %d: value %d, want %d", i, res.Value, j.want)
+					}
+					if cerr := j.rec.CheckMultiplicity(res.Value, j.want, multiplicity); cerr != nil {
+						t.Errorf("job %d invariants: %v", i, cerr)
+					}
 				}
 			} else {
 				if !chaosAbortOK(err) {

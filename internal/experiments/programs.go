@@ -14,5 +14,16 @@ func BuildProgram(name string, n int, size int64, reverse bool) (adaptivetc.Prog
 	return registry.Build(name, registry.Params{N: n, Size: size, Reverse: reverse})
 }
 
+// BuildProgramM is BuildProgram with the secondary knob of two-knob
+// families (DAG width, knapsack capacity, SAT clause count); zero m
+// selects the family default, and single-knob families ignore it.
+func BuildProgramM(name string, n, m int, size int64, reverse bool) (adaptivetc.Program, error) {
+	return registry.Build(name, registry.Params{N: n, M: m, Size: size, Reverse: reverse})
+}
+
+// FirstSolution reports whether the named family is meant to run with
+// first-solution-wins semantics (Options.FirstSolution).
+func FirstSolution(name string) bool { return registry.FirstSolution(name) }
+
 // ProgramNames lists the names BuildProgram accepts.
 func ProgramNames() []string { return registry.Names() }

@@ -12,8 +12,16 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 )
+
+// ErrSolutionFound is the stop cause of a first-solution run whose winner
+// claimed a solution: the remaining workers unwind through the same Abort
+// path a cancellation uses, but the run itself completed successfully. The
+// wsrt runtime treats an Abort carrying this cause as a clean finish, not a
+// failure.
+var ErrSolutionFound = errors.New("sched: first solution found")
 
 // Stop is a cooperative stop request shared by all workers of one run (or
 // one resident-pool job). Signal may be called from any goroutine — a

@@ -197,6 +197,16 @@ type Options struct {
 	// zero-allocation hot path: every injection site is behind a single nil
 	// check, exactly like Tracer. Observed by the wsrt-based engines.
 	Faults *faults.Plan
+	// FirstSolution switches the run to first-solution-wins semantics: the
+	// first worker to evaluate a terminal node with a nonzero value claims
+	// it as the run's Value, signals Stop with ErrSolutionFound, and the
+	// siblings unwind at their next poll point. The run completes
+	// successfully with the winner's leaf value (a witness the family can
+	// verify); a run that exhausts the tree without a nonzero leaf completes
+	// normally with Value 0. Observed by the wsrt-based engines and the
+	// serial engine (which deterministically returns the first nonzero leaf
+	// in depth-first order); Tascell ignores it.
+	FirstSolution bool
 }
 
 // WorkersOrDefault returns the worker count, defaulting to 1.

@@ -45,6 +45,36 @@ func EvalSequentialStop(p Program, ws Workspace, depth int, c *Costs, proc vtime
 	return sum
 }
 
+// EvalFirstSolution evaluates the subtree rooted at ws depth-first and
+// returns the first nonzero terminal value it meets, abandoning the rest of
+// the tree — the deterministic serial semantics of a first-solution run
+// (Options.FirstSolution). found is false when the subtree holds no nonzero
+// leaf; the traversal then visited every node, exactly like EvalSequential.
+// Node and move costs are charged identically to EvalSequentialStop so
+// makespans stay comparable.
+func EvalFirstSolution(p Program, ws Workspace, depth int, c *Costs, proc vtime.Proc, st *Stats, stop *Stop) (value int64, found bool) {
+	stop.Check()
+	st.Nodes++
+	ChargeNode(p, ws, depth, c, proc)
+	proc.Yield()
+	if v, term := p.Terminal(ws, depth); term {
+		return v, v != 0
+	}
+	n := p.Moves(ws, depth)
+	for m := 0; m < n; m++ {
+		proc.Advance(c.Move)
+		if !p.Apply(ws, depth, m) {
+			continue
+		}
+		v, ok := EvalFirstSolution(p, ws, depth+1, c, proc, st, stop)
+		p.Undo(ws, depth, m)
+		if ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
 // Serial runs the program on one worker with no scheduling machinery at all.
 // It is the baseline every speedup in the paper (and here) is computed
 // against.
@@ -75,7 +105,11 @@ func (Serial) Run(p Program, opt Options) (res Result, err error) {
 	plat := opt.PlatformOrDefault()
 	makespan := plat.Run(1, func(proc vtime.Proc) {
 		start := proc.Now()
-		value = EvalSequentialStop(p, p.Root(), 0, &costs, proc, &st, stop)
+		if opt.FirstSolution {
+			value, _ = EvalFirstSolution(p, p.Root(), 0, &costs, proc, &st, stop)
+		} else {
+			value = EvalSequentialStop(p, p.Root(), 0, &costs, proc, &st, stop)
+		}
 		st.WorkerTime += proc.Now() - start
 	})
 	st.WorkTime = st.WorkerTime

@@ -15,6 +15,7 @@ import (
 	"adaptivetc/internal/faults"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/wsrt"
+	"adaptivetc/problems/registry"
 )
 
 func newTestService(t *testing.T, workers, queue int, check bool) *Service {
@@ -96,6 +97,62 @@ func TestServeConcurrentMixedJobs(t *testing.T) {
 	}
 	if m.InFlight != 0 || m.QueueDepth != 0 {
 		t.Fatalf("in-flight=%d queue=%d after drain, want 0/0", m.InFlight, m.QueueDepth)
+	}
+}
+
+// TestServeNewFamilies submits one job per workload family added by the
+// dataflow/branch-and-bound/first-solution expansion, with the invariant
+// checker on. DAG and BnB values are checked against the serial oracle
+// (schedule-independent by construction); first-solution jobs must carry a
+// valid witness, which finalize routes through the truncation-tolerant
+// checker plus the registry's server-side witness verification — so a
+// violations==nil verdict here really covers both planes. The M knob rides
+// the dag-layered request to prove the secondary parameter travels the
+// submission path.
+func TestServeNewFamilies(t *testing.T) {
+	s := newTestService(t, 4, 32, true)
+	reqs := []Request{
+		{Program: "dag-layered", N: 4, M: 3, Engine: "adaptivetc"},
+		{Program: "dag-stencil", N: 4, M: 5, Engine: "cilk"},
+		{Program: "bnb-knapsack", N: 12, Engine: "slaw"},
+		{Program: "bnb-tsp", N: 6, Engine: "helpfirst"},
+		{Program: "first-nqueens", N: 7, Engine: "cilk-synched"},
+		{Program: "first-sat", N: 10, Engine: "cutoff-programmer"},
+	}
+	for _, req := range reqs {
+		job, err := s.Submit(req)
+		if err != nil {
+			t.Fatalf("submit %s: %v", req.Program, err)
+		}
+		<-job.Done()
+		state, res, err := job.Snapshot()
+		if err != nil || state != StateDone {
+			t.Fatalf("%s: state=%s err=%v", req.Program, state, err)
+		}
+		if verr := job.Violations(); verr != nil {
+			t.Errorf("%s: invariant violations: %v", req.Program, verr)
+		}
+		p := registry.Params{N: req.N, M: req.M}
+		if registry.FirstSolution(req.Program) {
+			if ok, checkable := registry.VerifyWitness(req.Program, p, res.Value); !checkable || !ok {
+				t.Errorf("%s: invalid witness %d (checkable=%v)", req.Program, res.Value, checkable)
+			}
+			continue
+		}
+		prog, err := registry.Build(req.Program, p)
+		if err != nil {
+			t.Fatalf("rebuild %s: %v", req.Program, err)
+		}
+		oracle, err := (sched.Serial{}).Run(prog, sched.Options{})
+		if err != nil {
+			t.Fatalf("serial %s: %v", req.Program, err)
+		}
+		if res.Value != oracle.Value {
+			t.Errorf("%s: value %d, serial says %d", req.Program, res.Value, oracle.Value)
+		}
+	}
+	if m := s.Snapshot(); m.InvariantViolations != 0 {
+		t.Fatalf("invariant_violations=%d, want 0", m.InvariantViolations)
 	}
 }
 

@@ -51,8 +51,11 @@ const (
 type Request struct {
 	// Program is a problems/registry name.
 	Program string `json:"program"`
-	// N and Size are the registry size parameters (zero → family default).
+	// N, M and Size are the registry size parameters (zero → family
+	// default). M is the secondary knob of two-knob families (DAG width,
+	// knapsack capacity, SAT clause count).
 	N    int   `json:"n,omitempty"`
+	M    int   `json:"m,omitempty"`
 	Size int64 `json:"size,omitempty"`
 	// Reverse mirrors a synthetic tree.
 	Reverse bool `json:"reverse,omitempty"`
@@ -341,7 +344,7 @@ func (s *Service) tenant(name string) *tenantState {
 // everything Submit and SubmitForwarded share before their admission
 // checks diverge.
 func (s *Service) buildJob(req Request) (*admItem, error) {
-	prog, err := registry.Build(req.Program, registry.Params{N: req.N, Size: req.Size, Reverse: req.Reverse})
+	prog, err := registry.Build(req.Program, registry.Params{N: req.N, M: req.M, Size: req.Size, Reverse: req.Reverse})
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
@@ -393,12 +396,13 @@ func (s *Service) buildJob(req Request) (*admItem, error) {
 	return &admItem{
 		job: job,
 		spec: wsrt.JobSpec{
-			Prog:        prog,
-			Engine:      mk(),
-			Ctx:         ctx,
-			Tracer:      rec,
-			Faults:      s.cfg.Faults,
-			StealPolicy: req.StealPolicy,
+			Prog:          prog,
+			Engine:        mk(),
+			Ctx:           ctx,
+			Tracer:        rec,
+			Faults:        s.cfg.Faults,
+			StealPolicy:   req.StealPolicy,
+			FirstSolution: registry.FirstSolution(req.Program),
 		},
 	}, nil
 }
@@ -693,13 +697,16 @@ func (s *Service) finalize(job *Job, rec *trace.Recorder, res sched.Result, err 
 		if s.cfg.Options.RelaxedDeque {
 			k = 2
 		}
-		if state == StateDone {
+		if state == StateDone && !registry.FirstSolution(job.Req.Program) {
 			// No external oracle at serve time: the run's value stands in
 			// for it, so this checks internal consistency (conservation,
 			// deposit accounting, completion uniqueness), not correctness
 			// against a serial run.
 			viol = rec.CheckMultiplicity(res.Value, res.Value, k)
 		} else {
+			// Aborted jobs — and completed first-solution jobs, whose losing
+			// workers are cancelled mid-tree by design — are audited under
+			// the truncation laws instead.
 			viol = rec.CheckTruncatedMultiplicity(k)
 		}
 		s.checked.Add(1)
@@ -707,6 +714,20 @@ func (s *Service) finalize(job *Job, rec *trace.Recorder, res sched.Result, err 
 			s.violations.Add(1)
 		}
 		rec.Release()
+	}
+	// A completed first-solution job's value is a solution witness; when the
+	// family can verify witnesses, a bogus one counts as a violation whether
+	// or not trace checking is on. Zero is unverifiable (legitimately "no
+	// solution exists") and passes.
+	if state == StateDone {
+		p := registry.Params{N: job.Req.N, M: job.Req.M, Size: job.Req.Size, Reverse: job.Req.Reverse}
+		if ok, checkable := registry.VerifyWitness(job.Req.Program, p, res.Value); checkable && !ok {
+			werr := fmt.Errorf("serve: job %s returned invalid witness %d for %q", job.ID, res.Value, job.Req.Program)
+			if viol == nil {
+				s.violations.Add(1)
+			}
+			viol = errors.Join(viol, werr)
+		}
 	}
 
 	job.mu.Lock()

@@ -134,6 +134,12 @@ type JobSpec struct {
 	// "steal-half", "richest-first" or "shard-local". Empty means the pool
 	// default; unknown names fall back to "random".
 	StealPolicy string
+	// FirstSolution runs the job with first-solution-wins semantics (see
+	// sched.Options.FirstSolution): the first nonzero terminal value becomes
+	// the result, siblings are cancelled cooperatively. Done jobs should be
+	// invariant-checked with trace.CheckTruncatedMultiplicity — the losers'
+	// deposit cascades are truncated by design.
+	FirstSolution bool
 }
 
 // JobHandle is the submitter's view of an in-flight job.
@@ -665,6 +671,8 @@ func (p *Pool) startJob(job *poolJob, shard []int) {
 		stop:        &sched.Stop{},
 		stealPolicy: StealPolicyByName(policyName),
 		stealSeed:   stealSeed(p.opt),
+
+		firstSolution: job.spec.FirstSolution || p.opt.FirstSolution,
 	}
 	if rt.tracer != nil {
 		rt.tracer.Init(width, int64(p.opt.MaxStolenNumOrDefault()))
@@ -778,8 +786,10 @@ func (p *Pool) workerLoop(i int) {
 		// pool seed and the worker's shard-local id, so a job's victim
 		// sequence does not depend on what ran on this worker before.
 		w.thief = job.rt.stealPolicy.NewThief(run.local, job.rt.N, job.rt.stealSeed)
+		w.bindProg()
 		w.runJob(true)
 		w.rt = nil
+		w.prog = nil
 		// The SYNCHED workspace pool holds program-typed workspaces; the
 		// next job bound to this worker may run a different program, and
 		// ClonePooled must never hand it a leftover (CopyFrom would panic

@@ -50,6 +50,13 @@ type Runtime struct {
 	value   atomic.Int64
 	failure atomic.Pointer[runError]
 
+	// firstSolution switches the job to first-solution-wins semantics
+	// (Options.FirstSolution / JobSpec.FirstSolution): each worker sees the
+	// program through a wrapper that claims the first nonzero terminal value
+	// via claimSolution and unwinds everyone else. solved latches the claim.
+	firstSolution bool
+	solved        atomic.Bool
+
 	// stealPolicy is the job's resolved victim/amount strategy and
 	// stealSeed the seed its per-worker thief streams derive from. Both are
 	// set by whoever builds the runtime (Run, Pool.startJob).
@@ -89,17 +96,60 @@ func (rt *Runtime) fail(err error) {
 	rt.stop.Signal(err)
 }
 
-// complete records the run's root value. A recorded failure is final: a
-// worker can be mid-Resume on a stolen frame when another worker aborts
-// (deque overflow), and its deposit cascade may still reach a nil parent —
-// that late completion must not overwrite the failure's done/value state
-// and dress the run up as successful.
-func (rt *Runtime) complete(v int64) {
-	if rt.failure.Load() != nil {
-		return
+// complete records the run's root value and reports whether the completion
+// took effect — callers record the trace OpComplete only on true, so the
+// checker sees exactly the completions that decided the run. A recorded
+// failure is final: a worker can be mid-Resume on a stolen frame when
+// another worker aborts (deque overflow), and its deposit cascade may still
+// reach a nil parent — that late completion must not overwrite the failure's
+// done/value state and dress the run up as successful. A claimed first
+// solution is equally final: the winner already stored the run's value.
+func (rt *Runtime) complete(v int64) bool {
+	if rt.failure.Load() != nil || rt.solved.Load() {
+		return false
 	}
 	rt.value.Store(v)
 	rt.done.Store(true)
+	return true
+}
+
+// claimSolution races to publish v as the run's first solution. The winner
+// stores the value, records the run's single OpComplete on its own trace
+// log, and fires the stop flag with ErrSolutionFound so every sibling —
+// including the claiming worker itself, which panics right after — unwinds
+// at its next poll point. Losers of the race (a second solution found before
+// the stop propagated, or a duplicated frame under the relaxed deque
+// re-reaching the same leaf) get false and record nothing.
+func (rt *Runtime) claimSolution(w *Worker, v int64) bool {
+	if !rt.solved.CompareAndSwap(false, true) {
+		return false
+	}
+	rt.value.Store(v)
+	rt.done.Store(true)
+	if w.tr != nil {
+		w.tr.Add(w.Proc.Now(), trace.OpComplete, 0, v, 0)
+	}
+	rt.stop.Signal(sched.ErrSolutionFound)
+	return true
+}
+
+// firstSolutionProg is the per-worker program view of a first-solution job:
+// Terminal is intercepted so a nonzero leaf claims the run instead of
+// contributing to a sum, and the claiming worker unwinds immediately via the
+// Abort path (runJob treats ErrSolutionFound as a clean finish). Everything
+// else forwards to the job's real program through the embedded interface.
+type firstSolutionProg struct {
+	sched.Program
+	w *Worker
+}
+
+func (p firstSolutionProg) Terminal(ws sched.Workspace, depth int) (int64, bool) {
+	v, term := p.Program.Terminal(ws, depth)
+	if term && v != 0 {
+		p.w.rt.claimSolution(p.w, v)
+		panic(sched.Abort{Err: sched.ErrSolutionFound})
+	}
+	return v, term
 }
 
 // Aborts — deque overflow, cooperative cancellation — travel as
@@ -126,6 +176,13 @@ type Worker struct {
 	rt     *Runtime
 	pool   []sched.Workspace
 	frames []*Frame
+
+	// prog overrides the program Prog() hands to engine code; nil means the
+	// runtime's program. First-solution jobs install a firstSolutionProg
+	// wrapper here per worker (Run's platform body, the pool's workerLoop)
+	// so every engine path — node bodies, sequential tails — sees the
+	// intercepted Terminal without any engine changes.
+	prog sched.Program
 
 	// tr is this worker's trace log; nil unless the run is traced. Every
 	// recording site below is a single nil check when tracing is off, so
@@ -157,8 +214,24 @@ type Worker struct {
 // Rt returns the worker's runtime.
 func (w *Worker) Rt() *Runtime { return w.rt }
 
-// Prog returns the program under execution.
-func (w *Worker) Prog() sched.Program { return w.rt.Prog }
+// Prog returns the program under execution — the worker's wrapped view for
+// a first-solution job, the runtime's program otherwise.
+func (w *Worker) Prog() sched.Program {
+	if w.prog != nil {
+		return w.prog
+	}
+	return w.rt.Prog
+}
+
+// bindProg installs the worker's per-job program view. Must be called after
+// w.rt is set (per job on a pool worker, once in a batch Run).
+func (w *Worker) bindProg() {
+	if w.rt.firstSolution {
+		w.prog = firstSolutionProg{Program: w.rt.Prog, w: w}
+	} else {
+		w.prog = nil
+	}
+}
 
 // Costs returns the run's cost model.
 func (w *Worker) Costs() *sched.Costs { return &w.rt.Costs }
@@ -390,12 +463,14 @@ func (w *Worker) Deposit(parent *Frame, v int64) {
 	}
 	for {
 		if parent == nil {
+			completed := w.rt.complete(v)
 			if w.tr != nil {
 				ts := w.Proc.Now()
 				w.tr.Add(ts, trace.OpDeposit, 0, v, 0)
-				w.tr.Add(ts, trace.OpComplete, 0, v, 0)
+				if completed {
+					w.tr.Add(ts, trace.OpComplete, 0, v, 0)
+				}
 			}
-			w.rt.complete(v)
 			return
 		}
 		if w.tr != nil {
@@ -605,6 +680,12 @@ func (w *Worker) runJob(swallowPanics bool) {
 		w.Stats.WorkerTime += w.Proc.Now() - start
 		if r := recover(); r != nil {
 			if ae, ok := r.(sched.Abort); ok {
+				// A first-solution claim unwinds every worker through the
+				// Abort path, but the run completed: the winner already
+				// stored the value and set done. Not a failure.
+				if errors.Is(ae.Err, sched.ErrSolutionFound) {
+					return
+				}
 				rt.fail(ae.Err)
 				return
 			}
@@ -620,11 +701,8 @@ func (w *Worker) runJob(swallowPanics bool) {
 	}()
 	if w.ID == 0 {
 		v, completed := rt.Eng.Root(w)
-		if completed {
-			if w.tr != nil {
-				w.tr.Add(w.Proc.Now(), trace.OpComplete, 0, v, 0)
-			}
-			rt.complete(v)
+		if completed && rt.complete(v) && w.tr != nil {
+			w.tr.Add(w.Proc.Now(), trace.OpComplete, 0, v, 0)
 		}
 	}
 	w.thiefLoop()
@@ -676,6 +754,8 @@ func Run(prog sched.Program, opt sched.Options, eng Engine, name string) (sched.
 		tracer:  opt.Tracer,
 		faults:  opt.Faults,
 		stop:    &sched.Stop{},
+
+		firstSolution: opt.FirstSolution,
 	}
 	if rt.tracer != nil {
 		rt.tracer.Init(n, int64(opt.MaxStolenNumOrDefault()))
@@ -702,6 +782,7 @@ func Run(prog sched.Program, opt sched.Options, eng Engine, name string) (sched.
 		}
 		w.fi = rt.faults.Worker(w.ID)
 		w.thief = rt.stealPolicy.NewThief(w.ID, n, rt.stealSeed)
+		w.bindProg()
 		workers[w.ID] = w
 		w.runJob(false)
 	})

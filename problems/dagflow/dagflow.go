@@ -1,0 +1,363 @@
+// Package dagflow is the dataflow-DAG workload family: task graphs whose
+// nodes have cross-spawn dependencies, the shape divide-and-conquer search
+// cannot express. A node may depend on several predecessors that live in
+// different subtrees of the spawn tree, so "spawn when your parent runs" is
+// not enough — the family implements a dependency-counting ready layer on
+// top of the unchanged sched.Program contract.
+//
+// # Mapping a DAG onto the spawn-tree model
+//
+// Every engine in this repository evaluates Value = Σ over leaves of the
+// spawn tree. A DAG run must produce an order-independent value while the
+// spawn tree's shape depends on execution order (whichever predecessor
+// finishes last adopts the successor). The mapping:
+//
+//   - Each DAG node u contributes exactly one "emit" leaf carrying
+//     score(u), so Value = Σ_u score(u) regardless of which execution
+//     order the scheduler chose.
+//   - A tree node for u has 1+len(succ(u)) candidate moves: move 0 is the
+//     emit leaf, move 1+i targets successor i. Applying a successor move
+//     atomically decrements the successor's pending-predecessor counter
+//     and is legal — returns true — only for the decrement that reaches
+//     zero. The last predecessor to finish therefore claims the successor
+//     into its own subtree; every other predecessor sees an "illegal move",
+//     exactly like a blocked square in n-queens.
+//   - The root pseudo-node's moves claim the DAG's source nodes (their
+//     pending counters are preset to 1).
+//
+// The decrement is the one deliberate bend of the Program contract: Apply
+// documents "when it returns false it must leave ws unchanged", and the
+// workspace *is* unchanged — but the claim decrement lands in shared
+// per-run state and is monotone, never reverted (Undo pops only the local
+// path). That is sound for every engine built on the verified
+// apply-exactly-once discipline (each legal-or-not candidate move of an
+// executing node is applied exactly once); Tascell reconstructs stolen
+// workspaces by re-applying moves and is therefore excluded from this
+// family, as are any engines with re-execution semantics.
+//
+// Per-run state (pending counters, claim stamps, audit counters) is
+// allocated fresh by each Root() call — every engine and the serial oracle
+// call Root exactly once per run — so one Program instance can be reused
+// across sequential runs, and concurrent runs each get their own state.
+//
+// The claim stamps double as a topological-order witness: stamps are drawn
+// from one atomic counter at claim time, a successor is claimed only by the
+// predecessor whose decrement reached zero (i.e. after every predecessor
+// started executing), so stamp(u) < stamp(v) must hold for every edge u→v.
+// FuzzDAG asserts exactly that, plus claims==1 and emits==1 per node.
+package dagflow
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"adaptivetc/internal/sched"
+)
+
+// graph is the immutable DAG: nodes 0..V-1 in topological order.
+type graph struct {
+	preds   [][]int32
+	succs   [][]int32
+	scores  []int64
+	sources []int32
+}
+
+// runState is the mutable dependency-counting layer of one run.
+type runState struct {
+	// pending[v] counts predecessors not yet finished; sources start at 1
+	// (claimed by the root pseudo-node). The decrement that reaches zero
+	// claims v.
+	pending []atomic.Int32
+	// claims[v] audits how many times v was claimed (must end at 1).
+	claims []atomic.Int32
+	// emits[v] audits how many emit leaves v produced (must end at 1).
+	emits []atomic.Int32
+	// stamp[v] is v's claim order, drawn from seq — the topological
+	// witness. Written once, by v's single claimer.
+	stamp []int64
+	seq   atomic.Int64
+}
+
+func newRunState(g *graph) *runState {
+	n := len(g.scores)
+	rs := &runState{
+		pending: make([]atomic.Int32, n),
+		claims:  make([]atomic.Int32, n),
+		emits:   make([]atomic.Int32, n),
+		stamp:   make([]int64, n),
+	}
+	for v := range g.preds {
+		if len(g.preds[v]) == 0 {
+			rs.pending[v].Store(1)
+		} else {
+			rs.pending[v].Store(int32(len(g.preds[v])))
+		}
+	}
+	return rs
+}
+
+// claim decrements v's pending counter and reports whether this caller won
+// v (the decrement that reached zero). The winner stamps v's claim order.
+func (rs *runState) claim(v int32) bool {
+	if rs.pending[v].Add(-1) != 0 {
+		return false
+	}
+	rs.claims[v].Add(1)
+	rs.stamp[v] = rs.seq.Add(1)
+	return true
+}
+
+// frame is one entry of a workspace's local path: the DAG node it stands
+// on, and whether it is the node's emit leaf.
+type frame struct {
+	node int32
+	emit bool
+}
+
+const rootNode = -1
+
+// ws is the task-private workspace: the local path through the spawn tree.
+// The graph and the run state are shared by every clone.
+type ws struct {
+	g     *graph
+	rs    *runState
+	stack []frame
+}
+
+func (w *ws) Clone() sched.Workspace {
+	c := &ws{g: w.g, rs: w.rs, stack: make([]frame, len(w.stack))}
+	copy(c.stack, w.stack)
+	return c
+}
+
+func (w *ws) Bytes() int { return len(w.stack) * 8 }
+
+// Program is a dataflow-DAG workload instance. Safe for reuse across
+// sequential runs (each Root() call starts fresh run state) and for
+// concurrent runs (each run reads only its own state through its
+// workspaces).
+type Program struct {
+	g      *graph
+	name   string
+	lastRS atomic.Pointer[runState]
+}
+
+// Name implements sched.Program.
+func (p *Program) Name() string { return p.name }
+
+// Root implements sched.Program, allocating this run's dependency counters.
+func (p *Program) Root() sched.Workspace {
+	rs := newRunState(p.g)
+	p.lastRS.Store(rs)
+	return &ws{g: p.g, rs: rs, stack: []frame{{node: rootNode}}}
+}
+
+// Terminal implements sched.Program: only emit leaves are terminal.
+func (p *Program) Terminal(w sched.Workspace, depth int) (int64, bool) {
+	s := w.(*ws)
+	top := s.stack[len(s.stack)-1]
+	if top.emit {
+		return s.g.scores[top.node], true
+	}
+	return 0, false
+}
+
+// Moves implements sched.Program.
+func (p *Program) Moves(w sched.Workspace, depth int) int {
+	s := w.(*ws)
+	top := s.stack[len(s.stack)-1]
+	if top.node == rootNode {
+		return len(s.g.sources)
+	}
+	return 1 + len(s.g.succs[top.node])
+}
+
+// Apply implements sched.Program. Move 0 of a plain node is its emit leaf
+// (always legal, applied exactly once per node execution — the audit
+// counter rides it); successor moves are legal only for the claiming
+// predecessor. The claim decrement mutates shared run state even when
+// Apply returns false — see the package comment for why that is sound.
+func (p *Program) Apply(w sched.Workspace, depth, m int) bool {
+	s := w.(*ws)
+	top := s.stack[len(s.stack)-1]
+	if top.node == rootNode {
+		src := s.g.sources[m]
+		if !s.rs.claim(src) {
+			return false
+		}
+		s.stack = append(s.stack, frame{node: src})
+		return true
+	}
+	if m == 0 {
+		s.rs.emits[top.node].Add(1)
+		s.stack = append(s.stack, frame{node: top.node, emit: true})
+		return true
+	}
+	succ := s.g.succs[top.node][m-1]
+	if !s.rs.claim(succ) {
+		return false
+	}
+	s.stack = append(s.stack, frame{node: succ})
+	return true
+}
+
+// Undo implements sched.Program: it pops the local path only — claims and
+// audit counters are monotone run progress and are never reverted.
+func (p *Program) Undo(w sched.Workspace, depth, m int) {
+	s := w.(*ws)
+	s.stack = s.stack[:len(s.stack)-1]
+}
+
+// WantValue returns the value every correct run must produce: the sum of
+// all node scores (each node emits exactly once).
+func (p *Program) WantValue() int64 {
+	var sum int64
+	for _, sc := range p.g.scores {
+		sum += sc
+	}
+	return sum
+}
+
+// Nodes returns the DAG's node count.
+func (p *Program) Nodes() int { return len(p.g.scores) }
+
+// Edges returns the DAG's edge list (u, v) with u before v topologically.
+func (p *Program) Edges() [][2]int {
+	var out [][2]int
+	for u, ss := range p.g.succs {
+		for _, v := range ss {
+			out = append(out, [2]int{u, int(v)})
+		}
+	}
+	return out
+}
+
+// Audit is the post-run view of the dependency-counting layer, for the
+// exactly-once and topological-order assertions of FuzzDAG.
+type Audit struct {
+	// Claims[v] is how many times v was claimed; exactly 1 after a
+	// complete run.
+	Claims []int32
+	// Emits[v] is how many emit leaves v produced; exactly 1 after a
+	// complete run.
+	Emits []int32
+	// Stamps[v] is v's claim order (1-based). For every edge u→v,
+	// Stamps[u] < Stamps[v].
+	Stamps []int64
+}
+
+// LastRun snapshots the audit counters of the most recent Root() call, or
+// nil if Root was never called. Meaningful once that run has completed;
+// reuse the Program across concurrent runs and the snapshot describes
+// whichever run called Root last.
+func (p *Program) LastRun() *Audit {
+	rs := p.lastRS.Load()
+	if rs == nil {
+		return nil
+	}
+	n := len(rs.stamp)
+	a := &Audit{
+		Claims: make([]int32, n),
+		Emits:  make([]int32, n),
+		Stamps: make([]int64, n),
+	}
+	for v := 0; v < n; v++ {
+		a.Claims[v] = rs.claims[v].Load()
+		a.Emits[v] = rs.emits[v].Load()
+		a.Stamps[v] = rs.stamp[v]
+	}
+	return a
+}
+
+// finish freezes a graph under construction: derives preds, sources and
+// validates the topological numbering.
+func finish(name string, succs [][]int32, scores []int64) *Program {
+	n := len(scores)
+	g := &graph{succs: succs, scores: scores, preds: make([][]int32, n)}
+	for u, ss := range succs {
+		for _, v := range ss {
+			if int(v) <= u || int(v) >= n {
+				panic(fmt.Sprintf("dagflow: edge %d->%d breaks topological numbering (n=%d)", u, v, n))
+			}
+			g.preds[v] = append(g.preds[v], int32(u))
+		}
+	}
+	for v := 0; v < n; v++ {
+		if len(g.preds[v]) == 0 {
+			g.sources = append(g.sources, int32(v))
+		}
+	}
+	return &Program{g: g, name: name}
+}
+
+// NewLayered builds a seeded layered DAG: `layers` layers of `width` nodes,
+// every node in layer i>0 depending on 1..3 distinct nodes of layer i-1.
+// Scores are seeded small positives. layers and width are clamped to ≥1;
+// node count is layers*width.
+func NewLayered(layers, width int, seed int64) *Program {
+	if layers < 1 {
+		layers = 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := layers * width
+	succs := make([][]int32, n)
+	scores := make([]int64, n)
+	for v := 0; v < n; v++ {
+		scores[v] = 1 + rng.Int63n(16)
+	}
+	id := func(layer, slot int) int32 { return int32(layer*width + slot) }
+	for layer := 1; layer < layers; layer++ {
+		for slot := 0; slot < width; slot++ {
+			v := id(layer, slot)
+			k := 1 + rng.Intn(3)
+			if k > width {
+				k = width
+			}
+			for _, pi := range rng.Perm(width)[:k] {
+				u := id(layer-1, pi)
+				succs[u] = append(succs[u], v)
+			}
+		}
+	}
+	return finish(fmt.Sprintf("dag-layered(L=%d,W=%d)", layers, width), succs, scores)
+}
+
+// NewStencil builds the classic wavefront DAG: a rows×cols grid where cell
+// (i,j) depends on (i-1,j) and (i,j-1) — the single source is (0,0) and the
+// ready frontier sweeps the anti-diagonals. Dimensions are clamped to ≥1.
+func NewStencil(rows, cols int) *Program {
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	n := rows * cols
+	succs := make([][]int32, n)
+	scores := make([]int64, n)
+	id := func(i, j int) int32 { return int32(i*cols + j) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := id(i, j)
+			scores[v] = int64((i*31+j*17)%13 + 1)
+			if j+1 < cols {
+				succs[v] = append(succs[v], id(i, j+1))
+			}
+			if i+1 < rows {
+				succs[v] = append(succs[v], id(i+1, j))
+			}
+		}
+	}
+	return finish(fmt.Sprintf("dag-stencil(%dx%d)", rows, cols), succs, scores)
+}
+
+// NewFromEdges builds a DAG from explicit successor lists (node v's
+// successors must all be numbered above v) — the fuzzing entry point.
+// Scores must match the node count.
+func NewFromEdges(name string, succs [][]int32, scores []int64) *Program {
+	return finish(name, succs, scores)
+}

@@ -1,0 +1,303 @@
+// Package firstsol is the first-solution-wins workload family: searches
+// whose leaves carry a *witness encoding* of a complete solution rather
+// than a count. Run with Options.FirstSolution (or JobSpec.FirstSolution),
+// the first worker to reach a solution leaf claims its witness as the run's
+// Value and the cooperative-stop plane cancels the siblings; the families
+// provide Verify so any returned witness can be checked independently of
+// which solution the schedule happened to find first.
+//
+// Witness encodings are strictly positive (a +1 offset is baked in), so
+// "nonzero leaf" is exactly "solution found" and a search with no solution
+// completes normally with Value 0. The programs are also well-defined
+// without FirstSolution — Value is then the order-independent sum of all
+// solution witnesses — so they ride the generic differential rows too.
+package firstsol
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptivetc/internal/sched"
+)
+
+// ----------------------------------------------------------------- queens
+
+// Queens is first-solution n-queens: a solution leaf's value encodes the
+// column of every row in base n+1, offset by +1 per digit so any witness is
+// positive. n is clamped to [1, 12] (13^12 still fits int64 comfortably).
+type Queens struct {
+	n    int
+	name string
+}
+
+type queensWS struct{ cols []int8 }
+
+func (w *queensWS) Clone() sched.Workspace {
+	c := &queensWS{cols: make([]int8, len(w.cols))}
+	copy(c.cols, w.cols)
+	return c
+}
+
+func (w *queensWS) Bytes() int { return len(w.cols) }
+
+// NewQueens builds the n-queens first-solution instance.
+func NewQueens(n int) *Queens {
+	if n < 1 {
+		n = 1
+	}
+	if n > 12 {
+		n = 12
+	}
+	return &Queens{n: n, name: fmt.Sprintf("first-nqueens(%d)", n)}
+}
+
+// Name implements sched.Program.
+func (q *Queens) Name() string { return q.name }
+
+// Root implements sched.Program.
+func (q *Queens) Root() sched.Workspace {
+	return &queensWS{cols: make([]int8, 0, q.n)}
+}
+
+// Terminal implements sched.Program: a full placement is a solution leaf
+// carrying its witness.
+func (q *Queens) Terminal(w sched.Workspace, depth int) (int64, bool) {
+	s := w.(*queensWS)
+	if len(s.cols) == q.n {
+		return EncodeQueens(s.cols), true
+	}
+	return 0, false
+}
+
+// Moves implements sched.Program: one candidate column per row.
+func (q *Queens) Moves(w sched.Workspace, depth int) int { return q.n }
+
+// Apply implements sched.Program.
+func (q *Queens) Apply(w sched.Workspace, depth, m int) bool {
+	s := w.(*queensWS)
+	row := len(s.cols)
+	for r, c := range s.cols {
+		if int(c) == m || row-r == m-int(c) || row-r == int(c)-m {
+			return false
+		}
+	}
+	s.cols = append(s.cols, int8(m))
+	return true
+}
+
+// Undo implements sched.Program.
+func (q *Queens) Undo(w sched.Workspace, depth, m int) {
+	s := w.(*queensWS)
+	s.cols = s.cols[:len(s.cols)-1]
+}
+
+// Verify reports whether witness decodes to a valid complete placement for
+// this instance.
+func (q *Queens) Verify(witness int64) bool { return VerifyQueens(q.n, witness) }
+
+// EncodeQueens packs a complete column vector into a positive witness:
+// Σ (cols[i]+1)·(n+1)^i with n = len(cols).
+func EncodeQueens(cols []int8) int64 {
+	n := int64(len(cols))
+	v, mul := int64(0), int64(1)
+	for _, c := range cols {
+		v += (int64(c) + 1) * mul
+		mul *= n + 1
+	}
+	return v
+}
+
+// VerifyQueens decodes witness (the EncodeQueens packing) and checks it is
+// a valid n-queens placement. A zero or negative witness never verifies.
+func VerifyQueens(n int, witness int64) bool {
+	if witness <= 0 || n < 1 {
+		return false
+	}
+	cols := make([]int8, 0, n)
+	base := int64(n + 1)
+	for i := 0; i < n; i++ {
+		d := witness % base
+		if d < 1 || d > int64(n) {
+			return false
+		}
+		cols = append(cols, int8(d-1))
+		witness /= base
+	}
+	if witness != 0 {
+		return false
+	}
+	for r2 := 1; r2 < n; r2++ {
+		for r1 := 0; r1 < r2; r1++ {
+			c1, c2 := int(cols[r1]), int(cols[r2])
+			if c1 == c2 || r2-r1 == c2-c1 || r2-r1 == c1-c2 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// -------------------------------------------------------------------- SAT
+
+// SAT is first-solution planted 3-SAT: a seeded formula generated around a
+// planted assignment (so it is satisfiable by construction), searched by
+// assigning variables in order with clause-falsification pruning. A
+// solution leaf's witness is the assignment bits +1.
+type SAT struct {
+	name    string
+	nvars   int
+	clauses [][3]lit
+}
+
+// lit is one literal: variable index and required polarity.
+type lit struct {
+	v   int8
+	neg bool
+}
+
+type satWS struct{ assign []bool }
+
+func (w *satWS) Clone() sched.Workspace {
+	c := &satWS{assign: make([]bool, len(w.assign))}
+	copy(c.assign, w.assign)
+	return c
+}
+
+func (w *satWS) Bytes() int { return len(w.assign) }
+
+// NewSAT builds a planted instance with n variables (clamped to [3, 20])
+// and m clauses (m ≤ 0 means 4·n).
+func NewSAT(n, m int, seed int64) *SAT {
+	if n < 3 {
+		n = 3
+	}
+	if n > 20 {
+		n = 20
+	}
+	if m <= 0 {
+		m = 4 * n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	planted := make([]bool, n)
+	for i := range planted {
+		planted[i] = rng.Intn(2) == 1
+	}
+	s := &SAT{nvars: n, clauses: make([][3]lit, m)}
+	for ci := range s.clauses {
+		vars := rng.Perm(n)[:3]
+		var cl [3]lit
+		for li, v := range vars {
+			// Random polarity, but force literal 0 to agree with the
+			// planted assignment so every clause — hence the formula — is
+			// satisfied by it.
+			neg := rng.Intn(2) == 1
+			if li == 0 {
+				neg = planted[v] == false
+				// literal is "¬v" when planted[v] is false: ¬v is then true.
+			}
+			cl[li] = lit{v: int8(v), neg: neg}
+		}
+		s.clauses[ci] = cl
+	}
+	s.name = fmt.Sprintf("first-sat(v=%d,c=%d)", n, m)
+	return s
+}
+
+// Name implements sched.Program.
+func (s *SAT) Name() string { return s.name }
+
+// Root implements sched.Program.
+func (s *SAT) Root() sched.Workspace {
+	return &satWS{assign: make([]bool, 0, s.nvars)}
+}
+
+// litTrue evaluates l under a prefix assignment; ok is false when l's
+// variable is not yet assigned.
+func litTrue(l lit, assign []bool) (val, ok bool) {
+	if int(l.v) >= len(assign) {
+		return false, false
+	}
+	return assign[l.v] != l.neg, true
+}
+
+// Terminal implements sched.Program: a fully-falsified clause makes the
+// node a dead (value-0) leaf; a complete assignment that reached this far
+// satisfies every clause and is a solution leaf carrying its witness.
+func (s *SAT) Terminal(w sched.Workspace, depth int) (int64, bool) {
+	ws := w.(*satWS)
+	for _, cl := range s.clauses {
+		dead := true
+		for _, l := range cl {
+			val, ok := litTrue(l, ws.assign)
+			if !ok || val {
+				dead = false
+				break
+			}
+		}
+		if dead {
+			return 0, true
+		}
+	}
+	if len(ws.assign) == s.nvars {
+		return EncodeSAT(ws.assign), true
+	}
+	return 0, false
+}
+
+// Moves implements sched.Program: assign the next variable false (0) or
+// true (1).
+func (s *SAT) Moves(w sched.Workspace, depth int) int { return 2 }
+
+// Apply implements sched.Program.
+func (s *SAT) Apply(w sched.Workspace, depth, m int) bool {
+	ws := w.(*satWS)
+	ws.assign = append(ws.assign, m == 1)
+	return true
+}
+
+// Undo implements sched.Program.
+func (s *SAT) Undo(w sched.Workspace, depth, m int) {
+	ws := w.(*satWS)
+	ws.assign = ws.assign[:len(ws.assign)-1]
+}
+
+// Verify reports whether witness decodes to an assignment satisfying every
+// clause of this instance.
+func (s *SAT) Verify(witness int64) bool {
+	if witness <= 0 {
+		return false
+	}
+	bits := witness - 1
+	if bits >= 1<<uint(s.nvars) {
+		return false
+	}
+	assign := make([]bool, s.nvars)
+	for i := range assign {
+		assign[i] = bits&(1<<uint(i)) != 0
+	}
+	for _, cl := range s.clauses {
+		sat := false
+		for _, l := range cl {
+			if assign[l.v] != l.neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeSAT packs a complete assignment into a positive witness: the
+// assignment bits plus 1.
+func EncodeSAT(assign []bool) int64 {
+	var bits int64
+	for i, b := range assign {
+		if b {
+			bits |= 1 << uint(i)
+		}
+	}
+	return bits + 1
+}

@@ -10,8 +10,11 @@ import (
 
 	"adaptivetc/internal/lang"
 	"adaptivetc/internal/sched"
+	"adaptivetc/problems/bnb"
 	"adaptivetc/problems/comp"
+	"adaptivetc/problems/dagflow"
 	"adaptivetc/problems/fib"
+	"adaptivetc/problems/firstsol"
 	"adaptivetc/problems/knight"
 	"adaptivetc/problems/nqueens"
 	"adaptivetc/problems/pentomino"
@@ -25,6 +28,10 @@ type Params struct {
 	// N is the main size parameter (board side, fib argument, removals,
 	// givens, …). Zero means the family default.
 	N int
+	// M is the secondary size parameter of two-knob families (DAG width,
+	// knapsack capacity, SAT clause count). Zero means the family default;
+	// single-knob families ignore it.
+	M int
 	// Size is the synthetic-tree leaf count. Zero means the family default.
 	Size int64
 	// Reverse mirrors a synthetic tree (worst case for left-to-right
@@ -35,8 +42,16 @@ type Params struct {
 // entry is one registered program family.
 type entry struct {
 	defaultN    int
+	defaultM    int
 	defaultSize int64
 	build       func(Params) (sched.Program, error)
+	// firstSolution marks families meant to run with first-solution-wins
+	// semantics (Options.FirstSolution / JobSpec.FirstSolution): the run's
+	// Value is one solution witness, not a sum over the whole tree.
+	firstSolution bool
+	// verify, when set, checks a nonzero first-solution witness against a
+	// rebuilt instance.
+	verify func(Params, int64) bool
 }
 
 // table is the registry. Defaults are chosen to finish in well under a
@@ -88,6 +103,37 @@ var table = map[string]entry{
 	"atc-fib":     {defaultN: 20, build: compiled("fib")},
 	"atc-latin":   {defaultN: 5, build: compiled("latin")},
 	"atc-knight":  {defaultN: 5, build: compiled("knight")},
+	// Dataflow DAGs: N layers/rows × M width/cols (see problems/dagflow).
+	"dag-layered": {defaultN: 5, defaultM: 4, build: func(p Params) (sched.Program, error) {
+		return dagflow.NewLayered(p.N, p.M, 20100424), nil
+	}},
+	"dag-stencil": {defaultN: 6, defaultM: 6, build: func(p Params) (sched.Program, error) {
+		return dagflow.NewStencil(p.N, p.M), nil
+	}},
+	// Branch-and-bound: N items/cities, M the knapsack capacity override
+	// (0 = 40% of total weight; see problems/bnb).
+	"bnb-knapsack": {defaultN: 14, build: func(p Params) (sched.Program, error) {
+		return bnb.NewKnapsack(p.N, int64(p.M), 20100424), nil
+	}},
+	"bnb-tsp": {defaultN: 7, build: func(p Params) (sched.Program, error) {
+		return bnb.NewTSP(p.N, 20100424), nil
+	}},
+	// First-solution-wins search: N board side / variable count, M the SAT
+	// clause count (see problems/firstsol).
+	"first-nqueens": {defaultN: 7, firstSolution: true,
+		build: func(p Params) (sched.Program, error) {
+			return firstsol.NewQueens(p.N), nil
+		},
+		verify: func(p Params, v int64) bool {
+			return firstsol.NewQueens(p.N).Verify(v)
+		}},
+	"first-sat": {defaultN: 12, firstSolution: true,
+		build: func(p Params) (sched.Program, error) {
+			return firstsol.NewSAT(p.N, p.M, 20100424), nil
+		},
+		verify: func(p Params, v int64) bool {
+			return firstsol.NewSAT(p.N, p.M, 20100424).Verify(v)
+		}},
 }
 
 func tree(spec synthtree.Spec, reverse bool) sched.Program {
@@ -104,6 +150,20 @@ func compiled(src string) func(Params) (sched.Program, error) {
 	}
 }
 
+// defaulted fills zero-valued Params fields with the family defaults.
+func (e entry) defaulted(p Params) Params {
+	if p.N == 0 {
+		p.N = e.defaultN
+	}
+	if p.M == 0 {
+		p.M = e.defaultM
+	}
+	if p.Size == 0 {
+		p.Size = e.defaultSize
+	}
+	return p
+}
+
 // Build constructs the named benchmark instance, applying the family
 // defaults for zero-valued Params fields.
 func Build(name string, p Params) (sched.Program, error) {
@@ -111,13 +171,25 @@ func Build(name string, p Params) (sched.Program, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown program %q", name)
 	}
-	if p.N == 0 {
-		p.N = e.defaultN
+	return e.build(e.defaulted(p))
+}
+
+// FirstSolution reports whether the named family is meant to run with
+// first-solution-wins semantics. Unknown names report false.
+func FirstSolution(name string) bool {
+	return table[name].firstSolution
+}
+
+// VerifyWitness checks a first-solution witness against the named family.
+// checkable is false when the family has no verifier or when v is zero —
+// zero may legitimately mean "search space has no solution", which a
+// witness check cannot distinguish from a lost result.
+func VerifyWitness(name string, p Params, v int64) (ok, checkable bool) {
+	e, found := table[name]
+	if !found || e.verify == nil || v == 0 {
+		return false, false
 	}
-	if p.Size == 0 {
-		p.Size = e.defaultSize
-	}
-	return e.build(p)
+	return e.verify(e.defaulted(p), v), true
 }
 
 // Names lists the registered program names, sorted.

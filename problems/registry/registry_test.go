@@ -25,3 +25,89 @@ func TestBuildUnknown(t *testing.T) {
 		t.Fatal("Build accepted an unknown name")
 	}
 }
+
+// TestZeroParamsBackwardCompat pins the instance every name builds with
+// zero Params. Params grew an M knob; a zero-valued M must leave every
+// single-knob family byte-for-byte identical, which the instance Name()
+// strings (they embed the effective size parameters) witness.
+func TestZeroParamsBackwardCompat(t *testing.T) {
+	want := map[string]string{
+		"nqueens-array":   "nqueen-array(8)",
+		"nqueens-compute": "nqueen-compute(8)",
+		"sudoku-balanced": "sudoku-balanced(40)",
+		"sudoku-input1":   "sudoku-input1(40)",
+		"sudoku-input2":   "sudoku-input2(40)",
+		"sudoku-empty4":   "sudoku-empty4",
+		"strimko":         "strimko-diag(7,7)",
+		"knight":          "knight(5x5@0,0)",
+		"pentomino":       "pentomino(5)",
+		"fib":             "fib(20)",
+		"comp":            "comp(18)",
+		"tree1":           "synthtree-tree1L",
+		"tree2":           "synthtree-tree2L",
+		"tree3":           "synthtree-tree3L",
+		"atc-nqueens":     "atc:nqueens",
+		"atc-fib":         "atc:fib",
+		"atc-latin":       "atc:latin",
+		"atc-knight":      "atc:knight",
+		// Two-knob and first-solution families, pinned at their defaults
+		// so default drift is a loud failure too.
+		"dag-layered":   "dag-layered(L=5,W=4)",
+		"dag-stencil":   "dag-stencil(6x6)",
+		"bnb-knapsack":  "bnb-knapsack(n=14,cap=76)",
+		"bnb-tsp":       "bnb-tsp(n=7)",
+		"first-nqueens": "first-nqueens(7)",
+		"first-sat":     "first-sat(v=12,c=48)",
+	}
+	for _, name := range Names() {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("registry name %q not pinned here — add it", name)
+			continue
+		}
+		prog, err := Build(name, Params{})
+		if err != nil {
+			t.Errorf("Build(%q, zero Params): %v", name, err)
+			continue
+		}
+		if got := prog.Name(); got != w {
+			t.Errorf("Build(%q, zero Params).Name() = %q, want %q", name, got, w)
+		}
+	}
+	for name := range want {
+		if _, err := Build(name, Params{}); err != nil {
+			t.Errorf("pinned name %q no longer registered: %v", name, err)
+		}
+	}
+}
+
+// TestFirstSolutionMetadata pins which families carry first-solution
+// semantics and that their witness verifiers accept a genuine witness and
+// reject a corrupted one.
+func TestFirstSolutionMetadata(t *testing.T) {
+	for _, name := range Names() {
+		want := name == "first-nqueens" || name == "first-sat"
+		if got := FirstSolution(name); got != want {
+			t.Errorf("FirstSolution(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, checkable := VerifyWitness("fib", Params{}, 6765); checkable {
+		t.Error("VerifyWitness(fib) should not be checkable")
+	}
+	if _, checkable := VerifyWitness("first-nqueens", Params{}, 0); checkable {
+		t.Error("VerifyWitness with zero value should not be checkable (may mean no solution)")
+	}
+	// Valid 7-queens placement {0,2,4,6,1,3,5}, packed Σ (col+1)·8^row.
+	var w int64
+	mul := int64(1)
+	for _, c := range []int64{0, 2, 4, 6, 1, 3, 5} {
+		w += (c + 1) * mul
+		mul *= 8
+	}
+	if ok, checkable := VerifyWitness("first-nqueens", Params{}, w); !checkable || !ok {
+		t.Errorf("VerifyWitness(first-nqueens, %d) = %v,%v; want true,true", w, ok, checkable)
+	}
+	if ok, checkable := VerifyWitness("first-nqueens", Params{}, w+1); !checkable || ok {
+		t.Errorf("VerifyWitness(first-nqueens, corrupted) = %v,%v; want false,true", ok, checkable)
+	}
+}
