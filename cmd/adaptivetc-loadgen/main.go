@@ -26,6 +26,11 @@
 // skews the round-robin (e.g. "4,1" sends 80% of arrivals to the first
 // node) to manufacture the hot/cold imbalance forwarding should fix.
 //
+// DSL programs: -dsl-file path/to/prog.atc POSTs the source to every
+// target's /programs at startup and mixes the returned content hash into
+// the program rotation as a program_hash submission — the load a
+// programs-as-data deployment actually sees.
+//
 // Usage:
 //
 //	adaptivetc-loadgen -addr http://localhost:8080 -concurrency 8 -duration 10s
@@ -376,6 +381,7 @@ func main() {
 	maxOutstanding := flag.Int("max-outstanding", 256, "open loop: in-flight cap; arrivals past it are dropped")
 	duration := flag.Duration("duration", 10*time.Second, "load duration")
 	programs := flag.String("programs", "nqueens-array,fib,knight,dag-stencil,bnb-tsp,first-nqueens", "comma-separated program mix")
+	dslFile := flag.String("dsl-file", "", "path to a DSL source file: POSTed to every target's /programs at startup and mixed into the load as a program_hash submission")
 	engines := flag.String("engines", "adaptivetc,cilk,slaw", "comma-separated engine mix")
 	tenants := flag.String("tenants", "", "tenant mix: name:priority:weight,... (default one batch tenant)")
 	n := flag.Int("n", 0, "problem size override (0 = per-family default)")
@@ -400,6 +406,15 @@ func main() {
 	}
 	progMix := strings.Split(*programs, ",")
 	engMix := strings.Split(*engines, ",")
+	if *dslFile != "" {
+		hash, err := registerDSL(addrs, *dslFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: registered %s as program %s on %d node(s)\n", *dslFile, hash, len(addrs))
+		progMix = append(progMix, "hash:"+hash)
+	}
 	mix, err := parseTenants(*tenants)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -622,6 +637,49 @@ func printReport(addr string, rep report) {
 	}
 }
 
+// registerDSL posts the DSL source at path to every target's /programs
+// and returns the content hash — identical on every node, since the hash
+// is computed from the canonicalized source.
+func registerDSL(addrs []string, path string) (string, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	name := strings.TrimSuffix(path[strings.LastIndex(path, "/")+1:], ".atc")
+	body, _ := json.Marshal(map[string]string{"name": name, "source": string(src)})
+	client := &http.Client{Timeout: 10 * time.Second}
+	hash := ""
+	for _, addr := range addrs {
+		resp, err := client.Post(addr+"/programs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", fmt.Errorf("register DSL program on %s: %w", addr, err)
+		}
+		var meta struct {
+			Hash  string `json:"hash"`
+			Error string `json:"error"`
+			Line  int    `json:"line"`
+			Col   int    `json:"col"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&meta)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			if meta.Line > 0 {
+				return "", fmt.Errorf("%s rejected %s at line %d col %d: %s", addr, path, meta.Line, meta.Col, meta.Error)
+			}
+			return "", fmt.Errorf("%s rejected %s: HTTP %d %s", addr, path, resp.StatusCode, meta.Error)
+		}
+		if decErr != nil || meta.Hash == "" {
+			return "", fmt.Errorf("%s returned no hash for %s", addr, path)
+		}
+		if hash == "" {
+			hash = meta.Hash
+		} else if hash != meta.Hash {
+			return "", fmt.Errorf("nodes disagree on the content hash: %s vs %s", hash, meta.Hash)
+		}
+	}
+	return hash, nil
+}
+
 // fetchServerMetrics snapshots the server's /metrics for the report, so a
 // recorded run carries the configuration it was measured against.
 func fetchServerMetrics(client *http.Client, addr string) json.RawMessage {
@@ -657,10 +715,18 @@ type submitReq struct {
 // (the job's own timeout plus a grace period) bounds the loop even
 // against a server that keeps answering 200 without ever settling.
 func runOne(client *http.Client, addr string, req submitReq, start time.Time, cnt *counters) (time.Duration, string) {
-	body, _ := json.Marshal(map[string]any{
-		"program": req.program, "engine": req.engine, "n": req.n,
+	payload := map[string]any{
+		"engine": req.engine, "n": req.n,
 		"timeout_ms": req.timeoutMS, "tenant": req.tenant, "priority": req.priority,
-	})
+	}
+	// "hash:<sha256>" mix entries (from -dsl-file) run a cached DSL
+	// program by content hash; everything else is a registry name.
+	if h, ok := strings.CutPrefix(req.program, "hash:"); ok {
+		payload["program_hash"] = h
+	} else {
+		payload["program"] = req.program
+	}
+	body, _ := json.Marshal(payload)
 	httpReq, err := http.NewRequest("POST", addr+"/jobs", bytes.NewReader(body))
 	if err != nil {
 		cnt.httpErrs.Add(1)

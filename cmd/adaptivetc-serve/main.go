@@ -9,6 +9,14 @@
 //	adaptivetc-serve -addr :8080 -check        # audit scheduler invariants per job
 //	adaptivetc-serve -tenant-rate 50 -tenant-quota 32                # per-tenant limits
 //	adaptivetc-serve -shard-policy slo -slo-target-ms 25             # p99-driven shard sizing
+//	adaptivetc-serve -store-dir /var/lib/atc   # persistent, replayable job store
+//	adaptivetc-serve -store-dir /var/lib/atc -replay                 # list the journal and exit
+//
+// With -store-dir, every submission, start, result and DSL program
+// registration is journaled (CRC-framed, group-commit fsynced); a restart
+// on the same directory serves completed results again, re-queues jobs
+// that never started, marks mid-run jobs aborted-by-restart, and
+// restores the program cache.
 //
 // API:
 //
@@ -17,6 +25,10 @@
 //	                   (X-Tenant header overrides the body's tenant)
 //	GET    /jobs/{id}  job status; value, stats and latency once terminal
 //	DELETE /jobs/{id}  cooperative cancellation
+//	POST   /programs   {"name":"mine","source":"param n = 8 ..."} — compile
+//	                   and cache a DSL program; returns its content hash,
+//	                   runnable via {"program_hash": ...} on POST /jobs
+//	GET    /programs   cached DSL programs (also /programs/{hash}, DELETE)
 //	GET    /metrics    throughput, queue depth, latency histogram, per-tenant/
 //	                   per-priority/per-engine breakdowns
 //	GET    /catalog    available programs and engines
@@ -50,10 +62,41 @@ import (
 	"time"
 
 	"adaptivetc/internal/cluster"
+	"adaptivetc/internal/jobstore"
+	"adaptivetc/internal/progstore"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/serve"
 	"adaptivetc/internal/wsrt"
 )
+
+// replayStore lists every valid record in dir, one line each — the
+// offline view of what a restart would recover.
+func replayStore(dir string) error {
+	n := 0
+	err := jobstore.Replay(dir, func(r *jobstore.Record) {
+		n++
+		switch r.T {
+		case jobstore.TProgram:
+			fmt.Printf("%6d  program  %s  name=%q  %d bytes\n", n, r.Hash, r.Name, len(r.Source))
+		case jobstore.TProgDel:
+			fmt.Printf("%6d  progdel  %s\n", n, r.Hash)
+		case jobstore.TSubmit:
+			fmt.Printf("%6d  submit   %-8s %s\n", n, r.ID, string(r.Req))
+		case jobstore.TStart:
+			fmt.Printf("%6d  start    %-8s\n", n, r.ID)
+		case jobstore.TDone:
+			fmt.Printf("%6d  done     %-8s state=%s value=%d makespan_ns=%d err=%q\n",
+				n, r.ID, r.State, r.Value, r.MakespanNS, r.Err)
+		default:
+			fmt.Printf("%6d  %s\n", n, r.T)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adaptivetc-serve: %d records in %s\n", n, dir)
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -78,6 +121,9 @@ func main() {
 	gossipInterval := flag.Duration("gossip-interval", 100*time.Millisecond, "cluster load-exchange interval")
 	forwardThreshold := flag.Int("forward-threshold", 4, "minimum load gap before forwarding queued jobs to a colder peer")
 	forwardBatch := flag.Int("forward-batch", 4, "max jobs moved per rebalance or steal")
+	storeDir := flag.String("store-dir", "", "persistent job-store directory; restarts on the same directory recover results, re-queue unstarted jobs, and restore the DSL program cache")
+	replay := flag.Bool("replay", false, "list every record in -store-dir and exit (no server)")
+	maxPrograms := flag.Int("max-programs", 0, "DSL compile cache entry cap (0 = default 256)")
 	flag.Parse()
 
 	if !wsrt.ValidStealPolicy(*stealPolicy) {
@@ -86,7 +132,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *replay {
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "adaptivetc-serve: -replay requires -store-dir")
+			os.Exit(2)
+		}
+		if err := replayStore(*storeDir); err != nil {
+			fmt.Fprintf(os.Stderr, "adaptivetc-serve: replay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var journal *jobstore.Store
+	var recovered *jobstore.Recovery
+	if *storeDir != "" {
+		var err error
+		journal, recovered, err = jobstore.Open(*storeDir, jobstore.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adaptivetc-serve: open job store: %v\n", err)
+			os.Exit(1)
+		}
+		defer journal.Close()
+		fmt.Printf("adaptivetc-serve: job store %s: %d records (%d jobs, %d programs, %d corrupt frames%s)\n",
+			*storeDir, recovered.Records, len(recovered.Jobs), len(recovered.Programs), recovered.Corrupt,
+			map[bool]string{true: ", torn tail repaired", false: ""}[recovered.TruncatedTail])
+	}
+
 	svc := serve.New(serve.Config{
+		Journal:      journal,
+		Recovered:    recovered,
+		ProgramCache: progstore.Config{MaxPrograms: *maxPrograms},
 		Workers:           *workers,
 		QueueCapacity:     *queue,
 		MaxConcurrentJobs: *maxJobs,

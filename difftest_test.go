@@ -6,6 +6,8 @@ import (
 
 	"adaptivetc"
 	"adaptivetc/internal/cluster"
+	"adaptivetc/internal/lang"
+	"adaptivetc/internal/progstore"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/wsrt"
 	"adaptivetc/problems/registry"
@@ -304,6 +306,144 @@ func TestDifferentialShardedPool(t *testing.T) {
 				t.Fatalf("submit %s/%s: %v", eng.Name(), name, err)
 			}
 			window = append(window, pending{name: name, engine: eng.Name(), h: h})
+			drain(false)
+		}
+	}
+	drain(true)
+}
+
+// dslDiffSizes shrinks the shipped DSL examples to differential-test
+// instances, matching the atc-* rows in diffSizes so the cached-program
+// path is checked at the same sizes the registry mirrors are.
+var dslDiffSizes = map[string]map[string]int64{
+	"nqueens": {"n": 6},
+	"fib":     {"n": 12},
+	"latin":   {"n": 4},
+	"knight":  {"n": 4},
+}
+
+// TestDifferentialDSL runs every shipped DSL example through the
+// content-addressed compile cache — the same Put/Program path that backs
+// POST /programs and program_hash job submission — and pushes each cached
+// instance through all seven pool engines and the resident sharded pool,
+// checking values against a serial oracle run on the very same Program.
+// Along the way it pins content addressing: the canonical form of a source
+// must land on the hash the original did, never a second cache entry.
+func TestDifferentialDSL(t *testing.T) {
+	store := progstore.New(progstore.Config{})
+	type row struct {
+		name, hash string
+		prog       sched.Program
+		oracle     int64
+	}
+	var rows []row
+	for name, src := range lang.Sources() {
+		sizes, ok := dslDiffSizes[name]
+		if !ok {
+			t.Fatalf("DSL example %q has no differential-test size — add it to dslDiffSizes", name)
+		}
+		meta, created, err := store.Put(name, src)
+		if err != nil {
+			t.Fatalf("put %s: %v", name, err)
+		}
+		if !created {
+			t.Fatalf("put %s: fresh store claims the program was already cached", name)
+		}
+		_, canonical, lerr := lang.HashSource(src)
+		if lerr != nil {
+			t.Fatalf("canonicalize %s: %v", name, lerr)
+		}
+		again, createdAgain, err := store.Put(name+"-canon", canonical)
+		if err != nil {
+			t.Fatalf("put canonical %s: %v", name, err)
+		}
+		if createdAgain || again.Hash != meta.Hash {
+			t.Fatalf("%s: canonical form hashed to %s (created=%v), original to %s — content addressing is broken",
+				name, again.Hash, createdAgain, meta.Hash)
+		}
+		p, err := store.Program(meta.Hash, sizes)
+		if err != nil {
+			t.Fatalf("program %s: %v", name, err)
+		}
+		oracle, err := adaptivetc.NewSerial().Run(p, adaptivetc.Options{})
+		if err != nil {
+			t.Fatalf("serial/%s: %v", name, err)
+		}
+		rows = append(rows, row{name: name, hash: meta.Hash, prog: p, oracle: oracle.Value})
+	}
+	if len(rows) != len(dslDiffSizes) {
+		t.Fatalf("dslDiffSizes has %d entries but lang ships %d examples — remove the stale names",
+			len(dslDiffSizes), len(rows))
+	}
+
+	// Batch rows: each engine on the shared cached instance, plus the
+	// seeded-makespan determinism check every other family gets.
+	for _, r := range rows {
+		for _, mk := range diffEngines() {
+			eng := mk()
+			opt := adaptivetc.Options{Workers: 3, Seed: 7}
+			a, err := eng.Run(r.prog, opt)
+			if err != nil {
+				t.Fatalf("%s/dsl:%s: %v", eng.Name(), r.name, err)
+			}
+			if a.Value != r.oracle {
+				t.Errorf("%s/dsl:%s: value %d, serial says %d", eng.Name(), r.name, a.Value, r.oracle)
+			}
+			b, err := mk().Run(r.prog, opt)
+			if err != nil {
+				t.Fatalf("%s/dsl:%s rerun: %v", eng.Name(), r.name, err)
+			}
+			if a.Makespan != b.Makespan {
+				t.Errorf("%s/dsl:%s: identically-seeded Sim makespans differ: %d vs %d",
+					eng.Name(), r.name, a.Makespan, b.Makespan)
+			}
+		}
+	}
+
+	// Sharded-pool rows: up to two jobs in flight share one cached Program
+	// instance — the serving-path concurrency a compile cache must survive.
+	pool := wsrt.NewPool(wsrt.PoolConfig{
+		Workers: 4, MaxConcurrentJobs: 2, ShardPolicy: wsrt.ShardAdaptive,
+		QueueCapacity: 16, Options: sched.Options{GrowableDeque: true},
+	})
+	defer pool.Close()
+
+	type pending struct {
+		name, engine string
+		oracle       int64
+		h            *wsrt.JobHandle
+	}
+	var window []pending
+	drain := func(all bool) {
+		keep := 0
+		if !all {
+			keep = 2
+		}
+		for len(window) > keep {
+			job := window[0]
+			window = window[1:]
+			res, err := job.h.Result()
+			if err != nil {
+				t.Fatalf("pool %s/dsl:%s: %v", job.engine, job.name, err)
+			}
+			if res.Value != job.oracle {
+				t.Errorf("pool %s/dsl:%s: value %d, serial says %d",
+					job.engine, job.name, res.Value, job.oracle)
+			}
+		}
+	}
+	for _, r := range rows {
+		for _, mk := range diffEngines() {
+			eng := mk()
+			pe, ok := eng.(wsrt.PoolEngine)
+			if !ok {
+				t.Fatalf("%s does not implement wsrt.PoolEngine", eng.Name())
+			}
+			h, err := pool.Submit(wsrt.JobSpec{Prog: r.prog, Engine: pe})
+			if err != nil {
+				t.Fatalf("submit %s/dsl:%s: %v", eng.Name(), r.name, err)
+			}
+			window = append(window, pending{name: r.name, engine: eng.Name(), oracle: r.oracle, h: h})
 			drain(false)
 		}
 	}

@@ -1,0 +1,496 @@
+// Package jobstore is the persistent, replayable job journal behind
+// adaptivetc-serve: an append-only log of job submissions, state
+// transitions, results, and DSL program registrations, durable enough
+// that a SIGKILL'd server restarted on the same directory serves every
+// completed job's result, re-queues jobs that never started, and marks
+// jobs that were mid-run as aborted-by-restart.
+//
+// # On-disk format
+//
+// The store is a directory of numbered segment files (journal-000001.log,
+// …). Each record is framed as
+//
+//	u32 length (LE) | u32 CRC32-C of payload (LE) | payload (JSON Record)
+//
+// Appends go to the highest-numbered segment; when it passes
+// Config.SegmentBytes a new segment is started. Recovery reads segments
+// in order and verifies every frame. A bad frame in the *last* segment is
+// a torn tail from the crash — the segment is truncated there and the
+// store appends after the good prefix. A bad frame in an earlier segment
+// is corruption; the rest of that segment is skipped (counted in
+// Recovery.Corrupt) and reading continues with the next.
+//
+// A zero length field terminates scanning of a segment (it is what a
+// pre-allocated or zero-filled tail reads as), and a length beyond
+// MaxRecordBytes is treated as corruption, never allocated.
+//
+// # Durability
+//
+// Append queues a record for the background syncer (fsync within
+// Config.FsyncInterval). AppendSync is group commit: the record is
+// written under the lock, then the caller blocks until a batch fsync
+// covers it — concurrent committers share one fsync. The serving tier
+// journals submissions and results with AppendSync (acknowledge ⇒
+// durable) and start transitions with Append (re-running a side-effect-
+// free program after a crash is safe; losing an acknowledged result is
+// not).
+package jobstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record types journaled by the serving tier.
+const (
+	// TProgram registers a DSL program: Hash, Name, Source (canonical).
+	TProgram = "program"
+	// TProgDel deletes a DSL program: Hash.
+	TProgDel = "progdel"
+	// TSubmit records an admitted job: ID, Req (the submitted request).
+	TSubmit = "submit"
+	// TStart records a job entering execution: ID.
+	TStart = "start"
+	// TDone records a terminal job: ID, State, Value/Err, MakespanNS.
+	TDone = "done"
+)
+
+// MaxRecordBytes bounds a single frame; a length field past this is
+// corruption, not an allocation request.
+const MaxRecordBytes = 16 << 20
+
+// Record is one journal entry. Fields are a union over the record types;
+// unused ones stay at their zero value and are omitted from the JSON.
+type Record struct {
+	T string `json:"t"`
+
+	// Job records.
+	ID         string          `json:"id,omitempty"`
+	Req        json.RawMessage `json:"req,omitempty"`
+	State      string          `json:"state,omitempty"`
+	Value      int64           `json:"value,omitempty"`
+	Err        string          `json:"err,omitempty"`
+	MakespanNS int64           `json:"makespan_ns,omitempty"`
+
+	// Program records.
+	Hash   string `json:"hash,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source,omitempty"`
+}
+
+// JobState is the per-job fold of the journal produced by recovery.
+type JobState struct {
+	ID      string
+	Req     json.RawMessage
+	Started bool
+	// Done is set when a TDone record was recovered; State/Value/Err/
+	// MakespanNS then carry the terminal outcome.
+	Done       bool
+	State      string
+	Value      int64
+	Err        string
+	MakespanNS int64
+}
+
+// Recovery is what Open reconstructed from the directory.
+type Recovery struct {
+	// Jobs holds the folded per-job state, in first-submission order.
+	Jobs []*JobState
+	// Programs maps hash → the last registered (and not deleted) program.
+	Programs []ProgramRec
+	// Records is the total number of valid records read.
+	Records int
+	// Corrupt counts bad frames encountered in non-tail positions.
+	Corrupt int
+	// TruncatedTail reports whether the last segment had a torn tail that
+	// was cut back to the last valid frame.
+	TruncatedTail bool
+}
+
+// ProgramRec is a recovered DSL program registration.
+type ProgramRec struct {
+	Hash, Name, Source string
+}
+
+// Config tunes the store. Zero values take the defaults.
+type Config struct {
+	// SegmentBytes caps a segment file before rotation; default 4 MiB.
+	SegmentBytes int64
+	// FsyncInterval bounds how long an Append can sit unsynced; default
+	// 10ms. AppendSync ignores it (the batch fsync runs immediately).
+	FsyncInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = 10 * time.Millisecond
+	}
+	return c
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Store is an open journal.
+type Store struct {
+	cfg Config
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File
+	seg     int   // current segment number
+	segSize int64 // bytes written to the current segment
+	dirty   bool  // unsynced writes pending
+	waiters []chan error
+	closed  bool
+
+	syncReq chan struct{}
+	done    chan struct{}
+
+	fsyncs  atomic.Int64
+	records atomic.Int64
+}
+
+func segName(n int) string { return fmt.Sprintf("journal-%06d.log", n) }
+
+// segNum parses a segment file name; ok is false for foreign files.
+func segNum(name string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(name, "journal-%06d.log", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Open opens (creating if needed) the journal in dir, replays it, repairs
+// a torn tail, and returns the store positioned for appending plus the
+// recovered state.
+func Open(dir string, cfg Config) (*Store, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec := &Recovery{}
+	jobs := map[string]*JobState{}
+	progs := map[string]ProgramRec{}
+	var progOrder []string
+
+	for i, n := range segs {
+		last := i == len(segs)-1
+		path := filepath.Join(dir, segName(n))
+		goodEnd, truncated, cerr := scanSegment(path, func(r *Record) {
+			rec.Records++
+			foldRecord(r, jobs, &rec.Jobs, progs, &progOrder)
+		})
+		if cerr != nil {
+			return nil, nil, fmt.Errorf("jobstore: scan %s: %w", path, cerr)
+		}
+		if truncated {
+			if last {
+				// Torn tail from the crash: cut the segment back to the
+				// last whole frame so appends resume cleanly.
+				if err := os.Truncate(path, goodEnd); err != nil {
+					return nil, nil, fmt.Errorf("jobstore: truncate torn tail of %s: %w", path, err)
+				}
+				rec.TruncatedTail = true
+			} else {
+				rec.Corrupt++
+			}
+		}
+	}
+	for _, h := range progOrder {
+		if p, ok := progs[h]; ok {
+			rec.Programs = append(rec.Programs, p)
+		}
+	}
+
+	s := &Store{
+		cfg:     cfg.withDefaults(),
+		dir:     dir,
+		syncReq: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	s.records.Store(int64(rec.Records))
+	seg := 1
+	if len(segs) > 0 {
+		seg = segs[len(segs)-1]
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	s.f, s.seg, s.segSize = f, seg, st.Size()
+	go s.syncer()
+	return s, rec, nil
+}
+
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, e := range ents {
+		if n, ok := segNum(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// foldRecord applies one journal record to the recovery state.
+func foldRecord(r *Record, jobs map[string]*JobState, order *[]*JobState, progs map[string]ProgramRec, progOrder *[]string) {
+	switch r.T {
+	case TProgram:
+		if _, seen := progs[r.Hash]; !seen {
+			*progOrder = append(*progOrder, r.Hash)
+		}
+		progs[r.Hash] = ProgramRec{Hash: r.Hash, Name: r.Name, Source: r.Source}
+	case TProgDel:
+		delete(progs, r.Hash)
+	case TSubmit:
+		if _, seen := jobs[r.ID]; seen {
+			return // replayed duplicate; first submission wins
+		}
+		j := &JobState{ID: r.ID, Req: r.Req}
+		jobs[r.ID] = j
+		*order = append(*order, j)
+	case TStart:
+		if j, ok := jobs[r.ID]; ok {
+			j.Started = true
+		}
+	case TDone:
+		if j, ok := jobs[r.ID]; ok {
+			j.Done = true
+			j.State, j.Value, j.Err, j.MakespanNS = r.State, r.Value, r.Err, r.MakespanNS
+		}
+	}
+}
+
+// scanSegment reads frames from path, calling fn for each valid record.
+// It returns the byte offset just past the last valid frame and whether
+// the segment ends in a bad frame (torn or corrupt).
+func scanSegment(path string, fn func(*Record)) (goodEnd int64, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+
+	var hdr [8]byte
+	var off int64
+	for {
+		_, rerr := io.ReadFull(f, hdr[:])
+		if rerr == io.EOF {
+			return off, false, nil
+		}
+		if rerr != nil { // partial header: torn tail
+			return off, true, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > MaxRecordBytes {
+			// Zero-filled or nonsense length: stop here.
+			return off, true, nil
+		}
+		payload := make([]byte, length)
+		if _, rerr := io.ReadFull(f, payload); rerr != nil {
+			return off, true, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			return off, true, nil
+		}
+		var rec Record
+		if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+			// CRC-valid but not JSON: treat as corruption, stop here.
+			return off, true, nil
+		}
+		off += 8 + int64(length)
+		fn(&rec)
+	}
+}
+
+// Replay streams every valid record in dir (oldest first) to fn without
+// opening the store for writing. Bad frames end the affected segment's
+// scan, mirroring recovery.
+func Replay(dir string, fn func(*Record)) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for _, n := range segs {
+		if _, _, err := scanSegment(filepath.Join(dir, segName(n)), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendLocked frames and writes r, rotating segments as needed.
+func (s *Store) appendLocked(r *Record) error {
+	if s.closed {
+		return errors.New("jobstore: store closed")
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("jobstore: record of %d bytes exceeds the %d-byte frame limit", len(payload), MaxRecordBytes)
+	}
+	if s.segSize >= s.cfg.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := s.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.f.Write(payload); err != nil {
+		return err
+	}
+	s.segSize += 8 + int64(len(payload))
+	s.dirty = true
+	s.records.Add(1)
+	return nil
+}
+
+// rotateLocked syncs and closes the current segment and starts the next.
+func (s *Store) rotateLocked() error {
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.fsyncs.Add(1)
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	s.seg++
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(s.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f, s.segSize, s.dirty = f, 0, false
+	return nil
+}
+
+// Append journals r asynchronously: it is on disk after the next batch
+// fsync (within Config.FsyncInterval).
+func (s *Store) Append(r *Record) error {
+	s.mu.Lock()
+	err := s.appendLocked(r)
+	s.mu.Unlock()
+	return err
+}
+
+// AppendSync journals r and blocks until an fsync covers it. Concurrent
+// callers are group-committed: one fsync releases the whole batch.
+func (s *Store) AppendSync(r *Record) error {
+	ch := make(chan error, 1)
+	s.mu.Lock()
+	if err := s.appendLocked(r); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.waiters = append(s.waiters, ch)
+	s.mu.Unlock()
+	select {
+	case s.syncReq <- struct{}{}:
+	default: // a sync is already pending; it will cover this write
+	}
+	return <-ch
+}
+
+// syncer is the background group-commit loop.
+func (s *Store) syncer() {
+	tick := time.NewTicker(s.cfg.FsyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.syncReq:
+		case <-tick.C:
+		}
+		s.syncBatch()
+	}
+}
+
+// syncBatch fsyncs pending writes and releases the waiters they cover.
+// The fsync runs under the append lock: writers arriving during the sync
+// queue on the mutex and land in the next batch, so each fsync still
+// covers every record written since the last one (group commit).
+func (s *Store) syncBatch() {
+	s.mu.Lock()
+	if s.closed || (!s.dirty && len(s.waiters) == 0) {
+		s.mu.Unlock()
+		return
+	}
+	waiters := s.waiters
+	s.waiters = nil
+	s.dirty = false
+	err := s.f.Sync()
+	if err == nil {
+		s.fsyncs.Add(1)
+	}
+	s.mu.Unlock()
+
+	for _, ch := range waiters {
+		ch <- err
+	}
+}
+
+// Close syncs and closes the journal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	waiters := s.waiters
+	s.waiters = nil
+	err := s.f.Sync()
+	if err == nil {
+		s.fsyncs.Add(1)
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.mu.Unlock()
+	close(s.done)
+	for _, ch := range waiters {
+		ch <- err
+	}
+	return err
+}
+
+// Fsyncs returns the number of fsync calls issued.
+func (s *Store) Fsyncs() int64 { return s.fsyncs.Load() }
+
+// Records returns the number of records appended plus recovered.
+func (s *Store) Records() int64 { return s.records.Load() }

@@ -1,0 +1,56 @@
+package lang
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// Canonicalize reduces ATC source to its canonical spelling: the token
+// stream rendered with single spaces between tokens, comments and layout
+// dropped, and numeric literals re-printed in plain decimal. Two sources
+// that differ only in whitespace, comments or literal spelling (007 vs 7)
+// canonicalize identically, so the content hash of the canonical form is
+// a compile-level identity: same hash ⇒ same token stream ⇒ same AST ⇒
+// the same compiled program.
+//
+// The canonical form is a fixed point: re-lexing it yields the original
+// token stream (tokens are separated by spaces, and no ATC token ever
+// spans a space), so Canonicalize(Canonicalize(src)) == Canonicalize(src).
+// FuzzLangCompile pins that property on arbitrary inputs.
+func Canonicalize(src string) (string, *Error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.Grow(len(src))
+	for i, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if t.kind == tokNumber {
+			b.WriteString(strconv.FormatInt(t.num, 10))
+		} else {
+			b.WriteString(t.text)
+		}
+	}
+	return b.String(), nil
+}
+
+// HashSource canonicalizes src and returns the hex SHA-256 of the
+// canonical form together with the canonical form itself. This is the
+// content address used by the program store: submit the same program
+// twice — reformatted, re-commented — and it lands on the same hash.
+func HashSource(src string) (hash, canonical string, err *Error) {
+	canonical, err = Canonicalize(src)
+	if err != nil {
+		return "", "", err
+	}
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:]), canonical, nil
+}

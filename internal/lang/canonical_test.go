@@ -1,0 +1,126 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCanonicalHashInvariance: reformatting — comments, blank lines,
+// indentation, literal spelling — must not move the content hash, while
+// any token-level change must.
+func TestCanonicalHashInvariance(t *testing.T) {
+	base := "param n = 8\nterminal depth == n -> 1\nmoves n\napply { }\nundo { }\n"
+	same := []string{
+		"param n=8 terminal depth==n->1 moves n apply{} undo{}",
+		"# a comment\nparam n = 8 # trailing\n\n\tterminal depth == n -> 1\nmoves n\napply {\n}\nundo {\n}",
+		"param n = 08\nterminal depth == n -> 1\nmoves n\napply { }\nundo { }",
+	}
+	h0, canon, err := HashSource(base)
+	if err != nil {
+		t.Fatalf("hash base: %v", err)
+	}
+	for _, src := range same {
+		h, _, err := HashSource(src)
+		if err != nil {
+			t.Fatalf("hash %q: %v", src, err)
+		}
+		if h != h0 {
+			t.Errorf("reformatted source hashed differently:\n%q -> %s\n%q -> %s", base, h0, src, h)
+		}
+	}
+	hDiff, _, err := HashSource(strings.Replace(base, "n = 8", "n = 9", 1))
+	if err != nil {
+		t.Fatalf("hash variant: %v", err)
+	}
+	if hDiff == h0 {
+		t.Error("token-level change kept the same hash")
+	}
+	// Fixed point: the canonical form canonicalizes to itself.
+	canon2, err := Canonicalize(canon)
+	if err != nil {
+		t.Fatalf("re-canonicalize: %v", err)
+	}
+	if canon2 != canon {
+		t.Errorf("canonical form is not a fixed point:\n%q\n%q", canon, canon2)
+	}
+}
+
+// TestCanonicalExamplesCompile: every shipped example canonicalizes, the
+// canonical form compiles, and both spellings build programs that agree
+// on the root workspace size (a cheap structural identity check).
+func TestCanonicalExamplesCompile(t *testing.T) {
+	for name, src := range Sources() {
+		hash, canon, err := HashSource(src)
+		if err != nil {
+			t.Fatalf("%s: canonicalize: %v", name, err)
+		}
+		if len(hash) != 64 {
+			t.Fatalf("%s: hash %q is not hex sha-256", name, hash)
+		}
+		orig, cerr := CompileProgram(name, src, nil)
+		if cerr != nil {
+			t.Fatalf("%s: compile original: %v", name, cerr)
+		}
+		re, cerr := CompileProgram(name, canon, nil)
+		if cerr != nil {
+			t.Fatalf("%s: compile canonical: %v", name, cerr)
+		}
+		if orig.Root().Bytes() != re.Root().Bytes() {
+			t.Errorf("%s: canonical compile changed the workspace: %d vs %d bytes",
+				name, orig.Root().Bytes(), re.Root().Bytes())
+		}
+	}
+}
+
+// TestCompileLimits pins the hardening added for untrusted source: state
+// size caps, parser nesting caps, and the guarded init budget, each a
+// positioned diagnostic instead of an OOM, stack exhaustion, or spin.
+func TestCompileLimits(t *testing.T) {
+	mustFail := func(src, want string) {
+		t.Helper()
+		_, err := Compile("t", src, nil)
+		if err == nil {
+			t.Fatalf("compile %q: expected error containing %q", src, want)
+		}
+		e, ok := err.(*Error)
+		if !ok {
+			t.Fatalf("compile %q: error is %T, want *Error", src, err)
+		}
+		if e.Line < 1 || e.Col < 1 {
+			t.Fatalf("compile %q: error lacks position: %v", src, e)
+		}
+		if !strings.Contains(e.Msg, want) {
+			t.Fatalf("compile %q: error %q does not mention %q", src, e.Msg, want)
+		}
+	}
+	tail := " terminal 1 -> 1 moves 1 apply { } undo { }"
+	mustFail("state x[8388609]"+tail, "cell limit")
+	mustFail("state a[4194000] state b[4194000]"+tail, "cell limit")
+	mustFail("terminal "+strings.Repeat("(", 250)+"1"+strings.Repeat(")", 250)+" -> 1 moves 1 apply { } undo { }", "nesting")
+	mustFail("terminal "+strings.Repeat("!", 250)+"1 -> 1 moves 1 apply { } undo { }", "nesting")
+
+	// A hostile init loop trips the guarded budget with a position…
+	c, err := Compile("t", "init { for i = 0 to 1000000000 { } }"+tail, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := NewProgramGuarded(c, 1000); err == nil {
+		t.Fatal("guarded init ran a 10^9-iteration loop without tripping the budget")
+	} else if e, ok := err.(*Error); !ok || e.Line < 1 {
+		t.Fatalf("budget error unpositioned: %v", err)
+	}
+	// …and an out-of-range init write comes back as an error, not a panic.
+	c, err = Compile("t", "state x[4] init { x[9] = 1 }"+tail, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := NewProgramGuarded(c, 0); err == nil {
+		t.Fatal("guarded init swallowed an out-of-range write")
+	}
+
+	// The budget does not bleed into normal execution: NewProgram still
+	// runs legitimate init loops (knight's shared tables) unbudgeted.
+	if _, err := CompileProgramGuarded("knight", KnightSrc, nil, 0); err != nil {
+		t.Fatalf("guarded compile of knight example: %v", err)
+	}
+}

@@ -53,6 +53,15 @@ type env struct {
 	rejected bool
 	logging  bool
 	log      []writeRec
+
+	// budget, when positive, bounds the total for-loop iterations this env
+	// may execute; exceeding it panics with a positioned *Error. The program
+	// store sets it when probing untrusted init blocks so a hostile
+	// `for i = 0 to 1000000000 {}` cannot pin an API handler; engine
+	// execution leaves it zero (unbounded, and branch-free off the hot path
+	// for loop-free blocks).
+	budget int64
+	steps  int64
 }
 
 type evalFn func(*env) int64
@@ -104,6 +113,13 @@ type compiler struct {
 	maxLocals   int
 }
 
+// MaxStateCells bounds the total declared state of one program — scalars
+// plus every array cell, taskprivate and shared — at 2^22 int64 cells
+// (32 MiB). The limit exists because the compiler allocates the shared
+// prototype and the service runs untrusted submissions: without it,
+// `state x[999999999999]` is an out-of-memory, not a diagnostic.
+const MaxStateCells = 1 << 22
+
 // Compile parses and compiles ATC source. Parameter values may be
 // overridden (the mechanism behind "Nqueen-array(16)"-style sizing).
 func Compile(name, src string, overrides map[string]int64) (*Compiled, error) {
@@ -136,12 +152,14 @@ func Compile(name, src string, overrides map[string]int64) (*Compiled, error) {
 	// State declarations.
 	var sharedScalars int
 	var sharedSizes []int
+	var totalCells int64
 	for _, sd := range f.states {
 		if _, dup := c.syms[sd.name]; dup || sd.name == "depth" || sd.name == "m" {
 			return nil, errf(sd.line, 1, "duplicate or reserved name %q", sd.name)
 		}
 		sym := &symbol{}
 		if sd.size == nil {
+			totalCells++
 			if sd.shared {
 				sym.kind, sym.slot = symSharedScalar, sharedScalars
 				sharedScalars++
@@ -157,6 +175,10 @@ func Compile(name, src string, overrides map[string]int64) (*Compiled, error) {
 			if n <= 0 {
 				return nil, errf(sd.line, 1, "state %s has non-positive size %d", sd.name, n)
 			}
+			if n > MaxStateCells {
+				return nil, errf(sd.line, 1, "state %s size %d exceeds the %d-cell limit", sd.name, n, MaxStateCells)
+			}
+			totalCells += n
 			if sd.shared {
 				sym.kind, sym.slot, sym.size = symSharedArray, len(sharedSizes), int(n)
 				sharedSizes = append(sharedSizes, int(n))
@@ -164,6 +186,9 @@ func Compile(name, src string, overrides map[string]int64) (*Compiled, error) {
 				sym.kind, sym.slot, sym.size = symArray, len(c.arraySizes), int(n)
 				c.arraySizes = append(c.arraySizes, int(n))
 			}
+		}
+		if totalCells > MaxStateCells {
+			return nil, errf(sd.line, 1, "total state exceeds the %d-cell limit", MaxStateCells)
 		}
 		c.syms[sd.name] = sym
 	}
@@ -213,6 +238,35 @@ func Compile(name, src string, overrides map[string]int64) (*Compiled, error) {
 		out.sharedProto.arrays[i] = make([]int64, n)
 	}
 	return out, nil
+}
+
+// Name returns the name the program was compiled under.
+func (p *Compiled) Name() string { return p.name }
+
+// Params returns the program's compile-time parameters and their
+// effective (post-override) values — catalog metadata for the program
+// store, and the vocabulary a job submission may override per run.
+func (p *Compiled) Params() map[string]int64 {
+	out := make(map[string]int64)
+	for name, s := range p.syms {
+		if s.kind == symParam {
+			out[name] = s.val
+		}
+	}
+	return out
+}
+
+// StateCells returns the total declared state cells (taskprivate plus
+// shared): the size driver of per-task clones, reported as metadata.
+func (p *Compiled) StateCells() int64 {
+	n := int64(p.scalarCount) + int64(len(p.sharedProto.scalars))
+	for _, sz := range p.arraySizes {
+		n += int64(sz)
+	}
+	for _, a := range p.sharedProto.arrays {
+		n += int64(len(a))
+	}
+	return n
 }
 
 func (p *Compiled) newStore() *store {
@@ -487,11 +541,17 @@ func (c *compiler) compileStmt(s stmt) (execFn, *Error) {
 		if err != nil {
 			return nil, err
 		}
+		fline, fcol := v.line, v.col
 		return func(ev *env) bool {
 			for len(ev.locals) <= slot {
 				ev.locals = append(ev.locals, 0)
 			}
 			for i := lo(ev); i < hi(ev); i++ {
+				if ev.budget > 0 {
+					if ev.steps++; ev.steps > ev.budget {
+						panic(errf(fline, fcol, "for loop exceeded the %d-iteration evaluation budget", ev.budget))
+					}
+				}
 				ev.locals[slot] = i
 				if !body(ev) {
 					return false

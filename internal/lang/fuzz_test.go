@@ -1,0 +1,92 @@
+package lang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fuzzProbes are curated mutations of real programs: each pins a failure
+// mode the pipeline must answer with a positioned diagnostic, never a
+// panic — torn blocks, stray operator halves, reserved-name collisions,
+// literal overflow, oversized state, hostile init loops, deep nesting.
+var fuzzProbes = []string{
+	"",
+	"param",
+	"param n = ",
+	"param n = 8 param n = 9 terminal 1 -> 1 moves 1 apply { } undo { }",
+	"state depth terminal 1 -> 1 moves 1 apply { } undo { }",
+	"state x[0] terminal 1 -> 1 moves 1 apply { } undo { }",
+	"state x[5000000] terminal 1 -> 1 moves 1 apply { } undo { }",
+	"param n = 99999999999999999999\nterminal 1 -> 1 moves 1 apply { } undo { }",
+	"terminal 1 -> 1 moves 1 apply { reject } undo { reject }",
+	"terminal 1 -> 1 moves 1 apply { if 1 & 2 { } } undo { }",
+	"state s shared terminal 1 -> 1 moves 1 apply { s = 1 } undo { }",
+	"init { for i = 0 to 10 { for i = 0 to 10 { } } } terminal 1 -> 1 moves 1 apply { } undo { }",
+	"init { for i = 0 to 100000000 { } } terminal 1 -> 1 moves 1 apply { } undo { }",
+	"state x[4] init { x[9] = 1 } terminal 1 -> 1 moves 1 apply { } undo { }",
+	"terminal 1 / 0 -> 1 moves 1 apply { } undo { }",
+	"terminal ((((((((1)))))))) -> 1 moves 1 apply { } undo { }",
+	"terminal " + strings.Repeat("(", 300) + "1" + strings.Repeat(")", 300) + " -> 1 moves 1 apply { } undo { }",
+	"terminal " + strings.Repeat("!", 300) + "1 -> 1 moves 1 apply { } undo { }",
+	"terminal 007 == 7 -> 1 moves 1 apply { } undo {",
+	"# only a comment",
+	"\x00\xff param n = 8",
+}
+
+// FuzzLangCompile drives arbitrary bytes through the whole lexer →
+// parser → compiler pipeline and, when compilation succeeds, through the
+// guarded init probe and the canonicalization round trip. Contracts:
+//
+//   - the pipeline never panics: every failure is an error value;
+//   - every compile or init error is a *lang.Error carrying a 1-based
+//     line:col position;
+//   - any source that compiles also canonicalizes, its canonical form
+//     compiles, and canonicalization is a fixed point — the canonical
+//     form re-canonicalizes to itself, so the content hash is stable.
+//     This is the identity the program store's content addressing rests
+//     on: if it drifted, the same program could cache under two hashes.
+func FuzzLangCompile(f *testing.F) {
+	for _, src := range Sources() {
+		f.Add(src)
+	}
+	for _, src := range fuzzProbes {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		checkErr := func(stage string, err error) {
+			var e *Error
+			if !errors.As(err, &e) {
+				t.Fatalf("%s error is %T, not *lang.Error: %v", stage, err, err)
+			}
+			if e.Line < 1 || e.Col < 1 {
+				t.Fatalf("%s error lacks a position: %+v", stage, e)
+			}
+		}
+		c, err := Compile("fuzz", src, nil)
+		if err != nil {
+			checkErr("compile", err)
+			return
+		}
+		if _, err := NewProgramGuarded(c, 1<<16); err != nil {
+			checkErr("init", err)
+		}
+		h1, canon, herr := HashSource(src)
+		if herr != nil {
+			t.Fatalf("source compiled but canonicalization failed: %v", herr)
+		}
+		if _, err := Compile("fuzz", canon, nil); err != nil {
+			t.Fatalf("canonical form of a compiling source fails to compile: %v\ncanonical: %q", err, canon)
+		}
+		h2, canon2, herr := HashSource(canon)
+		if herr != nil {
+			t.Fatalf("re-canonicalization failed: %v", herr)
+		}
+		if canon2 != canon {
+			t.Fatalf("canonicalization is not a fixed point:\n first: %q\nsecond: %q", canon, canon2)
+		}
+		if h2 != h1 {
+			t.Fatalf("content hash unstable across canonicalization: %s vs %s", h1, h2)
+		}
+	})
+}

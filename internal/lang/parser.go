@@ -2,9 +2,30 @@ package lang
 
 // parser is a recursive-descent parser over the token slice.
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	depth int // live expr/block nesting, bounded by maxNesting
 }
+
+// maxNesting bounds expression and block nesting. The parser is
+// recursive-descent, so unbounded nesting ("(((((…" or towers of nested
+// ifs) turns into unbounded Go stack growth; with untrusted source on the
+// API path that must be a positioned diagnostic, not a stack exhaustion.
+// 200 levels is far beyond anything a human writes.
+const maxNesting = 200
+
+// enter bumps the nesting depth, erroring past maxNesting; pair every
+// successful call with leave.
+func (p *parser) enter() *Error {
+	p.depth++
+	if p.depth > maxNesting {
+		t := p.cur()
+		return errf(t.line, t.col, "nesting deeper than %d levels", maxNesting)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
@@ -185,10 +206,16 @@ func (p *parser) parseState() (*stateDecl, *Error) {
 }
 
 func (p *parser) parseBlock() ([]stmt, *Error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if _, err := p.expect(tokLBrace); err != nil {
 		return nil, err
 	}
-	var out []stmt
+	// Non-nil even when empty: `apply { }` is a present-but-empty block,
+	// and parse distinguishes missing/duplicate sections by nil-ness.
+	out := []stmt{}
 	for p.cur().kind != tokRBrace {
 		if p.cur().kind == tokEOF {
 			t := p.cur()
@@ -298,7 +325,13 @@ func (p *parser) parseStmt() (stmt, *Error) {
 //	mul:     unary (("*"|"/"|"%") unary)*
 //	unary:   ("-"|"!") unary | primary
 //	primary: number | ident | ident "[" expr "]" | "(" expr ")"
-func (p *parser) parseExpr() (expr, *Error) { return p.parseOr() }
+func (p *parser) parseExpr() (expr, *Error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
 
 func (p *parser) parseOr() (expr, *Error) {
 	return p.parseLeftAssoc(p.parseAnd, tokOr)
@@ -363,6 +396,10 @@ func (p *parser) parseMul() (expr, *Error) {
 func (p *parser) parseUnary() (expr, *Error) {
 	t := p.cur()
 	if t.kind == tokMinus || t.kind == tokNot {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
 		p.take()
 		operand, err := p.parseUnary()
 		if err != nil {

@@ -46,6 +46,41 @@ func NewProgram(c *Compiled) *Program {
 	return &Program{c: c, wsProto: probe.ws}
 }
 
+// NewProgramGuarded wraps a compiled ATC file like NewProgram, but runs
+// the init block defensively: for-loop iterations are bounded by budget
+// (≤ 0 means the default 1<<22), and a runtime fault in init — an
+// out-of-range index, a division by zero, an exceeded budget — is caught
+// and returned as the positioned *Error it panicked with, instead of
+// unwinding into the caller. This is the constructor for untrusted
+// source: the program store probes every submission through it, so a
+// hostile init block costs one bounded evaluation, not a wedged API
+// handler.
+func NewProgramGuarded(c *Compiled, budget int64) (p *Program, err error) {
+	if budget <= 0 {
+		budget = 1 << 22
+	}
+	for i := range c.sharedProto.scalars {
+		c.sharedProto.scalars[i] = 0
+	}
+	for _, a := range c.sharedProto.arrays {
+		for i := range a {
+			a[i] = 0
+		}
+	}
+	probe := &env{ws: c.newStore(), shared: c.sharedProto, budget: budget}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(*Error); ok {
+				p, err = nil, e
+				return
+			}
+			panic(r)
+		}
+	}()
+	c.initStmts(probe)
+	return &Program{c: c, wsProto: probe.ws}, nil
+}
+
 // CompileProgram is the one-call front end: source to runnable program.
 func CompileProgram(name, src string, overrides map[string]int64) (*Program, error) {
 	c, err := Compile(name, src, overrides)
@@ -54,6 +89,21 @@ func CompileProgram(name, src string, overrides map[string]int64) (*Program, err
 	}
 	return NewProgram(c), nil
 }
+
+// CompileProgramGuarded is CompileProgram for untrusted source: compile
+// errors and init-time runtime faults both come back as errors (with
+// source positions when they have one), never as panics.
+func CompileProgramGuarded(name, src string, overrides map[string]int64, initBudget int64) (*Program, error) {
+	c, err := Compile(name, src, overrides)
+	if err != nil {
+		return nil, err
+	}
+	return NewProgramGuarded(c, initBudget)
+}
+
+// Compiled returns the underlying compiled file, for callers that need
+// its catalog metadata (parameters, state size).
+func (p *Program) Compiled() *Compiled { return p.c }
 
 // Name implements sched.Program.
 func (p *Program) Name() string { return "atc:" + p.c.name }

@@ -1,0 +1,246 @@
+package progstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivetc/internal/lang"
+)
+
+const tinySrc = "param n = 4\nterminal depth == n -> 1\nmoves n\napply { }\nundo { }\n"
+
+func tinyVariant(i int) string {
+	return fmt.Sprintf("param n = %d\nterminal depth == n -> 1\nmoves n\napply { }\nundo { }\n", i+2)
+}
+
+// TestPutGetDelete covers the content-addressed lifecycle: insert,
+// reformatted re-insert landing on the same hash as a hit, lookup,
+// delete, and the unknown-hash error afterwards.
+func TestPutGetDelete(t *testing.T) {
+	s := New(Config{})
+	m, created, err := s.Put("tiny", tinySrc)
+	if err != nil || !created {
+		t.Fatalf("Put: created=%v err=%v", created, err)
+	}
+	if len(m.Hash) != 64 {
+		t.Fatalf("hash %q is not hex sha-256", m.Hash)
+	}
+	if m.Params["n"] != 4 {
+		t.Fatalf("catalog params = %v, want n=4", m.Params)
+	}
+
+	// A reformatted spelling is the same program: same hash, not created.
+	m2, created, err := s.Put("tiny-reformat", "param n=4 terminal depth==n->1 moves n apply{} undo{}")
+	if err != nil || created {
+		t.Fatalf("reformatted Put: created=%v err=%v", created, err)
+	}
+	if m2.Hash != m.Hash {
+		t.Fatalf("reformatted source hashed differently: %s vs %s", m2.Hash, m.Hash)
+	}
+	if got := s.Snapshot(); got.Cached != 1 || got.Hits != 1 {
+		t.Fatalf("after duplicate Put: %+v", got)
+	}
+
+	if _, src, ok := s.Get(m.Hash); !ok || !strings.Contains(src, "terminal") {
+		t.Fatalf("Get(%s): ok=%v src=%q", m.Hash, ok, src)
+	}
+	if p, err := s.Program(m.Hash, nil); err != nil || p == nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if !s.Delete(m.Hash) {
+		t.Fatal("Delete reported missing")
+	}
+	if s.Delete(m.Hash) {
+		t.Fatal("second Delete reported present")
+	}
+	if _, err := s.Program(m.Hash, nil); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Program after delete: %v, want ErrUnknown", err)
+	}
+}
+
+// TestCompileDiagnosticsCached: a broken submission fails with a
+// positioned *lang.Error, the failure is served from the negative cache
+// (no recompile) until the TTL lapses, and a corrected source is
+// unaffected.
+func TestCompileDiagnosticsCached(t *testing.T) {
+	s := New(Config{ErrTTL: 50 * time.Millisecond})
+	compiles := 0
+	s.compileHook = func() { compiles++ }
+
+	broken := "param n = 4\nterminal depth == n -> 1\nmoves n\napply { x = }\nundo { }\n"
+	_, _, err := s.Put("broken", broken)
+	var le *lang.Error
+	if !errors.As(err, &le) {
+		t.Fatalf("error is %T, want *lang.Error: %v", err, err)
+	}
+	if le.Line != 4 || le.Col < 1 {
+		t.Fatalf("diagnostic position = %d:%d, want line 4", le.Line, le.Col)
+	}
+
+	_, _, err2 := s.Put("broken", broken)
+	if !errors.As(err2, &le) {
+		t.Fatalf("cached error is %T: %v", err2, err2)
+	}
+	if got := s.Snapshot(); got.ErrHits != 1 {
+		t.Fatalf("negative cache not hit: %+v", got)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	if _, _, err := s.Put("broken", broken); err == nil {
+		t.Fatal("expired negative entry suppressed the real compile error")
+	}
+	// Lex errors (no canonical form) negative-cache too and never compile.
+	if _, _, err := s.Put("lexfail", "param n = 8 &"); err == nil {
+		t.Fatal("lex error not surfaced")
+	}
+	preCompiles := compiles
+	if _, _, err := s.Put("lexfail", "param n = 8 &"); err == nil {
+		t.Fatal("cached lex error not surfaced")
+	}
+	if compiles != preCompiles {
+		t.Fatal("negative-cached lex failure re-ran the compiler")
+	}
+
+	if _, created, err := s.Put("fixed", tinySrc); err != nil || !created {
+		t.Fatalf("good source after failures: created=%v err=%v", created, err)
+	}
+}
+
+// TestSingleFlight: concurrent submitters of the same new source compile
+// once; everyone gets the same entry.
+func TestSingleFlight(t *testing.T) {
+	s := New(Config{})
+	var mu sync.Mutex
+	compiles := 0
+	gate := make(chan struct{})
+	s.compileHook = func() {
+		mu.Lock()
+		compiles++
+		mu.Unlock()
+		<-gate
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	hashes := make([]string, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, _, err := s.Put("tiny", tinySrc)
+			hashes[i], errs[i] = m.Hash, err
+		}(i)
+	}
+	// Let the leader enter the hook and followers pile onto the flight.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if hashes[i] != hashes[0] {
+			t.Fatalf("worker %d saw hash %s, want %s", i, hashes[i], hashes[0])
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if compiles != 1 {
+		t.Fatalf("%d compiles for one source under %d concurrent Puts", compiles, workers)
+	}
+}
+
+// TestLRUEviction: pushing past the count cap evicts the least recently
+// used entry, and a Get refreshes recency.
+func TestLRUEviction(t *testing.T) {
+	s := New(Config{MaxPrograms: 3})
+	var hashes []string
+	for i := 0; i < 3; i++ {
+		m, _, err := s.Put("v", tinyVariant(i))
+		if err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		hashes = append(hashes, m.Hash)
+	}
+	// Touch the oldest so the middle one becomes the LRU victim.
+	if _, _, ok := s.Get(hashes[0]); !ok {
+		t.Fatal("Get oldest")
+	}
+	if _, _, err := s.Put("v", tinyVariant(3)); err != nil {
+		t.Fatalf("Put overflow: %v", err)
+	}
+	if got := s.Snapshot(); got.Cached != 3 || got.Evictions != 1 {
+		t.Fatalf("after overflow: %+v", got)
+	}
+	if _, _, ok := s.Get(hashes[1]); ok {
+		t.Fatal("LRU victim survived")
+	}
+	if _, _, ok := s.Get(hashes[0]); !ok {
+		t.Fatal("recently-touched entry was evicted")
+	}
+
+	// Byte cap: a store whose cap fits one tiny program holds exactly one.
+	sb := New(Config{MaxBytes: int64(len(tinySrc))})
+	for i := 0; i < 3; i++ {
+		if _, _, err := sb.Put("v", tinyVariant(i)); err != nil {
+			t.Fatalf("byte-cap Put %d: %v", i, err)
+		}
+	}
+	if got := sb.Snapshot(); got.Cached != 1 {
+		t.Fatalf("byte cap held %d entries: %+v", got.Cached, got)
+	}
+}
+
+// TestParamVariants: per-job parameter overrides compile distinct cached
+// variants under one entry; repeats are hits; unknown params error.
+func TestParamVariants(t *testing.T) {
+	s := New(Config{})
+	compiles := 0
+	s.compileHook = func() { compiles++ }
+	m, _, err := s.Put("tiny", tinySrc)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	p6, err := s.Program(m.Hash, map[string]int64{"n": 6})
+	if err != nil {
+		t.Fatalf("Program n=6: %v", err)
+	}
+	p6b, err := s.Program(m.Hash, map[string]int64{"n": 6})
+	if err != nil {
+		t.Fatalf("Program n=6 again: %v", err)
+	}
+	if p6 != p6b {
+		t.Fatal("repeat override did not reuse the cached variant")
+	}
+	if compiles != 2 { // initial Put + the n=6 variant
+		t.Fatalf("%d compiles, want 2", compiles)
+	}
+	if _, err := s.Program(m.Hash, map[string]int64{"bogus": 1}); err == nil {
+		t.Fatal("unknown parameter override did not error")
+	}
+}
+
+// TestList reports most-recently-used order.
+func TestList(t *testing.T) {
+	s := New(Config{})
+	var hashes []string
+	for i := 0; i < 3; i++ {
+		m, _, err := s.Put("v", tinyVariant(i))
+		if err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		hashes = append(hashes, m.Hash)
+	}
+	s.Get(hashes[0])
+	l := s.List()
+	if len(l) != 3 || l[0].Hash != hashes[0] {
+		t.Fatalf("List order wrong: %+v", l)
+	}
+}

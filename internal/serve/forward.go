@@ -243,6 +243,7 @@ func (s *Service) SubmitForwarded(req Request, origin string) (*Job, error) {
 	ts.submitted.Add(1)
 	cls.submitted.Add(1)
 	s.forwardedIn.Add(1)
+	s.journalSubmit(job)
 	s.q.push(it)
 	return job, nil
 }

@@ -8,17 +8,29 @@ import (
 	"strconv"
 	"time"
 
+	"adaptivetc/internal/lang"
+	"adaptivetc/internal/progstore"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/wsrt"
 	"adaptivetc/problems/registry"
 )
 
+// ProgramStatus is the JSON view of one cached DSL program. Source is
+// the canonical form and is only populated by GET /programs/{hash}.
+type ProgramStatus struct {
+	progstore.Meta
+	Source string `json:"source,omitempty"`
+}
+
 // JobStatus is the JSON view of one job (POST /jobs and GET /jobs/{id}).
 type JobStatus struct {
-	ID       string    `json:"id"`
-	State    State     `json:"state"`
-	Program  string    `json:"program"`
-	Engine   string    `json:"engine"`
+	ID      string `json:"id"`
+	State   State  `json:"state"`
+	Program string `json:"program,omitempty"`
+	// ProgramHash identifies a DSL job's cached program (set instead of
+	// Program for program_hash submissions).
+	ProgramHash string    `json:"program_hash,omitempty"`
+	Engine      string    `json:"engine"`
 	Tenant   string    `json:"tenant"`
 	Priority Priority  `json:"priority"`
 	Created  time.Time `json:"created"`
@@ -50,10 +62,11 @@ func status(j *Job) JobStatus {
 		eng = "adaptivetc"
 	}
 	out := JobStatus{
-		ID:       j.ID,
-		State:    st,
-		Program:  j.Req.Program,
-		Engine:   eng,
+		ID:          j.ID,
+		State:       st,
+		Program:     j.Req.Program,
+		ProgramHash: j.Req.ProgramHash,
+		Engine:      eng,
 		Tenant:   j.tenant,
 		Priority: j.prio,
 		Created:  j.Created,
@@ -96,6 +109,21 @@ func status(j *Job) JobStatus {
 //	GET    /catalog    available programs and engines
 //	GET    /healthz    liveness: 200 while the process serves HTTP
 //	GET    /readyz     readiness: 200 until Drain/Close, then 503
+//
+// Programs as data (the DSL compile cache):
+//
+//	POST   /programs        {"name","source"} → 201 ProgramStatus on first
+//	                        submission, 200 for a program already cached
+//	                        under the same content hash; 400 with
+//	                        {"error","line","col"} on a compile error
+//	GET    /programs        cached programs, most recently used first
+//	GET    /programs/{hash} metadata + canonical source → ProgramStatus
+//	DELETE /programs/{hash} evict → 200; 404 unknown
+//
+// A cached program runs via POST /jobs with "program_hash" in place of
+// "program"; engine, steal_policy, tenant, priority, timeout_ms and the
+// n/m size knobs apply identically, and "first_solution": true selects
+// first-solution mode.
 func NewMux(s *Service) *http.ServeMux {
 	mux := http.NewServeMux()
 
@@ -107,6 +135,12 @@ func NewMux(s *Service) *http.ServeMux {
 		_ = enc.Encode(v)
 	}
 	writeErr := func(w http.ResponseWriter, code int, err error) {
+		// Compile diagnostics keep their source position in the payload.
+		var le *lang.Error
+		if errors.As(err, &le) {
+			writeJSON(w, code, map[string]any{"error": le.Error(), "line": le.Line, "col": le.Col})
+			return
+		}
 		writeJSON(w, code, map[string]string{"error": err.Error()})
 	}
 
@@ -158,14 +192,61 @@ func NewMux(s *Service) *http.ServeMux {
 		writeJSON(w, http.StatusAccepted, status(job))
 	})
 
+	mux.HandleFunc("POST /programs", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Name   string `json:"name"`
+			Source string `json:"source"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Source == "" {
+			writeErr(w, http.StatusBadRequest, errors.New("serve: empty program source"))
+			return
+		}
+		meta, created, err := s.PutProgram(req.Name, req.Source)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		code := http.StatusOK
+		if created {
+			code = http.StatusCreated
+		}
+		writeJSON(w, code, ProgramStatus{Meta: meta})
+	})
+
+	mux.HandleFunc("GET /programs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"programs": s.Programs()})
+	})
+
+	mux.HandleFunc("GET /programs/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		meta, src, ok := s.GetProgram(r.PathValue("hash"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, errors.New("serve: no such program"))
+			return
+		}
+		writeJSON(w, http.StatusOK, ProgramStatus{Meta: meta, Source: src})
+	})
+
+	mux.HandleFunc("DELETE /programs/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		if !s.DeleteProgram(r.PathValue("hash")) {
+			writeErr(w, http.StatusNotFound, errors.New("serve: no such program"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+	})
+
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Snapshot())
 	})
 
 	mux.HandleFunc("GET /catalog", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string][]string{
-			"programs": registry.Names(),
-			"engines":  EngineNames(),
+		writeJSON(w, http.StatusOK, map[string]any{
+			"programs":     registry.Names(),
+			"engines":      EngineNames(),
+			"dsl_programs": s.Programs(),
 		})
 	})
 

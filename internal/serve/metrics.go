@@ -206,6 +206,17 @@ type Metrics struct {
 	InvariantChecked    int64     `json:"invariant_checked"`
 	InvariantViolations int64     `json:"invariant_violations"`
 
+	// Programs-as-data: DSL compile cache and persistent job store.
+	ProgramsCached    int            `json:"programs_cached"`
+	ProgramCacheBytes int64          `json:"program_cache_bytes"`
+	CompileHits       int64          `json:"compile_hits"`
+	CompileMisses     int64          `json:"compile_misses"`
+	CompileErrHits    int64          `json:"compile_error_hits"`
+	ProgramEvictions  int64          `json:"program_evictions"`
+	StoreFsyncs       int64          `json:"store_fsyncs,omitempty"`
+	StoreRecords      int64          `json:"store_records,omitempty"`
+	Recovery          *RecoveryStats `json:"recovery,omitempty"`
+
 	LatencyHistogram LatencyHistogram        `json:"latency_histogram"`
 	Shards           []ShardMetrics          `json:"shards,omitempty"`
 	Tenants          map[string]GroupMetrics `json:"tenants,omitempty"`

@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"adaptivetc/internal/faults"
+	"adaptivetc/internal/jobstore"
+	"adaptivetc/internal/progstore"
 	"adaptivetc/internal/sched"
 	"adaptivetc/internal/trace"
 	"adaptivetc/internal/wsrt"
@@ -49,8 +51,18 @@ const (
 
 // Request describes one job submission.
 type Request struct {
-	// Program is a problems/registry name.
+	// Program is a problems/registry name. Exactly one of Program and
+	// ProgramHash must be set.
 	Program string `json:"program"`
+	// ProgramHash runs a DSL program previously registered via
+	// POST /programs, by its content hash. Engine, steal-policy, priority,
+	// tenant and timeout knobs apply exactly as for registry programs; N
+	// and M override the program's "n" and "m" parameters when nonzero.
+	ProgramHash string `json:"program_hash,omitempty"`
+	// FirstSolution runs a ProgramHash job in first-solution mode (the
+	// run stops at the first terminal witness). Registry programs carry
+	// this property in the registry and ignore the field.
+	FirstSolution bool `json:"first_solution,omitempty"`
 	// N, M and Size are the registry size parameters (zero → family
 	// default). M is the secondary knob of two-knob families (DAG width,
 	// knapsack capacity, SAT clause count).
@@ -92,7 +104,8 @@ type Job struct {
 	handle *wsrt.JobHandle // set by the pump once the pool accepts the job
 	done   chan struct{}
 
-	origin string // peer node that forwarded the job here, if any
+	origin   string // peer node that forwarded the job here, if any
+	firstSol bool   // resolved first-solution mode (registry or request)
 
 	mu         sync.Mutex
 	state      State
@@ -185,6 +198,19 @@ type Config struct {
 	// pool-level admission/shard faults plus per-job worker and deque
 	// faults. Chaos soaks use it; production leaves it nil (free).
 	Faults *faults.Plan
+	// Journal, when non-nil, persists job submissions, state transitions,
+	// results and DSL program registrations to the append-only store, so a
+	// restart on the same directory recovers them. The service owns
+	// appends; the caller owns Open/Close.
+	Journal *jobstore.Store
+	// Recovered is the state Journal's Open reconstructed; New materializes
+	// it (terminal results served, never-started jobs re-queued, mid-run
+	// jobs marked aborted-by-restart, DSL programs re-compiled) before the
+	// admission pump starts.
+	Recovered *jobstore.Recovery
+	// ProgramCache bounds the DSL compile cache (POST /programs). Zero
+	// values take the progstore defaults.
+	ProgramCache progstore.Config
 }
 
 // Service is the resident job service.
@@ -221,6 +247,14 @@ type Service struct {
 	violations  atomic.Int64
 	latencies   *latencyRing
 	hist        *histogram
+
+	programs *progstore.Store // DSL compile cache (programs-as-data)
+	journal  *jobstore.Store  // nil when not persisting
+
+	recoveredTerminal atomic.Int64 // jobs restored with their journaled result
+	recoveredRequeued atomic.Int64 // jobs re-queued because they never started
+	recoveredAborted  atomic.Int64 // mid-run jobs marked aborted-by-restart
+	recoveredPrograms atomic.Int64 // DSL programs re-compiled from the journal
 
 	forwarder    atomic.Value // forwarderBox: cluster forward-on-full hook
 	forwardedOut atomic.Int64 // jobs this node placed on peers
@@ -273,11 +307,17 @@ func New(cfg Config) *Service {
 	for _, p := range priorityOrder {
 		s.classes[p] = newGroupStat()
 	}
+	s.programs = progstore.New(cfg.ProgramCache)
+	s.journal = cfg.Journal
 	// The demand the pool's adaptive/SLO shard policies see must include
 	// the backlog held here, since only one job at a time is staged into
 	// the pool's own queue.
 	s.pool.SetExternalQueueDepth(func() int { return int(s.waiting.Load()) })
 	s.pool.SetShardAdvisor(s.adviseShard)
+	// Materialize recovered journal state before the pump starts, so
+	// re-queued jobs are first in line and terminal records answer GETs
+	// from the first request on.
+	s.recover(cfg.Recovered)
 	s.wg.Add(1)
 	go s.pump()
 	return s
@@ -344,9 +384,28 @@ func (s *Service) tenant(name string) *tenantState {
 // everything Submit and SubmitForwarded share before their admission
 // checks diverge.
 func (s *Service) buildJob(req Request) (*admItem, error) {
-	prog, err := registry.Build(req.Program, registry.Params{N: req.N, M: req.M, Size: req.Size, Reverse: req.Reverse})
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	var prog sched.Program
+	var firstSol bool
+	switch {
+	case req.Program != "" && req.ProgramHash != "":
+		return nil, fmt.Errorf("serve: request sets both program %q and program_hash %q; use one", req.Program, req.ProgramHash)
+	case req.ProgramHash != "":
+		// A cached DSL program, addressed by content hash. N and M map to
+		// the conventional "n" and "m" parameters; overriding a parameter
+		// the program does not declare is an error, like any bad request.
+		var err error
+		prog, err = s.programs.Program(req.ProgramHash, dslOverrides(req))
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		firstSol = req.FirstSolution
+	default:
+		var err error
+		prog, err = registry.Build(req.Program, registry.Params{N: req.N, M: req.M, Size: req.Size, Reverse: req.Reverse})
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		firstSol = registry.FirstSolution(req.Program)
 	}
 	engName := req.Engine
 	if engName == "" {
@@ -380,14 +439,15 @@ func (s *Service) buildJob(req Request) (*admItem, error) {
 	}
 
 	job := &Job{
-		ID:      "j" + strconv.FormatInt(s.nextID.Add(1), 10),
-		Req:     req,
-		Created: time.Now(),
-		tenant:  tenant,
-		prio:    prio,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		state:   StateQueued,
+		ID:       "j" + strconv.FormatInt(s.nextID.Add(1), 10),
+		Req:      req,
+		Created:  time.Now(),
+		tenant:   tenant,
+		prio:     prio,
+		firstSol: firstSol,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    StateQueued,
 	}
 	var rec *trace.Recorder
 	if s.cfg.Check {
@@ -402,9 +462,25 @@ func (s *Service) buildJob(req Request) (*admItem, error) {
 			Tracer:        rec,
 			Faults:        s.cfg.Faults,
 			StealPolicy:   req.StealPolicy,
-			FirstSolution: registry.FirstSolution(req.Program),
+			FirstSolution: firstSol,
 		},
 	}, nil
+}
+
+// dslOverrides maps the request's registry-shaped size knobs onto DSL
+// parameter overrides: N → "n", M → "m", zero meaning "program default".
+func dslOverrides(req Request) map[string]int64 {
+	var ov map[string]int64
+	if req.N > 0 {
+		ov = map[string]int64{"n": int64(req.N)}
+	}
+	if req.M > 0 {
+		if ov == nil {
+			ov = map[string]int64{}
+		}
+		ov["m"] = int64(req.M)
+	}
+	return ov
 }
 
 // Submit validates req, builds its program, runs the tenant's admission
@@ -469,6 +545,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	s.submitted.Add(1)
 	ts.submitted.Add(1)
 	cls.submitted.Add(1)
+	s.journalSubmit(job)
 	s.q.push(it)
 	return job, nil
 }
@@ -614,6 +691,7 @@ func (s *Service) markRunning(job *Job) {
 	cls.queued.Add(-1)
 	ts.running.Add(1)
 	cls.running.Add(1)
+	s.journalStart(job)
 	// The job left the staging slot, so the pump can stage the next one.
 	s.wakePump()
 }
@@ -697,7 +775,7 @@ func (s *Service) finalize(job *Job, rec *trace.Recorder, res sched.Result, err 
 		if s.cfg.Options.RelaxedDeque {
 			k = 2
 		}
-		if state == StateDone && !registry.FirstSolution(job.Req.Program) {
+		if state == StateDone && !job.firstSol {
 			// No external oracle at serve time: the run's value stands in
 			// for it, so this checks internal consistency (conservation,
 			// deposit accounting, completion uniqueness), not correctness
@@ -718,8 +796,9 @@ func (s *Service) finalize(job *Job, rec *trace.Recorder, res sched.Result, err 
 	// A completed first-solution job's value is a solution witness; when the
 	// family can verify witnesses, a bogus one counts as a violation whether
 	// or not trace checking is on. Zero is unverifiable (legitimately "no
-	// solution exists") and passes.
-	if state == StateDone {
+	// solution exists") and passes. DSL programs have no registry oracle,
+	// so only registry jobs are witness-checked.
+	if state == StateDone && job.Req.Program != "" {
 		p := registry.Params{N: job.Req.N, M: job.Req.M, Size: job.Req.Size, Reverse: job.Req.Reverse}
 		if ok, checkable := registry.VerifyWitness(job.Req.Program, p, res.Value); checkable && !ok {
 			werr := fmt.Errorf("serve: job %s returned invalid witness %d for %q", job.ID, res.Value, job.Req.Program)
@@ -729,6 +808,11 @@ func (s *Service) finalize(job *Job, rec *trace.Recorder, res sched.Result, err 
 			viol = errors.Join(viol, werr)
 		}
 	}
+
+	// Durability before visibility: the terminal record is fsynced before
+	// the state is published, so a poller that observes "done" can trust
+	// the result to survive a crash.
+	s.journalDone(job, state, res, err)
 
 	job.mu.Lock()
 	prev := job.state
@@ -833,6 +917,23 @@ func (s *Service) Snapshot() Metrics {
 		InvariantChecked:    s.checked.Load(),
 		InvariantViolations: s.violations.Load(),
 		LatencyHistogram:    s.hist.snapshot(),
+	}
+	ps := s.programs.Snapshot()
+	m.ProgramsCached = ps.Cached
+	m.ProgramCacheBytes = ps.Bytes
+	m.CompileHits = ps.Hits
+	m.CompileMisses = ps.Misses
+	m.CompileErrHits = ps.ErrHits
+	m.ProgramEvictions = ps.Evictions
+	if s.journal != nil {
+		m.StoreFsyncs = s.journal.Fsyncs()
+		m.StoreRecords = s.journal.Records()
+		m.Recovery = &RecoveryStats{
+			Terminal: s.recoveredTerminal.Load(),
+			Requeued: s.recoveredRequeued.Load(),
+			Aborted:  s.recoveredAborted.Load(),
+			Programs: s.recoveredPrograms.Load(),
+		}
 	}
 	if s.pool.ShardPolicy() == wsrt.ShardSLO {
 		m.SLOTargetMS = s.cfg.SLOTargetMS
